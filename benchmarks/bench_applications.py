@@ -1,0 +1,46 @@
+"""Benchmarks of the downstream applications: alignment, cost function,
+joint machines.
+
+Run:  pytest benchmarks/bench_applications.py --benchmark-only -s
+"""
+
+from repro.experiments import alignment, costfn, joint
+
+
+def test_alignment(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        alignment.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    original = sum(taken for taken, _ in result.data["original layout"])
+    final = sum(taken for taken, _ in result.data["replicated + aligned"])
+    benchmark.extra_info["total_original_taken"] = original
+    benchmark.extra_info["total_final_taken"] = final
+    assert final <= original
+
+
+def test_cost_function(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        costfn.run,
+        kwargs={"name": "ghostview", "scale": bench_scale, "max_states": 4},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    cycles = [result.data[row][3] for row in result.rows]
+    benchmark.extra_info["best_step_cycles"] = min(cycles)
+    benchmark.extra_info["final_step_cycles"] = cycles[-1]
+
+
+def test_joint_machines(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        joint.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    indep = result.data["independent mispredict"]
+    shared = result.data["joint mispredict"]
+    benchmark.extra_info["mean_independent"] = sum(indep) / len(indep)
+    benchmark.extra_info["mean_joint"] = sum(shared) / len(shared)

@@ -1,0 +1,41 @@
+"""Benchmarks for the extension experiments (cross-dataset, ablations).
+
+Run:  pytest benchmarks/bench_extensions.py --benchmark-only -s
+"""
+
+from repro.experiments import ablation, crossdata
+
+
+def test_crossdata(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        crossdata.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    degradation = result.data["loop-corr degradation"]
+    benchmark.extra_info["mean_loop_corr_degradation"] = sum(degradation) / len(
+        degradation
+    )
+
+
+def test_ablation_search(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        ablation.run_search, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    exhaustive = result.data["exhaustive"]
+    greedy = result.data["greedy split"]
+    benchmark.extra_info["mean_gap"] = sum(
+        g - e for e, g in zip(exhaustive, greedy)
+    ) / len(greedy)
+
+
+def test_ablation_pruning(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        ablation.run_pruning, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    saved = result.data["instructions saved"]
+    benchmark.extra_info["total_instructions_saved"] = sum(saved)

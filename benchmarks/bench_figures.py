@@ -1,0 +1,34 @@
+"""Regenerates Figures 6-13 (misprediction vs code size, per benchmark).
+
+Run:  pytest benchmarks/bench_figures.py --benchmark-only -s
+Writes CSV series next to the repository under results/ when -s is on.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.workloads import BENCHMARK_NAMES
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_figure(benchmark, bench_scale, name):
+    points = benchmark.pedantic(
+        figures.curve_for,
+        args=(name,),
+        kwargs={"scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    figure = figures.FIGURE_NUMBERS[name]
+    print(f"\nFigure {figure}: {name}")
+    print(f"  {'size':>10s}  misprediction")
+    for point in points:
+        print(f"  {point.size_factor:10.3f}  {point.misprediction_rate:12.2%}")
+    benchmark.extra_info["figure"] = figure
+    benchmark.extra_info["points"] = len(points)
+    benchmark.extra_info["start_rate"] = points[0].misprediction_rate
+    benchmark.extra_info["end_rate"] = points[-1].misprediction_rate
+    benchmark.extra_info["end_size_factor"] = points[-1].size_factor
+    # Curves start at the original program and never hurt accuracy.
+    assert points[0].size_factor == 1.0
+    assert points[-1].misprediction_rate <= points[0].misprediction_rate

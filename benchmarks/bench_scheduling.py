@@ -1,0 +1,33 @@
+"""Benchmarks of static baselines and speculative scheduling.
+
+Run:  pytest benchmarks/bench_scheduling.py --benchmark-only -s
+"""
+
+from repro.experiments import scheduling, statics
+
+
+def test_static_baselines(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        statics.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    bl = result.data["ball-larus"]
+    profile = result.data["profile"]
+    benchmark.extra_info["mean_ball_larus"] = sum(bl) / len(bl)
+    benchmark.extra_info["mean_profile"] = sum(profile) / len(profile)
+    assert all(p <= b + 1e-9 for p, b in zip(profile, bl))
+
+
+def test_speculative_scheduling(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        scheduling.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    plain = result.data["superblock speedup"]
+    replicated = result.data["replicated superblock speedup"]
+    benchmark.extra_info["mean_superblock_speedup"] = sum(plain) / len(plain)
+    benchmark.extra_info["mean_replicated_speedup"] = sum(replicated) / len(
+        replicated
+    )

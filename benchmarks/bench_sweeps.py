@@ -1,0 +1,34 @@
+"""Benchmarks for the parameter sweeps (two-level zoo, training length).
+
+Run:  pytest benchmarks/bench_sweeps.py --benchmark-only -s
+"""
+
+from repro.experiments import tracelen, twolevel_zoo
+
+
+def test_twolevel_zoo(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        twolevel_zoo.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    rates = {
+        row: sum(result.data[row][:-1]) / (len(result.columns) - 1)
+        for row in result.rows
+    }
+    best = min(rates, key=rates.get)
+    benchmark.extra_info["best_variant"] = best
+    benchmark.extra_info["best_mean_rate"] = rates[best]
+
+
+def test_training_length(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        tracelen.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    first = result.data[result.rows[0]]
+    last = result.data[result.rows[-1]]
+    benchmark.extra_info["mean_1pct"] = sum(first) / len(first)
+    benchmark.extra_info["mean_full"] = sum(last) / len(last)
+    assert sum(last) <= sum(first) + 0.1

@@ -1,0 +1,22 @@
+"""Regenerates Table 1 (strategy misprediction rates) and times it.
+
+Run:  pytest benchmarks/bench_table1.py --benchmark-only -s
+"""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        table1.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # Record the headline comparison in the benchmark report.
+    profile = result.data["profile"]
+    combined = result.data["loop-correlation"]
+    benchmark.extra_info["mean_profile_misprediction"] = sum(profile) / len(profile)
+    benchmark.extra_info["mean_loop_correlation_misprediction"] = sum(combined) / len(
+        combined
+    )
+    assert all(c <= p + 1e-9 for p, c in zip(profile, combined))

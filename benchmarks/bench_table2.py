@@ -1,0 +1,19 @@
+"""Regenerates Table 2 (pattern-table fill rates) and times it.
+
+Run:  pytest benchmarks/bench_table2.py --benchmark-only -s
+"""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        table2.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    shallow = result.data["1 bit history"]
+    deep = result.data["9 bit history"]
+    benchmark.extra_info["mean_9bit_fill"] = sum(deep) / len(deep)
+    # The paper's point: deep tables are sparse.
+    assert all(d <= s for s, d in zip(shallow, deep))

@@ -1,0 +1,24 @@
+"""Regenerates Table 3 (loop / loop-exit machines vs full history).
+
+Run:  pytest benchmarks/bench_table3.py --benchmark-only -s
+"""
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        table3.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # "A state machine with 2 states implements exactly the 1 bit
+    # history scheme."
+    assert result.data["1 bit loop"] == result.data["2 states loop"]
+    # Machines may lose accuracy against the full table, never gain.
+    for bits in range(1, 9):
+        history = result.data[f"{bits} bit loop"]
+        machine = result.data[f"{bits + 1} states loop"]
+        benchmark.extra_info[f"loss_{bits}bit"] = sum(
+            m - h for h, m in zip(history, machine)
+        ) / len(history)

@@ -1,0 +1,20 @@
+"""Regenerates Table 4 (correlated-branch path machines).
+
+Run:  pytest benchmarks/bench_table4.py --benchmark-only -s
+"""
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        table4.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    profile = result.data["profile"]
+    best = result.data["8 states"]
+    benchmark.extra_info["mean_profile"] = sum(profile) / len(profile)
+    benchmark.extra_info["mean_8_states"] = sum(best) / len(best)
+    # "the correlation information can be compacted with very small loss"
+    assert all(b <= p + 1e-9 for p, b in zip(profile, best))

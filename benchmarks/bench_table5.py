@@ -1,0 +1,20 @@
+"""Regenerates Table 5 (best achievable misprediction, size ignored).
+
+Run:  pytest benchmarks/bench_table5.py --benchmark-only -s
+"""
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        table5.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    profile = result.data["profile"]
+    ten = result.data["10 states"]
+    benchmark.extra_info["mean_profile"] = sum(profile) / len(profile)
+    benchmark.extra_info["mean_10_states"] = sum(ten) / len(ten)
+    # Best-per-branch with 10 states must improve on profile overall.
+    assert sum(ten) < sum(profile)

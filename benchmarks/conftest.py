@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+``--bench-scale`` controls trace length (≈ scale × 10k branches per
+workload); the default keeps a full `pytest benchmarks/` run around a
+minute of pure Python.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale",
+        type=int,
+        default=1,
+        help="trace scale for experiment benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request):
+    return request.config.getoption("--bench-scale")

@@ -1,0 +1,10 @@
+"""Shim so legacy editable installs work offline (no `wheel` package).
+
+All real metadata lives in pyproject.toml; install with
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

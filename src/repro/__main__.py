@@ -1,0 +1,7 @@
+"""``python -m repro`` dispatches to the toolkit CLI."""
+
+import sys
+
+from .tools import main
+
+sys.exit(main())

@@ -1,0 +1,31 @@
+"""Control-flow analysis: CFG, dominators, natural loops, branch classes."""
+
+from .branches import (
+    BranchClass,
+    BranchInfo,
+    branches_of_class,
+    classify_branches,
+    classify_function_branches,
+)
+from .dominators import DominatorTree
+from .graph import CFG, remove_unreachable_blocks
+from .liveness import LivenessInfo
+from .loops import Loop, LoopForest
+from .paths import Path, PathStep, predecessor_paths
+
+__all__ = [
+    "BranchClass",
+    "BranchInfo",
+    "CFG",
+    "DominatorTree",
+    "LivenessInfo",
+    "Loop",
+    "LoopForest",
+    "Path",
+    "PathStep",
+    "branches_of_class",
+    "classify_branches",
+    "classify_function_branches",
+    "predecessor_paths",
+    "remove_unreachable_blocks",
+]

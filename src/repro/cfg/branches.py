@@ -1,0 +1,83 @@
+"""Branch classification, following Section 5 of the paper.
+
+Every conditional branch is classified relative to the innermost loop
+containing it:
+
+* ``INTRA_LOOP`` — both successors stay inside the loop ("intra loop
+  branches do not leave the loop");
+* ``LOOP_EXIT``  — at least one successor leaves the loop ("loop exit
+  branches ... go from inside the loop to the surrounding code");
+* ``NON_LOOP``   — the branch is not inside any loop; these are the
+  candidates for the *correlated branch* strategy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..ir import BranchSite, Function, Program
+from .graph import CFG
+from .loops import Loop, LoopForest
+
+
+class BranchClass(enum.Enum):
+    """Kind of a conditional branch relative to loop structure."""
+
+    INTRA_LOOP = "intra-loop"
+    LOOP_EXIT = "loop-exit"
+    NON_LOOP = "non-loop"
+
+
+@dataclass
+class BranchInfo:
+    """Classification record for one static branch site."""
+
+    site: BranchSite
+    kind: BranchClass
+    loop: Optional[Loop]
+    #: True when the *taken* edge is the one leaving the loop
+    #: (meaningful for LOOP_EXIT branches only).
+    taken_exits: bool = False
+    not_taken_exits: bool = False
+
+
+def classify_function_branches(function: Function) -> Dict[BranchSite, BranchInfo]:
+    """Classify every conditional branch in *function*."""
+    cfg = CFG.from_function(function)
+    forest = LoopForest(cfg)
+    reachable = cfg.reachable()
+    result: Dict[BranchSite, BranchInfo] = {}
+    for block in function:
+        branch = block.branch
+        if branch is None or block.label not in reachable:
+            continue
+        site = BranchSite(function.name, block.label)
+        loop = forest.loop_of(block.label)
+        if loop is None:
+            result[site] = BranchInfo(site, BranchClass.NON_LOOP, None)
+            continue
+        taken_exits = branch.taken not in loop.body
+        not_taken_exits = branch.not_taken not in loop.body
+        if taken_exits or not_taken_exits:
+            kind = BranchClass.LOOP_EXIT
+        else:
+            kind = BranchClass.INTRA_LOOP
+        result[site] = BranchInfo(site, kind, loop, taken_exits, not_taken_exits)
+    return result
+
+
+def classify_branches(program: Program) -> Dict[BranchSite, BranchInfo]:
+    """Classify every conditional branch in *program*."""
+    result: Dict[BranchSite, BranchInfo] = {}
+    for function in program:
+        result.update(classify_function_branches(function))
+    return result
+
+
+def branches_of_class(
+    infos: Dict[BranchSite, BranchInfo], kind: BranchClass
+) -> List[BranchSite]:
+    """Sites with classification *kind*, in stable order."""
+    return [site for site, info in infos.items() if info.kind is kind]

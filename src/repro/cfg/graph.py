@@ -1,0 +1,104 @@
+"""Control-flow graphs over IR functions.
+
+A :class:`CFG` is a snapshot of a function's block-level flow: successor
+and predecessor maps plus the traversal orders the dominator and loop
+analyses need.  Transforms that edit the function must rebuild the CFG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..ir import Function
+
+
+class CFG:
+    """Successor/predecessor maps for one function."""
+
+    def __init__(
+        self,
+        entry: str,
+        succs: Dict[str, Tuple[str, ...]],
+    ) -> None:
+        self.entry = entry
+        self.succs = succs
+        self.preds: Dict[str, List[str]] = {label: [] for label in succs}
+        for label, targets in succs.items():
+            for target in targets:
+                self.preds[target].append(label)
+
+    @classmethod
+    def from_function(cls, function: Function) -> "CFG":
+        """Build the CFG of *function* (all blocks, reachable or not)."""
+        succs = {block.label: block.successors() for block in function}
+        return cls(function.entry, succs)
+
+    def nodes(self) -> Iterable[str]:
+        return self.succs.keys()
+
+    def __len__(self) -> int:
+        return len(self.succs)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.succs
+
+    def reachable(self) -> Set[str]:
+        """Labels reachable from the entry."""
+        seen: Set[str] = set()
+        stack = [self.entry]
+        while stack:
+            label = stack.pop()
+            if label in seen:
+                continue
+            seen.add(label)
+            stack.extend(self.succs[label])
+        return seen
+
+    def postorder(self) -> List[str]:
+        """Postorder over reachable nodes (iterative DFS)."""
+        order: List[str] = []
+        seen: Set[str] = set()
+        # Stack of (label, iterator over successors).
+        stack: List[Tuple[str, int]] = [(self.entry, 0)]
+        seen.add(self.entry)
+        while stack:
+            label, index = stack[-1]
+            targets = self.succs[label]
+            if index < len(targets):
+                stack[-1] = (label, index + 1)
+                target = targets[index]
+                if target not in seen:
+                    seen.add(target)
+                    stack.append((target, 0))
+            else:
+                stack.pop()
+                order.append(label)
+        return order
+
+    def reverse_postorder(self) -> List[str]:
+        """Reverse postorder — the order forward dataflow analyses want."""
+        order = self.postorder()
+        order.reverse()
+        return order
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """All edges as (source, target) pairs."""
+        return [
+            (label, target)
+            for label, targets in self.succs.items()
+            for target in targets
+        ]
+
+
+def remove_unreachable_blocks(function: Function) -> List[str]:
+    """Delete blocks not reachable from the entry; returns removed labels.
+
+    This is the paper's "since there is no path to them they have been
+    discarded" step after replication (Figure 1: blocks 2b and 3a).
+    """
+    cfg = CFG.from_function(function)
+    live = cfg.reachable()
+    dead = [label for label in function.blocks if label not in live]
+    for label in dead:
+        function.remove_block(label)
+    return dead

@@ -1,0 +1,55 @@
+"""Live-variable analysis (backward dataflow at block granularity).
+
+Speculative code motion needs to know whether hoisting an instruction
+above a branch could clobber a register the off-trace path still
+reads; ``live_in`` at a block answers exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir import Function, Instr
+from .graph import CFG
+
+
+class LivenessInfo:
+    """Per-block live-in / live-out register sets for one function."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        cfg = CFG.from_function(function)
+        use: Dict[str, Set[str]] = {}
+        define: Dict[str, Set[str]] = {}
+        for block in function:
+            used: Set[str] = set()
+            defined: Set[str] = set()
+            instrs: List[Instr] = list(block.instrs)
+            if block.terminator is not None:
+                instrs.append(block.terminator)
+            for instr in instrs:
+                for reg in instr.uses():
+                    if reg not in defined:
+                        used.add(reg)
+                defined.update(instr.defs())
+            use[block.label] = used
+            define[block.label] = defined
+
+        self.live_in: Dict[str, Set[str]] = {label: set() for label in function.blocks}
+        self.live_out: Dict[str, Set[str]] = {label: set() for label in function.blocks}
+        changed = True
+        while changed:
+            changed = False
+            for label in function.blocks:
+                out: Set[str] = set()
+                for succ in cfg.succs[label]:
+                    out |= self.live_in[succ]
+                new_in = use[label] | (out - define[label])
+                if out != self.live_out[label] or new_in != self.live_in[label]:
+                    self.live_out[label] = out
+                    self.live_in[label] = new_in
+                    changed = True
+
+    def live_into(self, label: str) -> Set[str]:
+        """Registers read before being written on some path from *label*."""
+        return self.live_in[label]

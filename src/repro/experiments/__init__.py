@@ -1,0 +1,42 @@
+"""Experiment harness: one module per table/figure of the paper."""
+
+from . import (
+    ablation,
+    alignment,
+    costfn,
+    crossdata,
+    figures,
+    instper,
+    joint,
+    scheduling,
+    statics,
+    tracelen,
+    twolevel_zoo,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from .report import Table, pct
+
+__all__ = [
+    "Table",
+    "ablation",
+    "alignment",
+    "costfn",
+    "crossdata",
+    "figures",
+    "instper",
+    "joint",
+    "scheduling",
+    "statics",
+    "tracelen",
+    "twolevel_zoo",
+    "pct",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+]

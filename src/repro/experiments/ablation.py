@@ -1,0 +1,114 @@
+"""Ablations of design choices called out in DESIGN.md.
+
+* **search**: exhaustive suffix-trie search vs greedy leaf splitting
+  for intra-loop machines — does the exhaustive search actually find
+  better machines?
+* **pruning**: how much of the replicated code the unreachable-copy
+  removal (Figure 1's discarded blocks) eliminates, measured on real
+  transforms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cfg import BranchClass, classify_branches
+from ..replication import ReplicationPlanner, apply_replication
+from ..statemachines import best_intra_machine, greedy_intra_machine
+from ..workloads import BENCHMARK_NAMES, get_profile, get_program
+from .report import Table, pct
+
+
+def run_search(
+    scale: int = 1, names: Optional[List[str]] = None, n_states: int = 4
+) -> Table:
+    """Exhaustive vs greedy intra-loop machine search."""
+    names = names or BENCHMARK_NAMES
+    table = Table(
+        f"Ablation: intra-loop machine search at {n_states} states "
+        "(misprediction %)",
+        list(names),
+    )
+    exhaustive_row, greedy_row = [], []
+    for name in names:
+        profile = get_profile(name, scale)
+        infos = classify_branches(get_program(name))
+        total = exhaustive_correct = greedy_correct = 0
+        for site in profile.totals:
+            info = infos.get(site)
+            if info is None or info.kind is not BranchClass.INTRA_LOOP:
+                continue
+            table_local = profile.local[site]
+            exhaustive = best_intra_machine(table_local, n_states)
+            greedy = greedy_intra_machine(table_local, n_states)
+            total += exhaustive.total
+            exhaustive_correct += exhaustive.correct
+            greedy_correct += greedy.correct
+        exhaustive_row.append(
+            (total - exhaustive_correct) / total if total else 0.0
+        )
+        greedy_row.append((total - greedy_correct) / total if total else 0.0)
+    table.add_row("exhaustive", exhaustive_row, [pct(v) for v in exhaustive_row])
+    table.add_row("greedy split", greedy_row, [pct(v) for v in greedy_row])
+    return table
+
+
+def run_pruning(
+    scale: int = 1, names: Optional[List[str]] = None, max_states: int = 4
+) -> Table:
+    """Effect of unreachable-copy pruning on replicated program size.
+
+    Applies the best loop machine of each benchmark's most-executed
+    improvable loop branch and reports the size with pruning against
+    the unpruned upper bound (all state copies kept).
+    """
+    names = names or BENCHMARK_NAMES
+    table = Table(
+        "Ablation: unreachable-copy pruning after loop replication",
+        list(names),
+    )
+    base_row, unpruned_row, pruned_row, saved_row = [], [], [], []
+    for name in names:
+        program = get_program(name)
+        profile = get_profile(name, scale)
+        planner = ReplicationPlanner(program, profile, max_states)
+        candidates = [
+            plan
+            for plan in planner.improvable_plans()
+            if plan.loop_key is not None
+            and plan.best_option(max_states) is not None
+            and plan.best_option(max_states).family == "loop"
+        ]
+        base = program.size()
+        base_row.append(base)
+        if not candidates:
+            unpruned_row.append(base)
+            pruned_row.append(base)
+            saved_row.append(0)
+            continue
+        plan = max(candidates, key=lambda p: p.executions)
+        option = plan.best_option(max_states)
+        report = apply_replication(program, [(plan.site, option.scored.machine)])
+        removed_blocks = report.loop_results[0].removed
+        # Unpruned size = pruned size + the blocks discarded.
+        original_function = program.function(plan.site.function)
+        pruned = report.size_after
+        unpruned = pruned + _removed_size(original_function, removed_blocks)
+        unpruned_row.append(unpruned)
+        pruned_row.append(pruned)
+        saved_row.append(unpruned - pruned)
+    table.add_row("base size", base_row)
+    table.add_row("unpruned size", unpruned_row)
+    table.add_row("pruned size", pruned_row)
+    table.add_row("instructions saved", saved_row)
+    return table
+
+
+def _removed_size(original_function, removed_labels: List[str]) -> int:
+    """Size of removed copies, measured via their originals."""
+    total = 0
+    for label in removed_labels:
+        base = label.split("@", 1)[0]
+        if base in original_function.blocks:
+            total += original_function.block(base).size()
+    return total

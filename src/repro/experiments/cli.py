@@ -1,0 +1,101 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    python -m repro.experiments table1 [--scale N] [--names a,b,...]
+    python -m repro.experiments figures [--csv-dir results/]
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import (
+    ablation,
+    alignment,
+    costfn,
+    crossdata,
+    figures,
+    instper,
+    joint,
+    scheduling,
+    statics,
+    tracelen,
+    twolevel_zoo,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+SIMPLE = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "crossdata": crossdata.run,
+    "ablation-search": ablation.run_search,
+    "ablation-pruning": ablation.run_pruning,
+    "alignment": alignment.run,
+    "joint": joint.run,
+    "instper": instper.run,
+    "statics": statics.run,
+    "scheduling": scheduling.run,
+    "tracelen": tracelen.run,
+    "twolevel-zoo": twolevel_zoo.run,
+    "costfn": lambda scale=1, names=None: costfn.run(scale=scale, names=names),
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(SIMPLE) + ["figures", "all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=1,
+        help="trace scale (≈ scale × 10k branches per benchmark)",
+    )
+    parser.add_argument(
+        "--names",
+        type=str,
+        default=None,
+        help="comma-separated benchmark subset",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        type=str,
+        default=None,
+        help="write figure curves as CSV files into this directory",
+    )
+    args = parser.parse_args(argv)
+    names = args.names.split(",") if args.names else None
+
+    targets = (
+        sorted(SIMPLE) + ["figures"] if args.experiment == "all" else [args.experiment]
+    )
+    for target in targets:
+        if target == "figures":
+            for table in figures.run(args.scale, names, csv_dir=args.csv_dir).values():
+                print(table.render())
+                print()
+        else:
+            print(SIMPLE[target](args.scale, names).render())
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

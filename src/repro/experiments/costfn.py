@@ -1,0 +1,72 @@
+"""Cost-function sweep: where does more replication stop paying?
+
+Realises increasing prefixes of a benchmark's trade-off curve and
+measures, on the real transformed program, estimated cycles under the
+combined model (instructions + misprediction penalty + i-cache miss
+penalty).  With a small instruction cache, aggressive replication
+eventually loses more to misses than it gains from prediction — the
+paper's closing argument for a cost function.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..icache import CacheConfig, CostModel, evaluate_cost
+from ..replication import ReplicationPlanner, apply_replication, tradeoff_curve
+from ..workloads import get_profile, get_program, get_workload
+from .report import Table
+
+
+def run(
+    name: str = "ghostview",
+    scale: int = 1,
+    names: Optional[List[str]] = None,  # accepted for CLI uniformity
+    max_states: int = 6,
+    cache: CacheConfig = CacheConfig(lines=16, line_words=4),
+    model: CostModel = CostModel(),
+) -> Table:
+    if names:
+        name = names[0]
+    program = get_program(name)
+    workload = get_workload(name)
+    args, input_values = workload.default_args(scale)
+    profile = get_profile(name, scale)
+    planner = ReplicationPlanner(program, profile, max_states)
+    points = tradeoff_curve(planner)
+
+    table = Table(
+        f"Cost function sweep on {name} (cache {cache.lines}x"
+        f"{cache.line_words} words, miss {model.miss_penalty} cyc, "
+        f"mispredict {model.misprediction_penalty} cyc)",
+        ["size factor", "mispredict %", "icache miss %", "est. cycles", "CPI"],
+    )
+    chosen = {}
+    for index, point in enumerate(points):
+        if point.step is not None:
+            site, n_states = point.step
+            plan = planner.plans[site]
+            option = next(o for o in plan.options if o.n_states == n_states)
+            chosen[site] = option.scored.machine
+        report = apply_replication(program, list(chosen.items()), profile)
+        cost = evaluate_cost(
+            report.program, args, input_values, cache, model
+        )
+        table.add_row(
+            f"step {index}",
+            [
+                report.size_factor,
+                cost.misprediction_rate,
+                cost.cache.miss_rate,
+                cost.cycles,
+                cost.cycles_per_instruction,
+            ],
+            [
+                f"{report.size_factor:.3f}",
+                f"{100 * cost.misprediction_rate:.2f}",
+                f"{100 * cost.cache.miss_rate:.2f}",
+                str(cost.cycles),
+                f"{cost.cycles_per_instruction:.3f}",
+            ],
+        )
+    return table

@@ -1,0 +1,87 @@
+"""Cross-dataset sensitivity (the paper's "Further Work", after
+Fisher & Freudenberger [FF92]).
+
+Semi-static prediction is trained on one run and deployed on another.
+This experiment trains on the reference seed and evaluates on a run
+with a different seed, for both plain profile prediction and the
+loop–correlation strategy.  The paper conjectures that "code replicated
+programs are more sensitive to different data sets than the original
+program" — the ratio rows let us check that.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..predictors import LoopCorrelationPredictor, ProfilePredictor, evaluate
+from ..replication import ReplicationPlanner, apply_replication, measure_annotated
+from ..workloads import BENCHMARK_NAMES, get_profile, get_program, get_trace, get_workload
+from .report import Table, pct
+
+
+def run(
+    scale: int = 1,
+    names: Optional[List[str]] = None,
+    seed_offset: int = 1_000_003,
+) -> Table:
+    names = names or BENCHMARK_NAMES
+    table = Table(
+        "Cross-dataset experiment: trained on run A, evaluated on run B "
+        "(misprediction % / ratio to same-data)",
+        list(names),
+    )
+    rows = {
+        "profile (same data)": [],
+        "profile (cross data)": [],
+        "loop-corr (same data)": [],
+        "loop-corr (cross data)": [],
+        "replicated (same data)": [],
+        "replicated (cross data)": [],
+    }
+    for name in names:
+        train_profile = get_profile(name, scale)
+        same = get_trace(name, scale)
+        other = get_trace(name, scale, seed_offset)
+        rows["profile (same data)"].append(
+            evaluate(ProfilePredictor(train_profile), same).misprediction_rate
+        )
+        rows["profile (cross data)"].append(
+            evaluate(ProfilePredictor(train_profile), other).misprediction_rate
+        )
+        rows["loop-corr (same data)"].append(
+            evaluate(LoopCorrelationPredictor(train_profile), same).misprediction_rate
+        )
+        rows["loop-corr (cross data)"].append(
+            evaluate(LoopCorrelationPredictor(train_profile), other).misprediction_rate
+        )
+        # End to end: the REPLICATED program, trained on run A, measured
+        # on run A's and run B's inputs — the paper's actual conjecture.
+        program = get_program(name)
+        workload = get_workload(name)
+        args_same, input_values = workload.default_args(scale)
+        args_other = tuple(args_same[:-1]) + (args_same[-1] + seed_offset,)
+        planner = ReplicationPlanner(program, train_profile, max_states=4)
+        selections = [
+            (plan.site, plan.best_option(4).scored.machine)
+            for plan in planner.improvable_plans()
+        ]
+        replicated = apply_replication(program, selections, train_profile).program
+        rows["replicated (same data)"].append(
+            measure_annotated(replicated, args_same, input_values).misprediction_rate
+        )
+        rows["replicated (cross data)"].append(
+            measure_annotated(replicated, args_other, input_values).misprediction_rate
+        )
+    for label, values in rows.items():
+        table.add_row(label, values, [pct(v) for v in values])
+    # Degradation ratios (cross / same); > 1 means sensitivity to data.
+    for strategy in ("profile", "loop-corr", "replicated"):
+        same = table.data[f"{strategy} (same data)"]
+        cross = table.data[f"{strategy} (cross data)"]
+        ratios = [c / s if s else float("inf") for s, c in zip(same, cross)]
+        table.add_row(
+            f"{strategy} degradation",
+            ratios,
+            [f"{r:.2f}x" if r != float("inf") else "inf" for r in ratios],
+        )
+    return table

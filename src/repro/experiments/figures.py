@@ -1,0 +1,84 @@
+"""Figures 6-13: misprediction rate versus code size, per benchmark.
+
+Each figure is the greedy state-addition walk of
+:func:`repro.replication.tradeoff.tradeoff_curve`: starting from profile
+prediction, states are added "in such an order that the state that
+predicted the largest number of branches and that increased the code
+size by the smallest amount was chosen first".
+
+The curves are emitted as text tables (and optionally CSV) — size
+factor on the x axis, misprediction percentage on the y axis, exactly
+the series the paper plots.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from ..replication import TradeoffPoint, tradeoff_curve
+from .report import Table, pct
+from .table5 import make_planner
+
+#: Figure numbers in the paper, per benchmark.
+FIGURE_NUMBERS = {
+    "abalone": 6,
+    "c-compiler": 7,
+    "compress": 8,
+    "ghostview": 9,
+    "predict": 10,
+    "prolog": 11,
+    "scheduler": 12,
+    "doduc": 13,
+}
+
+
+def curve_for(
+    name: str,
+    scale: int = 1,
+    max_states: int = 10,
+    max_size_factor: Optional[float] = None,
+) -> List[TradeoffPoint]:
+    """The raw trade-off curve of one benchmark."""
+    planner = make_planner(name, scale, max_states)
+    return tradeoff_curve(planner, max_size_factor)
+
+
+def run(
+    scale: int = 1,
+    names: Optional[List[str]] = None,
+    max_states: int = 10,
+    csv_dir: Optional[str] = None,
+) -> Dict[str, Table]:
+    """Build all figures; returns one table per benchmark."""
+    names = names or list(FIGURE_NUMBERS)
+    tables: Dict[str, Table] = {}
+    for name in names:
+        points = curve_for(name, scale, max_states)
+        figure = FIGURE_NUMBERS.get(name, "?")
+        table = Table(
+            f"Figure {figure}: {name} — misprediction rate vs code size",
+            ["size factor", "misprediction %", "upgrade"],
+        )
+        for index, point in enumerate(points):
+            step = "-" if point.step is None else f"{point.step[0]}+{point.step[1]}"
+            table.add_row(
+                f"step {index}",
+                [point.size_factor, point.misprediction_rate, step],
+                [
+                    f"{point.size_factor:.3f}",
+                    pct(point.misprediction_rate),
+                    step,
+                ],
+            )
+        tables[name] = table
+        if csv_dir is not None:
+            os.makedirs(csv_dir, exist_ok=True)
+            path = os.path.join(csv_dir, f"figure_{figure}_{name}.csv")
+            with open(path, "w") as stream:
+                stream.write("size_factor,misprediction_rate\n")
+                for point in points:
+                    stream.write(
+                        f"{point.size_factor:.6f},{point.misprediction_rate:.6f}\n"
+                    )
+    return tables

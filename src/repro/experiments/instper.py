@@ -1,0 +1,54 @@
+"""Instructions per mispredicted branch (Fisher & Freudenberger's
+measure, Section 2.2).
+
+"Instead of using the misprediction rate as a measure, they gave the
+average number of executed instructions per mispredicted branch" — a
+metric that weights prediction quality by how much useful work fits
+between two pipeline flushes.  Higher is better.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..predictors import (
+    LoopCorrelationPredictor,
+    ProfilePredictor,
+    SaturatingCounter,
+    evaluate,
+    two_level_4k,
+)
+from ..workloads import BENCHMARK_NAMES, get_profile, get_run_steps, get_trace
+from .report import Table
+
+
+def run(scale: int = 1, names: Optional[List[str]] = None) -> Table:
+    names = names or BENCHMARK_NAMES
+    table = Table(
+        "Instructions per mispredicted branch (higher is better)",
+        list(names),
+    )
+    rows = {
+        "2 bit counter": lambda profile: SaturatingCounter(2),
+        "two level 4K bit": lambda profile: two_level_4k(),
+        "profile": ProfilePredictor,
+        "loop-correlation": LoopCorrelationPredictor,
+    }
+    for label, make in rows.items():
+        values: List[float] = []
+        for name in names:
+            trace = get_trace(name, scale)
+            profile = get_profile(name, scale)
+            steps = get_run_steps(name, scale)
+            result = evaluate(make(profile), trace)
+            values.append(
+                steps / result.mispredictions
+                if result.mispredictions
+                else float("inf")
+            )
+        table.add_row(
+            label,
+            values,
+            [f"{v:.0f}" if v != float("inf") else "inf" for v in values],
+        )
+    return table

@@ -1,0 +1,108 @@
+"""Joint-machine experiment (Section 6 "Further Work").
+
+For every loop with at least two member branches, compares
+
+* **independent** machines — each member gets its own best intra-loop /
+  loop-exit machine with up to 3 states; their loop's replication cost
+  multiplies (the paper's code-size problem); against
+* **joint** machines — one shared machine whose state budget equals the
+  product of the independent machines' sizes (capped at 10), realising
+  all members within a single multiplier.
+
+Reported per benchmark: misprediction over loop-member branches and the
+total analytic size factor of the improved loops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cfg import BranchClass, classify_branches
+from ..replication import collect_joint_tables, loop_membership
+from ..statemachines import (
+    best_intra_machine,
+    best_joint_machine,
+    best_loop_exit_machine,
+)
+from ..workloads import BENCHMARK_NAMES, get_profile, get_program, get_trace
+from .report import Table, pct
+
+
+def run(
+    scale: int = 1,
+    names: Optional[List[str]] = None,
+    member_budget: int = 3,
+    joint_cap: int = 10,
+) -> Table:
+    names = names or BENCHMARK_NAMES
+    table = Table(
+        "Joint machines vs independent machines (loops with >= 2 branches)",
+        list(names),
+    )
+    indep_rate, joint_rate = [], []
+    indep_size, joint_size = [], []
+    for name in names:
+        program = get_program(name)
+        trace = get_trace(name, scale)
+        profile = get_profile(name, scale)
+        infos = classify_branches(program)
+        membership = loop_membership(program)
+        joint_tables = collect_joint_tables(trace, membership)
+
+        total = 0
+        indep_correct = joint_correct = 0
+        indep_factor_sum = joint_factor_sum = 0.0
+        loops = 0
+        for key, tables in joint_tables.items():
+            members = [site for site in tables if site in profile.totals]
+            if len(members) < 2:
+                continue
+            loops += 1
+            # Independent: best machine per member from local history.
+            product = 1
+            correct_here = 0
+            for site in members:
+                info = infos.get(site)
+                local = profile.local[site]
+                if info is not None and info.kind is BranchClass.INTRA_LOOP:
+                    scored = best_intra_machine(local, member_budget)
+                else:
+                    exit_on_taken = bool(info and info.taken_exits)
+                    scored = best_loop_exit_machine(
+                        local, member_budget, exit_on_taken
+                    )
+                correct_here += scored.correct
+                if scored.machine.n_states > 1:
+                    product *= scored.machine.n_states
+            indep_correct += correct_here
+            indep_factor_sum += product
+
+            budget = min(max(product, 2), joint_cap)
+            joint = best_joint_machine(tables, budget)
+            joint_correct += joint.correct
+            joint_factor_sum += joint.machine.n_states
+
+            total += sum(tables[site].executions() for site in members)
+
+        if total == 0:
+            indep_rate.append(0.0)
+            joint_rate.append(0.0)
+            indep_size.append(1.0)
+            joint_size.append(1.0)
+            continue
+        indep_rate.append((total - indep_correct) / total)
+        joint_rate.append((total - joint_correct) / total)
+        indep_size.append(indep_factor_sum / max(loops, 1))
+        joint_size.append(joint_factor_sum / max(loops, 1))
+
+    table.add_row("independent mispredict", indep_rate, [pct(v) for v in indep_rate])
+    table.add_row("joint mispredict", joint_rate, [pct(v) for v in joint_rate])
+    table.add_row(
+        "independent loop multiplier",
+        indep_size,
+        [f"{v:.1f}x" for v in indep_size],
+    )
+    table.add_row(
+        "joint loop multiplier", joint_size, [f"{v:.1f}x" for v in joint_size]
+    )
+    return table

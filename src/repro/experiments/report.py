@@ -1,0 +1,66 @@
+"""Text-table rendering for experiment results.
+
+Every experiment returns a :class:`Table`; the CLI prints them in the
+layout of the paper's tables (benchmarks as columns, strategies as
+rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def pct(value: float, digits: int = 2) -> str:
+    """Render a 0..1 fraction as a percentage."""
+    return f"{100 * value:.{digits}f}"
+
+
+@dataclass
+class Table:
+    """A titled grid of cells with row and column labels."""
+
+    title: str
+    columns: List[str]
+    rows: List[str] = field(default_factory=list)
+    cells: Dict[str, List[str]] = field(default_factory=dict)
+    #: raw (unformatted) values for programmatic consumers
+    data: Dict[str, List[Any]] = field(default_factory=dict)
+
+    def add_row(self, label: str, values: Sequence[Any], formatted: Optional[Sequence[str]] = None) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row {label!r} has {len(values)} cells, expected {len(self.columns)}"
+            )
+        self.rows.append(label)
+        self.data[label] = list(values)
+        if formatted is None:
+            formatted = [
+                pct(v) if isinstance(v, float) else str(v) for v in values
+            ]
+        self.cells[label] = list(formatted)
+
+    def render(self) -> str:
+        label_width = max([len(r) for r in self.rows] + [8])
+        col_widths = [
+            max(len(col), *(len(self.cells[row][i]) for row in self.rows))
+            if self.rows
+            else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [self.title]
+        header = " " * label_width + "  " + "  ".join(
+            col.rjust(width) for col, width in zip(self.columns, col_widths)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            cells = "  ".join(
+                cell.rjust(width)
+                for cell, width in zip(self.cells[row], col_widths)
+            )
+            lines.append(f"{row.ljust(label_width)}  {cells}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,63 @@
+"""Static prediction baselines (Section 2.1).
+
+Smith's simple heuristics and the Ball/Larus heuristic suite, evaluated
+on the same traces as Table 1.  The paper's framing: Ball/Larus reach
+about twice the misprediction rate of profile-based prediction; this
+table lets us check that ordering on our workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..predictors import (
+    AlwaysTaken,
+    ProfilePredictor,
+    backward_taken,
+    ball_larus,
+    evaluate,
+    opcode_heuristic,
+)
+from ..workloads import BENCHMARK_NAMES, get_profile, get_program, get_trace
+from .report import Table, pct
+
+
+def run(scale: int = 1, names: Optional[List[str]] = None) -> Table:
+    names = names or BENCHMARK_NAMES
+    table = Table(
+        "Static branch prediction (misprediction %, vs profile)",
+        list(names),
+    )
+    rows = {
+        "always taken": lambda program: AlwaysTaken(),
+        "backward taken": backward_taken,
+        "opcode": opcode_heuristic,
+        "ball-larus": ball_larus,
+    }
+    results = {}
+    for label, make in rows.items():
+        values = []
+        for name in names:
+            program = get_program(name)
+            trace = get_trace(name, scale)
+            values.append(evaluate(make(program), trace).misprediction_rate)
+        results[label] = values
+        table.add_row(label, values, [pct(v) for v in values])
+    profile_values = []
+    for name in names:
+        trace = get_trace(name, scale)
+        profile = get_profile(name, scale)
+        profile_values.append(
+            evaluate(ProfilePredictor(profile), trace).misprediction_rate
+        )
+    table.add_row("profile", profile_values, [pct(v) for v in profile_values])
+    ratios = [
+        b / p if p else float("inf")
+        for b, p in zip(results["ball-larus"], profile_values)
+    ]
+    table.add_row(
+        "ball-larus / profile",
+        ratios,
+        [f"{r:.2f}x" if r != float("inf") else "inf" for r in ratios],
+    )
+    return table

@@ -1,0 +1,74 @@
+"""Table 1: misprediction rates of the baseline strategies.
+
+For every benchmark, evaluates the paper's eight strategies —
+dynamic: last-direction, 2-bit counter, two-level 4K-bit;
+semi-static: profile, 1-bit correlation, 1-bit loop, 9-bit loop,
+loop–correlation — plus the three bookkeeping rows: static branches,
+executed branches and branches improved by loop–correlation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..predictors import (
+    CorrelationPredictor,
+    LastDirection,
+    LoopCorrelationPredictor,
+    LoopPredictor,
+    ProfilePredictor,
+    SaturatingCounter,
+    evaluate,
+    two_level_4k,
+)
+from ..workloads import BENCHMARK_NAMES, get_profile, get_program, get_trace
+from .report import Table, pct
+
+ROWS = (
+    "last direction",
+    "2 bit counter",
+    "two level 4K bit",
+    "profile",
+    "1 bit correlation",
+    "1 bit loop",
+    "9 bit loop",
+    "loop-correlation",
+)
+
+
+def run(scale: int = 1, names: Optional[List[str]] = None) -> Table:
+    """Build Table 1 at the given trace scale."""
+    names = names or BENCHMARK_NAMES
+    table = Table(
+        "Table 1: misprediction rates of different branch prediction "
+        "strategies in percent",
+        list(names),
+    )
+    per_row = {row: [] for row in ROWS}
+    statics, executed, improved = [], [], []
+    for name in names:
+        trace = get_trace(name, scale)
+        profile = get_profile(name, scale)
+        loop_corr = LoopCorrelationPredictor(profile)
+        predictors = {
+            "last direction": LastDirection(),
+            "2 bit counter": SaturatingCounter(2),
+            "two level 4K bit": two_level_4k(),
+            "profile": ProfilePredictor(profile),
+            "1 bit correlation": CorrelationPredictor(profile, 1),
+            "1 bit loop": LoopPredictor(profile, 1),
+            "9 bit loop": LoopPredictor(profile, 9),
+            "loop-correlation": loop_corr,
+        }
+        for row in ROWS:
+            result = evaluate(predictors[row], trace)
+            per_row[row].append(result.misprediction_rate)
+        statics.append(len(get_program(name).branch_sites()))
+        executed.append(len(profile.totals))
+        improved.append(len(loop_corr.improved_sites(profile)))
+    for row in ROWS:
+        table.add_row(row, per_row[row], [pct(v) for v in per_row[row]])
+    table.add_row("static branches", statics)
+    table.add_row("executed branches", executed)
+    table.add_row("improved branches", improved)
+    return table

@@ -1,0 +1,25 @@
+"""Table 2: fill rate of the per-branch local history pattern tables.
+
+"Only between 0.1 and 2 percent of the 9 bit pattern table entries of
+the executed branches are used" — the sparsity that makes compacting
+the tables into small state machines possible at all.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..workloads import BENCHMARK_NAMES, get_profile
+from .report import Table, pct
+
+
+def run(scale: int = 1, names: Optional[List[str]] = None, max_bits: int = 9) -> Table:
+    names = names or BENCHMARK_NAMES
+    table = Table(
+        "Table 2: fill rate of the history tables in percent", list(names)
+    )
+    profiles = {name: get_profile(name, scale) for name in names}
+    for bits in range(1, max_bits + 1):
+        values = [profiles[name].fill_rate(bits) for name in names]
+        table.add_row(f"{bits} bit history", values, [pct(v) for v in values])
+    return table

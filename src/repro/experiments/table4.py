@@ -1,0 +1,65 @@
+"""Table 4: misprediction rates of correlated branches.
+
+Non-loop branches predicted from paths of preceding (global) branch
+outcomes: the full k-bit global history versus the n-state path
+machines with path length bounded by the machine size ("we used a
+maximum path length of n for an n state machine to keep the size of
+the replicated code small").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cfg import classify_branches
+from ..statemachines import correlated_machine_options
+from ..workloads import BENCHMARK_NAMES, get_profile, get_program
+from .report import Table, pct
+
+
+def run(
+    scale: int = 1,
+    names: Optional[List[str]] = None,
+    max_states: int = 8,
+) -> Table:
+    names = names or BENCHMARK_NAMES
+    table = Table(
+        "Table 4: misprediction rates of correlated branches in percent",
+        list(names),
+    )
+    contexts = {}
+    for name in names:
+        profile = get_profile(name, scale)
+        infos = classify_branches(get_program(name))
+        # Following Section 5, the correlated strategy is computed for
+        # every branch ("for all branches all predecessors ... are
+        # collected"), so this table scores the whole population.
+        sites = [site for site in profile.totals if site in infos]
+        options = {
+            site: correlated_machine_options(
+                profile.global_tables[site], max_states
+            )
+            for site in sites
+        }
+        contexts[name] = (profile, sites, options)
+
+    profile_row = []
+    for name in names:
+        profile, sites, _ = contexts[name]
+        total = sum(profile.executions(site) for site in sites)
+        correct = sum(max(profile.totals[site]) for site in sites)
+        profile_row.append((total - correct) / total if total else 0.0)
+    table.add_row("profile", profile_row, [pct(v) for v in profile_row])
+
+    for n_states in range(2, max_states + 1):
+        row = []
+        for name in names:
+            profile, sites, options = contexts[name]
+            total = correct = 0
+            for site in sites:
+                scored = options[site][n_states - 1]
+                total += scored.total
+                correct += max(scored.correct, max(profile.totals[site]))
+            row.append((total - correct) / total if total else 0.0)
+        table.add_row(f"{n_states} states", row, [pct(v) for v in row])
+    return table

@@ -1,0 +1,46 @@
+"""Table 5: best achievable misprediction rates, ignoring code size.
+
+Every branch gets the best strategy available to it — intra-loop,
+loop-exit or correlated state machine, or plain profile — with the
+state count bounded per row.  This is the ceiling the trade-off curves
+(Figures 6-13) approach as code growth is allowed to increase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..replication import ReplicationPlanner
+from ..workloads import BENCHMARK_NAMES, get_profile, get_program
+from .report import Table, pct
+
+
+def make_planner(name: str, scale: int = 1, max_states: int = 10) -> ReplicationPlanner:
+    """Planner for one benchmark (exposed for the figures module)."""
+    return ReplicationPlanner(get_program(name), get_profile(name, scale), max_states)
+
+
+def run(
+    scale: int = 1,
+    names: Optional[List[str]] = None,
+    max_states: int = 10,
+) -> Table:
+    names = names or BENCHMARK_NAMES
+    table = Table(
+        "Table 5: best achievable misprediction rates in percent", list(names)
+    )
+    planners: Dict[str, ReplicationPlanner] = {
+        name: make_planner(name, scale, max_states) for name in names
+    }
+    profile_row = [
+        planners[name].profile_mispredictions()
+        / max(planners[name].total_executions(), 1)
+        for name in names
+    ]
+    table.add_row("profile", profile_row, [pct(v) for v in profile_row])
+    for n_states in range(2, max_states + 1):
+        row = [
+            planners[name].best_misprediction_rate(n_states) for name in names
+        ]
+        table.add_row(f"{n_states} states", row, [pct(v) for v in row])
+    return table

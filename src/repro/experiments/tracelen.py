@@ -1,0 +1,41 @@
+"""Training-length sensitivity: how much profiling is enough?
+
+Semi-static prediction is trained offline; this sweep trains the
+loop–correlation strategy on growing prefixes of the trace and
+evaluates on the full trace, showing how quickly the pattern tables
+converge.  The punchline backs the paper's methodology: a few thousand
+events per branch already capture the structure that replication
+exploits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..predictors import LoopCorrelationPredictor, evaluate
+from ..profiling import ProfileData
+from ..workloads import BENCHMARK_NAMES, get_trace
+from .report import Table, pct
+
+FRACTIONS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0)
+
+
+def run(scale: int = 1, names: Optional[List[str]] = None) -> Table:
+    names = names or BENCHMARK_NAMES
+    table = Table(
+        "Training-length sensitivity: loop-correlation misprediction (%) "
+        "on the full trace, trained on a prefix",
+        list(names),
+    )
+    for fraction in FRACTIONS:
+        values: List[float] = []
+        for name in names:
+            trace = get_trace(name, scale)
+            prefix = trace.truncated(max(1, int(len(trace) * fraction)))
+            profile = ProfileData.from_trace(prefix)
+            result = evaluate(LoopCorrelationPredictor(profile), trace)
+            values.append(result.misprediction_rate)
+        table.add_row(
+            f"{int(100 * fraction)}% prefix", values, [pct(v) for v in values]
+        )
+    return table

@@ -1,0 +1,48 @@
+"""The nine Yeh/Patt two-level variants ([YN93], Section 2.3).
+
+"Later Yeh and Patt studied all nine combinations of one global history
+register, a history register for a set of branches and a history
+register for each branch with one global pattern table, a pattern table
+for a set of branches or a pattern table for each branch."
+
+This table evaluates all nine on our traces, plus the per-variant
+hardware cost estimate — the backdrop against which the paper's
+semi-static strategies compete.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..predictors import all_yeh_patt_variants, evaluate
+from ..workloads import BENCHMARK_NAMES, get_trace
+from .report import Table, pct
+
+VARIANT_ORDER = ("GAg", "GAs", "GAp", "SAg", "SAs", "SAp", "PAg", "PAs", "PAp")
+
+
+def run(
+    scale: int = 1,
+    names: Optional[List[str]] = None,
+    history_bits: int = 6,
+) -> Table:
+    names = names or BENCHMARK_NAMES
+    table = Table(
+        f"Two-level adaptive variants [YN93] at {history_bits} history bits "
+        "(misprediction %)",
+        list(names) + ["cost bits"],
+    )
+    variants = all_yeh_patt_variants(history_bits)
+    for name_key in VARIANT_ORDER:
+        predictor = variants[name_key]
+        values: List[float] = []
+        for name in names:
+            trace = get_trace(name, scale)
+            values.append(evaluate(predictor, trace).misprediction_rate)
+        cost = predictor.config.cost_bits()
+        table.add_row(
+            name_key,
+            values + [cost],
+            [pct(v) for v in values] + [str(cost)],
+        )
+    return table

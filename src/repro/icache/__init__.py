@@ -1,0 +1,21 @@
+"""Instruction-cache model and the replication cost function."""
+
+from .cost import CostModel, CostReport, evaluate_cost
+from .sim import (
+    CacheConfig,
+    CacheResult,
+    InstructionCache,
+    assign_addresses,
+    simulate_icache,
+)
+
+__all__ = [
+    "CacheConfig",
+    "CacheResult",
+    "CostModel",
+    "CostReport",
+    "InstructionCache",
+    "assign_addresses",
+    "evaluate_cost",
+    "simulate_icache",
+]

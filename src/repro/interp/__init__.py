@@ -1,0 +1,5 @@
+"""Execution engine for the IR (interpreter + branch event stream)."""
+
+from .machine import FuelExhausted, Machine, RunResult, TrapError, run_program
+
+__all__ = ["FuelExhausted", "Machine", "RunResult", "TrapError", "run_program"]

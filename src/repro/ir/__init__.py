@@ -1,0 +1,81 @@
+"""A small assembly-level intermediate representation.
+
+This package provides the substrate every other part of the
+reproduction consumes: programs made of functions, basic blocks and
+compare-and-branch terminators, plus a builder, a textual parser and
+printer, and a structural validator.
+"""
+
+from .blocks import BasicBlock, BranchSite, Function, Program
+from .builder import FunctionBuilder, ProgramBuilder
+from .instructions import (
+    Alloc,
+    BinOp,
+    BINOPS,
+    Branch,
+    Call,
+    Cmp,
+    CMP_NEGATE,
+    CMPOPS,
+    Const,
+    In,
+    Instr,
+    IRError,
+    Jump,
+    Load,
+    Move,
+    Operand,
+    Out,
+    Return,
+    Store,
+    Terminator,
+    UnOp,
+    UNOPS,
+    is_reg,
+    retarget,
+)
+from .parser import ParseError, parse_function, parse_program
+from .printer import format_block, format_function, format_instr, format_program
+from .validate import ValidationError, validate_program
+
+__all__ = [
+    "Alloc",
+    "BasicBlock",
+    "BinOp",
+    "BINOPS",
+    "Branch",
+    "BranchSite",
+    "Call",
+    "Cmp",
+    "CMP_NEGATE",
+    "CMPOPS",
+    "Const",
+    "Function",
+    "FunctionBuilder",
+    "In",
+    "Instr",
+    "IRError",
+    "Jump",
+    "Load",
+    "Move",
+    "Operand",
+    "Out",
+    "ParseError",
+    "Program",
+    "ProgramBuilder",
+    "Return",
+    "Store",
+    "Terminator",
+    "UnOp",
+    "UNOPS",
+    "ValidationError",
+    "format_block",
+    "format_function",
+    "format_instr",
+    "format_program",
+    "is_reg",
+    "parse_function",
+    "parse_program",
+    "retarget",
+    "validate_program",
+]

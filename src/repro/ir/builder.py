@@ -1,0 +1,230 @@
+"""Imperative construction API for IR programs.
+
+:class:`FunctionBuilder` appends instructions to a *current block* and
+starts new blocks with :meth:`~FunctionBuilder.label`; every emitting
+method returns the destination register so expressions compose:
+
+    >>> fb = FunctionBuilder("main")
+    >>> i = fb.const(0)
+    >>> fb.label("loop")                                # doctest: +SKIP
+    >>> total = fb.add(i, 1)                            # doctest: +SKIP
+
+Blocks left without an explicit terminator fall through to the next
+:meth:`label` via an implicit jump.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .blocks import BasicBlock, Function, Program
+from .instructions import (
+    Alloc,
+    BinOp,
+    Branch,
+    Call,
+    Cmp,
+    Const,
+    In,
+    Instr,
+    IRError,
+    Jump,
+    Load,
+    Move,
+    Operand,
+    Out,
+    Return,
+    Store,
+    Terminator,
+    UnOp,
+)
+
+
+class FunctionBuilder:
+    """Builds one :class:`~repro.ir.blocks.Function` imperatively."""
+
+    def __init__(self, name: str, params: Optional[Sequence[str]] = None) -> None:
+        self.function = Function(name, params)
+        self._reg_counter = 0
+        self._current: Optional[BasicBlock] = None
+        self.label("entry")
+
+    # -- block management ---------------------------------------------------
+
+    def label(self, name: str) -> str:
+        """Start a new block named *name*; the previous block falls through."""
+        if self._current is not None and self._current.terminator is None:
+            self._current.terminator = Jump(name)
+        block = BasicBlock(name)
+        self.function.add_block(block)
+        self._current = block
+        return name
+
+    @property
+    def current(self) -> BasicBlock:
+        if self._current is None:
+            raise IRError("no current block (function already finished?)")
+        return self._current
+
+    def reg(self, hint: str = "t") -> str:
+        """Allocate a fresh virtual register name."""
+        self._reg_counter += 1
+        return f"{hint}{self._reg_counter}"
+
+    def emit(self, instr: Instr) -> Instr:
+        """Append a non-terminator instruction to the current block."""
+        if isinstance(instr, Terminator):
+            raise IRError("use terminate()/jump()/branch() for terminators")
+        if self.current.terminator is not None:
+            raise IRError(f"block {self.current.label!r} already terminated")
+        self.current.instrs.append(instr)
+        return instr
+
+    def terminate(self, term: Terminator) -> None:
+        """Close the current block with *term*."""
+        if self.current.terminator is not None:
+            raise IRError(f"block {self.current.label!r} already terminated")
+        self.current.terminator = term
+
+    # -- straight-line instruction helpers ----------------------------------
+
+    def const(self, value: int, dest: Optional[str] = None) -> str:
+        dest = dest or self.reg()
+        self.emit(Const(dest, value))
+        return dest
+
+    def move(self, src: Operand, dest: Optional[str] = None) -> str:
+        dest = dest or self.reg()
+        self.emit(Move(dest, src))
+        return dest
+
+    def binop(self, op: str, lhs: Operand, rhs: Operand, dest: Optional[str] = None) -> str:
+        dest = dest or self.reg()
+        self.emit(BinOp(dest, op, lhs, rhs))
+        return dest
+
+    def add(self, lhs: Operand, rhs: Operand, dest: Optional[str] = None) -> str:
+        return self.binop("add", lhs, rhs, dest)
+
+    def sub(self, lhs: Operand, rhs: Operand, dest: Optional[str] = None) -> str:
+        return self.binop("sub", lhs, rhs, dest)
+
+    def mul(self, lhs: Operand, rhs: Operand, dest: Optional[str] = None) -> str:
+        return self.binop("mul", lhs, rhs, dest)
+
+    def div(self, lhs: Operand, rhs: Operand, dest: Optional[str] = None) -> str:
+        return self.binop("div", lhs, rhs, dest)
+
+    def mod(self, lhs: Operand, rhs: Operand, dest: Optional[str] = None) -> str:
+        return self.binop("mod", lhs, rhs, dest)
+
+    def band(self, lhs: Operand, rhs: Operand, dest: Optional[str] = None) -> str:
+        return self.binop("and", lhs, rhs, dest)
+
+    def bor(self, lhs: Operand, rhs: Operand, dest: Optional[str] = None) -> str:
+        return self.binop("or", lhs, rhs, dest)
+
+    def bxor(self, lhs: Operand, rhs: Operand, dest: Optional[str] = None) -> str:
+        return self.binop("xor", lhs, rhs, dest)
+
+    def shl(self, lhs: Operand, rhs: Operand, dest: Optional[str] = None) -> str:
+        return self.binop("shl", lhs, rhs, dest)
+
+    def shr(self, lhs: Operand, rhs: Operand, dest: Optional[str] = None) -> str:
+        return self.binop("shr", lhs, rhs, dest)
+
+    def unop(self, op: str, src: Operand, dest: Optional[str] = None) -> str:
+        dest = dest or self.reg()
+        self.emit(UnOp(dest, op, src))
+        return dest
+
+    def cmp(self, op: str, lhs: Operand, rhs: Operand, dest: Optional[str] = None) -> str:
+        dest = dest or self.reg()
+        self.emit(Cmp(dest, op, lhs, rhs))
+        return dest
+
+    def load(self, addr: Operand, offset: int = 0, dest: Optional[str] = None) -> str:
+        dest = dest or self.reg()
+        self.emit(Load(dest, addr, offset))
+        return dest
+
+    def store(self, addr: Operand, value: Operand, offset: int = 0) -> None:
+        self.emit(Store(addr, value, offset))
+
+    def alloc(self, size: Operand, dest: Optional[str] = None) -> str:
+        dest = dest or self.reg()
+        self.emit(Alloc(dest, size))
+        return dest
+
+    def call(
+        self,
+        func: str,
+        args: Iterable[Operand] = (),
+        dest: Optional[str] = None,
+        void: bool = False,
+    ) -> Optional[str]:
+        """Emit a call; returns the destination register (None if *void*)."""
+        if void:
+            self.emit(Call(None, func, tuple(args)))
+            return None
+        dest = dest or self.reg()
+        self.emit(Call(dest, func, tuple(args)))
+        return dest
+
+    def input(self, dest: Optional[str] = None) -> str:
+        dest = dest or self.reg()
+        self.emit(In(dest))
+        return dest
+
+    def output(self, value: Operand) -> None:
+        self.emit(Out(value))
+
+    # -- terminator helpers --------------------------------------------------
+
+    def jump(self, target: str) -> None:
+        self.terminate(Jump(target))
+
+    def branch(
+        self,
+        op: str,
+        lhs: Operand,
+        rhs: Operand,
+        taken: str,
+        not_taken: str,
+        pointer: bool = False,
+    ) -> None:
+        self.terminate(Branch(op, lhs, rhs, taken, not_taken, pointer=pointer))
+
+    def ret(self, value: Optional[Operand] = None) -> None:
+        self.terminate(Return(value))
+
+    # -- finishing ------------------------------------------------------------
+
+    def build(self) -> Function:
+        """Finish construction and return the function.
+
+        A dangling unterminated final block receives ``return``.
+        """
+        if self._current is not None and self._current.terminator is None:
+            self._current.terminator = Return(None)
+        self._current = None
+        return self.function
+
+
+class ProgramBuilder:
+    """Builds a whole :class:`~repro.ir.blocks.Program`."""
+
+    def __init__(self, main: str = "main") -> None:
+        self.program = Program(main)
+        self._builders: List[FunctionBuilder] = []
+
+    def function(self, name: str, params: Optional[Sequence[str]] = None) -> FunctionBuilder:
+        builder = FunctionBuilder(name, params)
+        self._builders.append(builder)
+        return builder
+
+    def build(self) -> Program:
+        for builder in self._builders:
+            self.program.add_function(builder.build())
+        self._builders = []
+        return self.program

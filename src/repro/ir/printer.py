@@ -1,0 +1,130 @@
+"""Textual rendering of IR programs.
+
+The format round-trips through :mod:`repro.ir.parser` and is meant to
+be pleasant to read in tests and examples::
+
+    func main(n) {
+    entry:
+      i = const 0
+      jump loop
+    loop:
+      i = add i, 1
+      br lt i, n ? loop : done
+    done:
+      ret i
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .blocks import BasicBlock, Function, Program
+from .instructions import (
+    Alloc,
+    BinOp,
+    Branch,
+    Call,
+    Cmp,
+    Const,
+    In,
+    Instr,
+    IRError,
+    Jump,
+    Load,
+    Move,
+    Operand,
+    Out,
+    Return,
+    Store,
+    UnOp,
+)
+
+
+def format_operand(operand: Operand) -> str:
+    """Render a register name or immediate literal."""
+    return operand if isinstance(operand, str) else str(operand)
+
+
+def format_instr(instr: Instr) -> str:
+    """Render a single instruction (without indentation)."""
+    if isinstance(instr, Const):
+        return f"{instr.dest} = const {instr.value}"
+    if isinstance(instr, Move):
+        return f"{instr.dest} = move {format_operand(instr.src)}"
+    if isinstance(instr, BinOp):
+        return (
+            f"{instr.dest} = {instr.op} "
+            f"{format_operand(instr.lhs)}, {format_operand(instr.rhs)}"
+        )
+    if isinstance(instr, UnOp):
+        return f"{instr.dest} = {instr.op} {format_operand(instr.src)}"
+    if isinstance(instr, Cmp):
+        return (
+            f"{instr.dest} = cmp {instr.op} "
+            f"{format_operand(instr.lhs)}, {format_operand(instr.rhs)}"
+        )
+    if isinstance(instr, Load):
+        return f"{instr.dest} = load {format_operand(instr.addr)}, {instr.offset}"
+    if isinstance(instr, Store):
+        return (
+            f"store {format_operand(instr.addr)}, "
+            f"{format_operand(instr.value)}, {instr.offset}"
+        )
+    if isinstance(instr, Alloc):
+        return f"{instr.dest} = alloc {format_operand(instr.size)}"
+    if isinstance(instr, Call):
+        args = ", ".join(format_operand(a) for a in instr.args)
+        if instr.dest is None:
+            return f"call {instr.func}({args})"
+        return f"{instr.dest} = call {instr.func}({args})"
+    if isinstance(instr, In):
+        return f"{instr.dest} = in"
+    if isinstance(instr, Out):
+        return f"out {format_operand(instr.value)}"
+    if isinstance(instr, Jump):
+        return f"jump {instr.target}"
+    if isinstance(instr, Branch):
+        mnemonic = "br"
+        if instr.pointer:
+            mnemonic += ".ptr"
+        if instr.predict is not None:
+            # Prediction is part of the syntax so annotated programs
+            # round-trip: .t = predict taken, .n = predict not-taken.
+            mnemonic += ".t" if instr.predict else ".n"
+        return (
+            f"{mnemonic} {instr.op} {format_operand(instr.lhs)}, "
+            f"{format_operand(instr.rhs)} ? {instr.taken} : {instr.not_taken}"
+        )
+    if isinstance(instr, Return):
+        if instr.value is None:
+            return "ret"
+        return f"ret {format_operand(instr.value)}"
+    raise IRError(f"cannot print {instr!r}")
+
+
+def format_block(block: BasicBlock) -> str:
+    lines: List[str] = [f"{block.label}:"]
+    for instr in block.instrs:
+        lines.append(f"  {format_instr(instr)}")
+    if block.terminator is not None:
+        lines.append(f"  {format_instr(block.terminator)}")
+    return "\n".join(lines)
+
+
+def format_function(function: Function) -> str:
+    params = ", ".join(function.params)
+    lines = [f"func {function.name}({params}) {{"]
+    # Entry block first, then the rest in insertion order.
+    ordered = [function.entry_block()]
+    ordered.extend(b for b in function if b.label != function.entry)
+    lines.extend(format_block(block) for block in ordered)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program (entry function first)."""
+    ordered = [program.main_function()]
+    ordered.extend(f for f in program if f.name != program.main)
+    return "\n\n".join(format_function(f) for f in ordered) + "\n"

@@ -1,0 +1,74 @@
+"""Structural validation of IR programs.
+
+``validate_program`` checks the invariants the rest of the system
+relies on; transforms call it after rewriting to catch bugs early:
+
+* every block has a terminator;
+* every branch/jump target names an existing block;
+* every called function exists and is called with the right arity;
+* the entry block exists;
+* every register used is defined somewhere in the function (a cheap
+  over-approximation of def-before-use) or is a parameter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .blocks import Function, Program
+from .instructions import Call, Instr
+
+
+class ValidationError(Exception):
+    """Raised when a program violates an IR invariant."""
+
+
+def _check_function(program: Program, function: Function, errors: List[str]) -> None:
+    where = f"function {function.name!r}"
+    if function.entry is None or function.entry not in function.blocks:
+        errors.append(f"{where}: missing entry block")
+        return
+    defined: Set[str] = set(function.params)
+    for block in function:
+        if block.terminator is None:
+            errors.append(f"{where}: block {block.label!r} has no terminator")
+            continue
+        for instr in list(block.instrs) + [block.terminator]:
+            defined.update(instr.defs())
+        for target in block.terminator.targets():
+            if target not in function.blocks:
+                errors.append(
+                    f"{where}: block {block.label!r} targets unknown "
+                    f"block {target!r}"
+                )
+    for block in function:
+        instrs: List[Instr] = list(block.instrs)
+        if block.terminator is not None:
+            instrs.append(block.terminator)
+        for instr in instrs:
+            for reg in instr.uses():
+                if reg not in defined:
+                    errors.append(
+                        f"{where}: block {block.label!r} uses undefined "
+                        f"register {reg!r}"
+                    )
+            if isinstance(instr, Call):
+                callee = program.functions.get(instr.func)
+                if callee is None:
+                    errors.append(f"{where}: call to unknown function {instr.func!r}")
+                elif len(callee.params) != len(instr.args):
+                    errors.append(
+                        f"{where}: call to {instr.func!r} with "
+                        f"{len(instr.args)} args, expected {len(callee.params)}"
+                    )
+
+
+def validate_program(program: Program) -> None:
+    """Raise :class:`ValidationError` if *program* is malformed."""
+    errors: List[str] = []
+    if program.main not in program.functions:
+        errors.append(f"missing entry function {program.main!r}")
+    for function in program:
+        _check_function(program, function, errors)
+    if errors:
+        raise ValidationError("; ".join(errors))

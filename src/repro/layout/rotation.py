@@ -1,0 +1,92 @@
+"""Loop rotation: move the loop test to the bottom.
+
+Mueller and Whalley's "avoiding unconditional jumps by code
+replication" — the work the paper's correlated-branch replication is
+modelled on — removes the jump that closes every iteration of a
+top-tested loop.  Our builder emits exactly that shape:
+
+    head: br lt i, n ? body : exit     # test at the top
+    body: ...
+          jump head                    # one jump per iteration
+
+Rotation copies the (instruction-free) test block onto every back
+edge:
+
+    head: br lt i, n ? body : exit     # now only a guard, run once
+    body: ...
+          br lt i, n ? body : exit     # bottom test, backward taken
+
+which removes one executed jump per iteration *and* turns the loop
+branch into a backward-taken branch — the shape BTFNT static
+prediction expects.
+
+The transform is only legal when the header consists of nothing but
+the conditional branch (so evaluating it at the bottom reads the same
+register values the header would have read).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from ..cfg import CFG, LoopForest
+from ..ir import Function, Jump, Program
+
+
+def rotatable_loops(function: Function) -> List[str]:
+    """Headers of loops the rotation can legally transform."""
+    cfg = CFG.from_function(function)
+    forest = LoopForest(cfg)
+    result = []
+    for loop in forest:
+        header = function.block(loop.header)
+        branch = header.branch
+        if branch is None or header.instrs:
+            continue
+        # One arm must leave the loop (the rotated test still exits).
+        taken_in = branch.taken in loop.body
+        fall_in = branch.not_taken in loop.body
+        if taken_in == fall_in:
+            continue
+        # Every back edge must be an unconditional jump to the header
+        # (a conditional back edge already is a bottom test).
+        if all(
+            isinstance(function.block(tail).terminator, Jump)
+            for tail, _ in loop.back_edges
+        ):
+            result.append(loop.header)
+    return result
+
+
+def rotate_loop(function: Function, header_label: str) -> int:
+    """Rotate the loop headed by *header_label*; returns the number of
+    back edges converted (0 when the loop is not rotatable)."""
+    if header_label not in rotatable_loops(function):
+        return 0
+    forest = LoopForest(CFG.from_function(function))
+    loop = forest.loop_with_header(header_label)
+    header = function.block(header_label)
+    branch = header.branch
+    converted = 0
+    for tail, _ in loop.back_edges:
+        block = function.block(tail)
+        block.terminator = dataclasses.replace(branch)
+        converted += 1
+    return converted
+
+
+def rotate_program(program: Program) -> int:
+    """Rotate every rotatable loop; returns total back edges converted."""
+    total = 0
+    for function in program:
+        # Recompute after each rotation: nested loops share structure.
+        progressed = True
+        while progressed:
+            progressed = False
+            for header in rotatable_loops(function):
+                if rotate_loop(function, header):
+                    progressed = True
+                    total += 1
+                    break
+    return total

@@ -1,0 +1,5 @@
+"""Classic optimisation passes supporting the prediction pipeline."""
+
+from .inline import inline_all_calls, inline_call, recursive_functions
+
+__all__ = ["inline_all_calls", "inline_call", "recursive_functions"]

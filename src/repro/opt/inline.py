@@ -1,0 +1,213 @@
+"""Function inlining.
+
+Inlining matters to this reproduction for a specific reason: calls
+*break* the correspondence between global branch history and CFG paths
+(see DESIGN.md §5 — "path history vs global history"), so a correlated
+branch separated from its correlating branch by a call cannot be
+improved by tail duplication.  Inlining the callee restores a single
+CFG in which the correlation is a plain path again, at the usual
+code-size price — the same trade the paper's replication makes.
+
+The transform:
+
+* splits the calling block at the call;
+* copies the callee's blocks with renamed registers and fresh labels;
+* binds arguments with ``move`` instructions;
+* rewrites every callee ``ret`` into (optional) result move + jump to
+  the continuation block.
+
+Only calls to *non-recursive* callees are inlined (a callee that can
+transitively reach itself would never terminate the expansion).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set
+
+from ..ir import (
+    BasicBlock,
+    Call,
+    Function,
+    Instr,
+    IRError,
+    Jump,
+    Move,
+    Program,
+    Return,
+    retarget,
+)
+
+
+def _callees_of(function: Function) -> Set[str]:
+    names: Set[str] = set()
+    for block in function:
+        for instr in block.instrs:
+            if isinstance(instr, Call):
+                names.add(instr.func)
+    return names
+
+
+def recursive_functions(program: Program) -> Set[str]:
+    """Functions that can (transitively) call themselves."""
+    graph = {f.name: _callees_of(f) for f in program}
+
+    def reaches(start: str, target: str) -> bool:
+        seen: Set[str] = set()
+        stack = list(graph.get(start, ()))
+        while stack:
+            name = stack.pop()
+            if name == target:
+                return True
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(graph.get(name, ()))
+        return False
+
+    return {name for name in graph if reaches(name, name)}
+
+
+def _rename_instr(instr: Instr, rename: Dict[str, str]) -> Instr:
+    """Rewrite register operands of a copied callee instruction."""
+    changes = {}
+    for field_name in ("dest", "src", "lhs", "rhs", "addr", "value", "size"):
+        if hasattr(instr, field_name):
+            operand = getattr(instr, field_name)
+            if isinstance(operand, str) and operand in rename:
+                changes[field_name] = rename[operand]
+    if isinstance(instr, Call):
+        changes["args"] = tuple(
+            rename.get(a, a) if isinstance(a, str) else a for a in instr.args
+        )
+        if instr.dest is not None:
+            changes["dest"] = rename[instr.dest]
+    if isinstance(instr, Return) and isinstance(instr.value, str):
+        changes["value"] = rename[instr.value]
+    return dataclasses.replace(instr, **changes) if changes else instr
+
+
+def _collect_registers(function: Function) -> Set[str]:
+    registers: Set[str] = set(function.params)
+    for block in function:
+        instrs: List[Instr] = list(block.instrs)
+        if block.terminator is not None:
+            instrs.append(block.terminator)
+        for instr in instrs:
+            registers.update(instr.uses())
+            registers.update(instr.defs())
+    return registers
+
+
+def inline_call(
+    program: Program,
+    caller_name: str,
+    block_label: str,
+    call_index: int,
+) -> None:
+    """Inline the call at ``caller.blocks[block_label].instrs[call_index]``."""
+    caller = program.function(caller_name)
+    block = caller.block(block_label)
+    instr = block.instrs[call_index]
+    if not isinstance(instr, Call):
+        raise IRError(f"{caller_name}:{block_label}[{call_index}] is not a call")
+    callee = program.function(instr.func)
+    if instr.func in recursive_functions(program):
+        raise IRError(f"cannot inline recursive function {instr.func!r}")
+
+    # Fresh register names for everything the callee touches: pick a
+    # prefix that collides with nothing already in the caller (repeated
+    # inlining of the same callee needs distinct generations).
+    caller_registers = _collect_registers(caller)
+    generation = 0
+    while True:
+        prefix = f"{instr.func}${generation}$"
+        rename = {reg: f"{prefix}{reg}" for reg in _collect_registers(callee)}
+        if not (set(rename.values()) & caller_registers):
+            break
+        generation += 1
+    # Fresh labels for the callee blocks + the continuation.
+    label_map = {
+        label: caller.fresh_label(f"{label}${instr.func}")
+        for label in callee.blocks
+    }
+    continuation = caller.fresh_label(f"{block_label}$cont")
+    # Reserve all labels before creating blocks.
+    for fresh in list(label_map.values()) + [continuation]:
+        caller.blocks[fresh] = None  # type: ignore[assignment]
+
+    # Split the calling block.
+    tail = BasicBlock(
+        continuation, block.instrs[call_index + 1 :], block.terminator
+    )
+    caller.blocks[continuation] = tail
+    block.instrs = block.instrs[:call_index]
+    # Bind arguments.
+    for param, arg in zip(callee.params, instr.args):
+        block.instrs.append(Move(rename[param], arg))
+    block.terminator = Jump(label_map[callee.entry])
+
+    # Copy callee blocks.
+    for label, source in callee.blocks.items():
+        copy = BasicBlock(label_map[label])
+        copy.instrs = [_rename_instr(i, rename) for i in source.instrs]
+        terminator = source.terminator
+        if isinstance(terminator, Return):
+            if instr.dest is not None:
+                if terminator.value is None:
+                    raise IRError(
+                        f"inlining {instr.func!r}: void return feeds a value"
+                    )
+                value = terminator.value
+                if isinstance(value, str):
+                    value = rename[value]
+                copy.instrs.append(Move(instr.dest, value))
+            copy.terminator = Jump(continuation)
+        else:
+            renamed = _rename_instr(terminator, rename)
+            copy.terminator = retarget(renamed, lambda l: label_map.get(l, l))
+        caller.blocks[copy.label] = copy
+
+
+def inline_all_calls(
+    program: Program,
+    callees: Optional[Set[str]] = None,
+    max_program_size: Optional[int] = None,
+    max_passes: int = 10,
+) -> int:
+    """Inline every call to a non-recursive callee; returns calls inlined.
+
+    ``callees`` restricts which functions get inlined; growth stops at
+    ``max_program_size`` instructions.  Nested calls are handled by
+    repeated passes (bounded by *max_passes*).
+    """
+    recursive = recursive_functions(program)
+    inlined = 0
+    for _ in range(max_passes):
+        progress = False
+        for function in program:
+            for block in list(function):
+                for index, instr in enumerate(block.instrs):
+                    if not isinstance(instr, Call):
+                        continue
+                    if instr.func in recursive:
+                        continue
+                    if callees is not None and instr.func not in callees:
+                        continue
+                    if (
+                        max_program_size is not None
+                        and program.size()
+                        + program.function(instr.func).size()
+                        > max_program_size
+                    ):
+                        continue
+                    inline_call(program, function.name, block.label, index)
+                    inlined += 1
+                    progress = True
+                    break  # block structure changed; rescan
+                else:
+                    continue
+                break
+        if not progress:
+            break
+    return inlined

@@ -1,0 +1,105 @@
+"""Predictor interface and the trace-driven evaluation engine.
+
+Every strategy in the paper — static, dynamic or semi-static — is
+modelled as a :class:`Predictor` that is asked for a prediction before
+each trace event and told the outcome after it.  Semi-static predictors
+are *fit* from a training profile first; dynamic predictors learn
+on-line; static predictors ignore the trace entirely.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..ir import BranchSite
+from ..profiling import Trace
+
+
+class Predictor(abc.ABC):
+    """A branch-direction predictor evaluated against a trace."""
+
+    #: Human-readable strategy name (used in reports).
+    name: str = "predictor"
+
+    def reset(self) -> None:
+        """Clear run-time state before an evaluation pass."""
+
+    @abc.abstractmethod
+    def predict(self, site: BranchSite) -> bool:
+        """Predict the direction of the next execution of *site*."""
+
+    def update(self, site: BranchSite, taken: bool) -> None:
+        """Observe the actual outcome (after :meth:`predict`)."""
+
+
+@dataclass
+class SiteStats:
+    """Per-branch evaluation counters."""
+
+    executions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def rate(self) -> float:
+        return self.mispredictions / self.executions if self.executions else 0.0
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of evaluating one predictor over one trace."""
+
+    predictor: str
+    events: int
+    mispredictions: int
+    per_site: Dict[BranchSite, SiteStats] = field(default_factory=dict)
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Fraction of dynamic branches mispredicted (0..1)."""
+        return self.mispredictions / self.events if self.events else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return 1.0 - self.misprediction_rate
+
+    @property
+    def instructions_per_misprediction(self) -> Optional[float]:
+        """Not computable without instruction counts; see
+        :func:`repro.predictors.evaluate.instructions_per_misprediction`."""
+        return None
+
+    def __str__(self) -> str:
+        return (
+            f"{self.predictor}: {self.misprediction_rate:.2%} "
+            f"({self.mispredictions}/{self.events})"
+        )
+
+
+def evaluate(predictor: Predictor, trace: Trace) -> EvaluationResult:
+    """Run *predictor* over *trace* and count mispredictions."""
+    predictor.reset()
+    sites = trace.sites
+    stats: Dict[int, SiteStats] = {}
+    mispredictions = 0
+    events = 0
+    predict = predictor.predict
+    update = predictor.update
+    for sid, taken in trace.events():
+        site = sites[sid]
+        guess = predict(site)
+        outcome = bool(taken)
+        wrong = guess is not outcome
+        if wrong:
+            mispredictions += 1
+        events += 1
+        entry = stats.get(sid)
+        if entry is None:
+            entry = stats[sid] = SiteStats()
+        entry.executions += 1
+        if wrong:
+            entry.mispredictions += 1
+        update(site, outcome)
+    per_site = {sites[sid]: stat for sid, stat in stats.items()}
+    return EvaluationResult(predictor.name, events, mispredictions, per_site)

@@ -1,0 +1,68 @@
+"""Simple dynamic predictors (Section 2.3, Smith's strategies).
+
+* :class:`LastDirection` — "a branch will take the same direction as on
+  its last execution".
+* :class:`SaturatingCounter` — an n-bit saturating up/down counter per
+  branch; predict taken while the counter is in the upper half.  The
+  paper uses the classic 2-bit variant.
+
+Both use unbounded per-site state (one entry per static branch) — the
+idealised, aliasing-free version, which is what the paper compares
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir import BranchSite
+from .base import Predictor
+
+
+class LastDirection(Predictor):
+    """Predict the direction taken on the previous execution."""
+
+    name = "last-direction"
+
+    def __init__(self, initial: bool = True) -> None:
+        self.initial = initial
+        self._last: Dict[BranchSite, bool] = {}
+
+    def reset(self) -> None:
+        self._last = {}
+
+    def predict(self, site: BranchSite) -> bool:
+        return self._last.get(site, self.initial)
+
+    def update(self, site: BranchSite, taken: bool) -> None:
+        self._last[site] = taken
+
+
+class SaturatingCounter(Predictor):
+    """n-bit saturating counter per branch (default: the 2-bit scheme)."""
+
+    def __init__(self, bits: int = 2) -> None:
+        if bits < 1:
+            raise ValueError("counter needs at least one bit")
+        self.bits = bits
+        self.max = (1 << bits) - 1
+        self.threshold = 1 << (bits - 1)
+        # Start weakly taken, the conventional initialisation.
+        self.initial = self.threshold
+        self.name = f"{bits}-bit-counter"
+        self._counters: Dict[BranchSite, int] = {}
+
+    def reset(self) -> None:
+        self._counters = {}
+
+    def predict(self, site: BranchSite) -> bool:
+        return self._counters.get(site, self.initial) >= self.threshold
+
+    def update(self, site: BranchSite, taken: bool) -> None:
+        value = self._counters.get(site, self.initial)
+        if taken:
+            if value < self.max:
+                self._counters[site] = value + 1
+        else:
+            if value > 0:
+                self._counters[site] = value - 1

@@ -1,0 +1,207 @@
+"""Semi-static (profile-based) prediction strategies (Sections 2.2, 3).
+
+All of these are trained from a :class:`~repro.profiling.ProfileData`
+and then evaluated on a trace.  During evaluation they still track
+history registers — not as learned state (the predictions are frozen at
+"compile time") but because the *pattern* the program is in selects
+which frozen prediction applies.  Code replication is exactly the
+technique that realises this pattern-tracking in the program counter.
+
+Strategies:
+
+* :class:`ProfilePredictor` — "predict the most frequent direction".
+* :class:`CorrelationPredictor` — "predict using one global k-bit
+  history register" (the *correlated branch strategy*).
+* :class:`LoopPredictor` — "use k-bit history registers for every
+  branch" (the *loop branch strategy*).
+* :class:`LoopCorrelationPredictor` — per branch, "the best of 1-bit
+  correlation and 9-bit loop".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..ir import BranchSite
+from ..profiling import ProfileData
+from .base import Predictor
+
+
+def _majority_map(counts: Dict[int, list]) -> Dict[int, bool]:
+    """pattern -> majority direction (ties predict taken)."""
+    return {pattern: entry[1] >= entry[0] for pattern, entry in counts.items()}
+
+
+class ProfilePredictor(Predictor):
+    """Per-branch most-frequent direction from the training profile."""
+
+    name = "profile"
+
+    def __init__(self, profile: ProfileData, default: bool = True) -> None:
+        self.default = default
+        self._bias: Dict[BranchSite, bool] = {
+            site: counts[1] >= counts[0] for site, counts in profile.totals.items()
+        }
+
+    def predict(self, site: BranchSite) -> bool:
+        return self._bias.get(site, self.default)
+
+
+class CorrelationPredictor(Predictor):
+    """k-bit *global* history, per-branch pattern table, frozen majority
+    predictions.  Falls back to the branch bias on unseen patterns."""
+
+    def __init__(self, profile: ProfileData, bits: int = 1, default: bool = True) -> None:
+        if bits > profile.global_bits:
+            raise ValueError(
+                f"profile holds {profile.global_bits} global history bits, "
+                f"requested {bits}"
+            )
+        self.bits = bits
+        self.default = default
+        self.name = f"{bits}-bit-correlation"
+        self._mask = (1 << bits) - 1
+        self._tables: Dict[BranchSite, Dict[int, bool]] = {}
+        self._bias: Dict[BranchSite, bool] = {}
+        for site, table in profile.global_tables.items():
+            short = table.marginalize(bits)
+            self._tables[site] = _majority_map(short.counts)
+            not_taken, taken = profile.totals[site]
+            self._bias[site] = taken >= not_taken
+        self._history = 0
+
+    def reset(self) -> None:
+        self._history = 0
+
+    def predict(self, site: BranchSite) -> bool:
+        table = self._tables.get(site)
+        if table is not None:
+            guess = table.get(self._history & self._mask)
+            if guess is not None:
+                return guess
+            return self._bias[site]
+        return self.default
+
+    def update(self, site: BranchSite, taken: bool) -> None:
+        self._history = ((self._history << 1) | (1 if taken else 0)) & self._mask
+
+
+class LoopPredictor(Predictor):
+    """k-bit *local* (per-branch) history, frozen majority predictions."""
+
+    def __init__(self, profile: ProfileData, bits: int = 9, default: bool = True) -> None:
+        if bits > profile.local_bits:
+            raise ValueError(
+                f"profile holds {profile.local_bits} local history bits, "
+                f"requested {bits}"
+            )
+        self.bits = bits
+        self.default = default
+        self.name = f"{bits}-bit-loop"
+        self._mask = (1 << bits) - 1
+        self._tables: Dict[BranchSite, Dict[int, bool]] = {}
+        self._bias: Dict[BranchSite, bool] = {}
+        for site, table in profile.local.items():
+            short = table.marginalize(bits)
+            self._tables[site] = _majority_map(short.counts)
+            not_taken, taken = profile.totals[site]
+            self._bias[site] = taken >= not_taken
+        self._histories: Dict[BranchSite, int] = {}
+
+    def reset(self) -> None:
+        self._histories = {}
+
+    def predict(self, site: BranchSite) -> bool:
+        table = self._tables.get(site)
+        if table is None:
+            return self.default
+        guess = table.get(self._histories.get(site, 0))
+        if guess is None:
+            return self._bias[site]
+        return guess
+
+    def update(self, site: BranchSite, taken: bool) -> None:
+        history = self._histories.get(site, 0)
+        self._histories[site] = ((history << 1) | (1 if taken else 0)) & self._mask
+
+
+class LoopCorrelationPredictor(Predictor):
+    """Per branch, the better of the correlation and loop strategies.
+
+    The choice is made at training time by comparing, per site, the
+    number of correct predictions each strategy would have achieved on
+    the training trace (per-pattern majority counts).
+    """
+
+    def __init__(
+        self,
+        profile: ProfileData,
+        correlation_bits: int = 1,
+        loop_bits: int = 9,
+        default: bool = True,
+    ) -> None:
+        self.name = "loop-correlation"
+        self.default = default
+        self.correlation = CorrelationPredictor(profile, correlation_bits, default)
+        self.loop = LoopPredictor(profile, loop_bits, default)
+        self.choice: Dict[BranchSite, str] = {}
+        for site in profile.totals:
+            corr = (
+                profile.global_tables[site]
+                .marginalize(correlation_bits)
+                .correct_if_per_pattern()
+            )
+            loop = (
+                profile.local[site].marginalize(loop_bits).correct_if_per_pattern()
+            )
+            self.choice[site] = "loop" if loop >= corr else "correlation"
+
+    def reset(self) -> None:
+        self.correlation.reset()
+        self.loop.reset()
+
+    def predict(self, site: BranchSite) -> bool:
+        choice = self.choice.get(site)
+        if choice == "loop":
+            return self.loop.predict(site)
+        if choice == "correlation":
+            return self.correlation.predict(site)
+        return self.default
+
+    def update(self, site: BranchSite, taken: bool) -> None:
+        self.correlation.update(site, taken)
+        self.loop.update(site, taken)
+
+    def improved_sites(self, profile: ProfileData) -> Dict[BranchSite, int]:
+        """Sites where the chosen strategy beats plain profile on the
+        training data, with the number of extra correct predictions —
+        the paper's "improved branches" row in Table 1."""
+        improved: Dict[BranchSite, int] = {}
+        for site in profile.totals:
+            base = max(profile.totals[site])
+            if self.choice[site] == "loop":
+                best = (
+                    profile.local[site]
+                    .marginalize(self.loop.bits)
+                    .correct_if_per_pattern()
+                )
+            else:
+                best = (
+                    profile.global_tables[site]
+                    .marginalize(self.correlation.bits)
+                    .correct_if_per_pattern()
+                )
+            if best > base:
+                improved[site] = best - base
+        return improved
+
+
+def semistatic_suite(profile: ProfileData) -> Tuple[Predictor, ...]:
+    """The semi-static strategies of Table 1, in row order."""
+    return (
+        ProfilePredictor(profile),
+        CorrelationPredictor(profile, 1),
+        LoopPredictor(profile, 1),
+        LoopPredictor(profile, 9),
+        LoopCorrelationPredictor(profile),
+    )

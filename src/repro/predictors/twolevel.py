@@ -1,0 +1,152 @@
+"""Two-level adaptive branch prediction (Yeh/Patt, Pan/So/Rahmeh).
+
+The first level is a branch-history shift register; the second level a
+table of 2-bit saturating counters indexed by the history pattern.
+Yeh and Patt's nine variants arise from choosing, independently for the
+history registers and the pattern tables, one of three scopes:
+
+* ``"global"``   — one shared register/table (GA*, *g),
+* ``"set"``      — one per hash set of branches (SA*, *s),
+* ``"peraddr"``  — one per branch (PA*, *p).
+
+``two_level_4k()`` builds the configuration the paper evaluates as
+"two level 4K bit": per-set 9-bit history registers (1K sets) with one
+shared pattern table of 2-bit counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..ir import BranchSite
+from .base import Predictor
+
+_SCOPES = ("global", "set", "peraddr")
+
+
+@dataclass(frozen=True)
+class TwoLevelConfig:
+    """Shape of a two-level predictor."""
+
+    history_scope: str = "set"
+    pattern_scope: str = "global"
+    history_bits: int = 9
+    history_sets: int = 1024
+    pattern_sets: int = 1024
+    counter_bits: int = 2
+
+    def __post_init__(self) -> None:
+        if self.history_scope not in _SCOPES or self.pattern_scope not in _SCOPES:
+            raise ValueError(f"scopes must be one of {_SCOPES}")
+        if self.history_bits < 1:
+            raise ValueError("history_bits must be positive")
+
+    @property
+    def yeh_patt_name(self) -> str:
+        """Conventional name, e.g. GAg, PAs, SAp."""
+        first = {"global": "G", "set": "S", "peraddr": "P"}[self.history_scope]
+        second = {"global": "g", "set": "s", "peraddr": "p"}[self.pattern_scope]
+        return f"{first}A{second}"
+
+    def cost_bits(self) -> int:
+        """Hardware cost estimate in bits (per-address scopes are
+        unbounded in software; they are costed at one entry per set)."""
+        history_entries = {
+            "global": 1,
+            "set": self.history_sets,
+            "peraddr": self.history_sets,
+        }[self.history_scope]
+        table_entries = 1 << self.history_bits
+        table_count = {
+            "global": 1,
+            "set": self.pattern_sets,
+            "peraddr": self.pattern_sets,
+        }[self.pattern_scope]
+        return (
+            history_entries * self.history_bits
+            + table_count * table_entries * self.counter_bits
+        )
+
+
+class TwoLevelPredictor(Predictor):
+    """A configurable two-level adaptive predictor."""
+
+    def __init__(self, config: TwoLevelConfig) -> None:
+        self.config = config
+        self.name = (
+            f"two-level-{config.yeh_patt_name}-{config.history_bits}bit"
+        )
+        self._mask = (1 << config.history_bits) - 1
+        self._threshold = 1 << (config.counter_bits - 1)
+        self._max = (1 << config.counter_bits) - 1
+        self._histories: Dict[object, int] = {}
+        self._counters: Dict[Tuple[object, int], int] = {}
+
+    def reset(self) -> None:
+        self._histories = {}
+        self._counters = {}
+
+    def _history_key(self, site: BranchSite) -> object:
+        scope = self.config.history_scope
+        if scope == "global":
+            return 0
+        if scope == "set":
+            return hash(site) % self.config.history_sets
+        return site
+
+    def _pattern_key(self, site: BranchSite) -> object:
+        scope = self.config.pattern_scope
+        if scope == "global":
+            return 0
+        if scope == "set":
+            return hash(site) % self.config.pattern_sets
+        return site
+
+    def predict(self, site: BranchSite) -> bool:
+        history = self._histories.get(self._history_key(site), 0)
+        counter = self._counters.get(
+            (self._pattern_key(site), history), self._threshold
+        )
+        return counter >= self._threshold
+
+    def update(self, site: BranchSite, taken: bool) -> None:
+        hkey = self._history_key(site)
+        history = self._histories.get(hkey, 0)
+        ckey = (self._pattern_key(site), history)
+        counter = self._counters.get(ckey, self._threshold)
+        if taken:
+            if counter < self._max:
+                self._counters[ckey] = counter + 1
+        else:
+            if counter > 0:
+                self._counters[ckey] = counter - 1
+        self._histories[hkey] = ((history << 1) | (1 if taken else 0)) & self._mask
+
+
+def two_level_4k(history_bits: int = 9) -> TwoLevelPredictor:
+    """The paper's dynamic reference point ("two level 4K bit")."""
+    predictor = TwoLevelPredictor(
+        TwoLevelConfig(
+            history_scope="set",
+            pattern_scope="global",
+            history_bits=history_bits,
+            history_sets=1024,
+        )
+    )
+    predictor.name = "two-level-4k"
+    return predictor
+
+
+def all_yeh_patt_variants(history_bits: int = 6) -> Dict[str, TwoLevelPredictor]:
+    """All nine history × pattern scope combinations [YN93]."""
+    variants = {}
+    for history_scope in _SCOPES:
+        for pattern_scope in _SCOPES:
+            config = TwoLevelConfig(
+                history_scope=history_scope,
+                pattern_scope=pattern_scope,
+                history_bits=history_bits,
+            )
+            variants[config.yeh_patt_name] = TwoLevelPredictor(config)
+    return variants

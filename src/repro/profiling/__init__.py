@@ -1,0 +1,40 @@
+"""Profiling: trace collection, trace files, pattern tables."""
+
+from .collect import collect_path_tables, trace_program
+from .online import OnlineProfiler, profile_program
+from .patterns import PatternTable, ProfileData
+from .profilefile import (
+    ProfileFormatError,
+    load_profile,
+    profile_from_bytes,
+    profile_to_bytes,
+    save_profile,
+)
+from .trace import Trace
+from .tracefile import (
+    TraceFormatError,
+    load_trace,
+    save_trace,
+    trace_from_bytes,
+    trace_to_bytes,
+)
+
+__all__ = [
+    "OnlineProfiler",
+    "PatternTable",
+    "ProfileFormatError",
+    "collect_path_tables",
+    "load_profile",
+    "profile_from_bytes",
+    "profile_program",
+    "profile_to_bytes",
+    "save_profile",
+    "ProfileData",
+    "Trace",
+    "TraceFormatError",
+    "load_trace",
+    "save_trace",
+    "trace_from_bytes",
+    "trace_to_bytes",
+    "trace_program",
+]

@@ -1,0 +1,75 @@
+"""Trace collection: run an instrumented program and record its branches.
+
+This is the reproduction of the paper's tracing tool.  Where the paper
+inserts trace code into the assembly source, we attach a callback to
+the interpreter — the resulting event stream (branch number +
+direction) is identical in content.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..interp import Machine, RunResult
+from ..ir import BranchSite, Program
+from .patterns import PatternTable
+from .trace import Trace
+
+
+def trace_program(
+    program: Program,
+    args: Sequence[int] = (),
+    input_values: Sequence[int] = (),
+    max_steps: int = 100_000_000,
+    max_branches: Optional[int] = None,
+) -> Tuple[Trace, RunResult]:
+    """Execute *program* and collect its branch trace.
+
+    ``max_branches`` mirrors the paper's "we traced the whole program
+    up to a maximum of 100 million branch instructions": tracing stops
+    recording (but execution continues) after that many events.
+    """
+    trace = Trace()
+    if max_branches is None:
+        machine = Machine(program, input_values, max_steps, trace.record)
+    else:
+        limit = max_branches
+
+        def record(site, taken, _trace=trace):
+            if len(_trace) < limit:
+                _trace.record(site, taken)
+
+        machine = Machine(program, input_values, max_steps, record)
+    result = machine.run(*args)
+    return trace, result
+
+
+def collect_path_tables(
+    program: Program,
+    args: Sequence[int] = (),
+    input_values: Sequence[int] = (),
+    bits: int = 8,
+    max_steps: int = 100_000_000,
+) -> Dict[BranchSite, PatternTable]:
+    """Per-branch pattern tables keyed by *frame-local path history*.
+
+    The frame-local history (the outcomes of the last *bits*
+    conditional branches executed in the same function activation) is
+    exactly what CFG-path replication can encode into the program
+    counter; raw global history additionally sees callee branches,
+    which no intraprocedural transform can track.  The correlated-
+    branch planner therefore trains on these tables.
+    """
+    tables: Dict[BranchSite, PatternTable] = {}
+
+    def record(site: BranchSite, taken: bool) -> None:
+        table = tables.get(site)
+        if table is None:
+            table = tables[site] = PatternTable(bits)
+        table.add(machine.path_history, 1 if taken else 0)
+
+    machine = Machine(
+        program, input_values, max_steps, record, track_history_bits=bits
+    )
+    machine.run(*args)
+    return tables

@@ -1,0 +1,111 @@
+"""Profile serialisation.
+
+A profile (the pattern tables) is what the compiler actually consumes;
+the trace is only its raw material.  This module stores profiles as
+compressed JSON so a training run's output can be archived, diffed, and
+fed to ``repro optimize`` on another machine — the tool-chain shape the
+paper's "production version" implies.
+
+Format: zlib-compressed UTF-8 JSON with a version marker.  Pattern keys
+are serialised as decimal strings (JSON objects key on strings).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import BinaryIO, Dict, Union
+
+from ..ir import BranchSite
+from .patterns import PatternTable, ProfileData
+
+MAGIC = b"KBP1"
+VERSION = 1
+
+
+class ProfileFormatError(Exception):
+    """Raised when a profile file is malformed."""
+
+
+def _table_to_json(table: PatternTable) -> Dict:
+    return {
+        "bits": table.bits,
+        "counts": {str(k): v for k, v in table.counts.items()},
+    }
+
+
+def _table_from_json(blob: Dict) -> PatternTable:
+    try:
+        return PatternTable(
+            blob["bits"],
+            {int(k): list(v) for k, v in blob["counts"].items()},
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProfileFormatError(f"bad pattern table: {error}") from None
+
+
+def profile_to_bytes(profile: ProfileData) -> bytes:
+    """Serialise *profile* (including path tables when attached)."""
+    document = {
+        "version": VERSION,
+        "local_bits": profile.local_bits,
+        "global_bits": profile.global_bits,
+        "events": profile.events,
+        "sites": [
+            {
+                "function": site.function,
+                "block": site.block,
+                "totals": list(profile.totals[site]),
+                "local": _table_to_json(profile.local[site]),
+                "global": _table_to_json(profile.global_tables[site]),
+                **(
+                    {"path": _table_to_json(profile.path_tables[site])}
+                    if profile.path_tables is not None
+                    and site in profile.path_tables
+                    else {}
+                ),
+            }
+            for site in profile.totals
+        ],
+    }
+    return MAGIC + zlib.compress(json.dumps(document).encode(), 6)
+
+
+def profile_from_bytes(data: bytes) -> ProfileData:
+    """Deserialise a profile written by :func:`profile_to_bytes`."""
+    if data[:4] != MAGIC:
+        raise ProfileFormatError(f"bad magic {data[:4]!r}")
+    try:
+        document = json.loads(zlib.decompress(data[4:]).decode())
+    except (zlib.error, json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise ProfileFormatError(f"corrupt profile payload: {error}") from None
+    if document.get("version") != VERSION:
+        raise ProfileFormatError(f"unsupported version {document.get('version')}")
+    profile = ProfileData(document["local_bits"], document["global_bits"])
+    profile.events = document["events"]
+    path_tables: Dict[BranchSite, PatternTable] = {}
+    for entry in document["sites"]:
+        site = BranchSite(entry["function"], entry["block"])
+        profile.totals[site] = tuple(entry["totals"])  # type: ignore[assignment]
+        profile.local[site] = _table_from_json(entry["local"])
+        profile.global_tables[site] = _table_from_json(entry["global"])
+        if "path" in entry:
+            path_tables[site] = _table_from_json(entry["path"])
+    if path_tables:
+        profile.attach_path_tables(path_tables)
+    return profile
+
+
+def save_profile(profile: ProfileData, destination: Union[str, BinaryIO]) -> None:
+    if isinstance(destination, str):
+        with open(destination, "wb") as stream:
+            stream.write(profile_to_bytes(profile))
+        return
+    destination.write(profile_to_bytes(profile))
+
+
+def load_profile(source: Union[str, BinaryIO]) -> ProfileData:
+    if isinstance(source, str):
+        with open(source, "rb") as stream:
+            return profile_from_bytes(stream.read())
+    return profile_from_bytes(source.read())

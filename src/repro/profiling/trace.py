@@ -1,0 +1,99 @@
+"""Branch traces.
+
+A trace is the paper's instrumentation output: the ordered sequence of
+(branch number, direction) events of one program run, together with the
+table mapping branch numbers back to static branch sites.  Events are
+stored column-wise (an ``array`` of site indices plus a ``bytearray``
+of direction bits), which keeps a multi-million-event trace compact in
+memory and fast to scan.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from ..ir import BranchSite
+
+
+class Trace:
+    """An ordered sequence of branch events."""
+
+    def __init__(self) -> None:
+        self.sites: List[BranchSite] = []
+        self._site_index: Dict[BranchSite, int] = {}
+        self.site_ids = array("i")
+        self.directions = bytearray()
+
+    # -- recording -------------------------------------------------------------
+
+    def site_id(self, site: BranchSite) -> int:
+        """Intern *site*, returning its stable small-integer id."""
+        index = self._site_index.get(site)
+        if index is None:
+            index = len(self.sites)
+            self._site_index[site] = index
+            self.sites.append(site)
+        return index
+
+    def record(self, site: BranchSite, taken: bool) -> None:
+        """Append one event (the tracing callback)."""
+        self.site_ids.append(self.site_id(site))
+        self.directions.append(1 if taken else 0)
+
+    def record_id(self, site_id: int, taken: bool) -> None:
+        """Append one event for an already-interned site id."""
+        self.site_ids.append(site_id)
+        self.directions.append(1 if taken else 0)
+
+    # -- access ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.site_ids)
+
+    def events(self) -> Iterator[Tuple[int, int]]:
+        """Iterate (site_id, direction) pairs; direction is 0 or 1."""
+        return zip(self.site_ids, self.directions)
+
+    def __iter__(self) -> Iterator[Tuple[BranchSite, bool]]:
+        sites = self.sites
+        for sid, direction in zip(self.site_ids, self.directions):
+            yield sites[sid], bool(direction)
+
+    def executed_sites(self) -> List[BranchSite]:
+        """Sites that appear at least once, in first-appearance order."""
+        seen = [False] * len(self.sites)
+        order: List[BranchSite] = []
+        for sid in self.site_ids:
+            if not seen[sid]:
+                seen[sid] = True
+                order.append(self.sites[sid])
+        return order
+
+    def taken_counts(self) -> Dict[BranchSite, Tuple[int, int]]:
+        """Per-site (not_taken, taken) totals."""
+        counts = [[0, 0] for _ in self.sites]
+        for sid, direction in zip(self.site_ids, self.directions):
+            counts[sid][direction] += 1
+        return {
+            self.sites[i]: (c[0], c[1])
+            for i, c in enumerate(counts)
+            if c[0] or c[1]
+        }
+
+    def truncated(self, max_events: int) -> "Trace":
+        """A copy limited to the first *max_events* events."""
+        clone = Trace()
+        clone.sites = list(self.sites)
+        clone._site_index = dict(self._site_index)
+        clone.site_ids = self.site_ids[:max_events]
+        clone.directions = self.directions[:max_events]
+        return clone
+
+    @classmethod
+    def from_events(cls, events: Iterable[Tuple[BranchSite, bool]]) -> "Trace":
+        """Build a trace from an iterable of (site, taken) pairs."""
+        trace = cls()
+        for site, taken in events:
+            trace.record(site, taken)
+        return trace

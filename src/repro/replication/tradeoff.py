@@ -1,0 +1,143 @@
+"""Misprediction-rate versus code-size curves (Section 5, Figures 6-13).
+
+"The states were added in such an order that the state that predicted
+the largest number of branches and that increased the code size by the
+smallest amount was chosen first."
+
+Starting from plain profile prediction, the greedy walk repeatedly
+applies the (branch, machine) upgrade with the best ratio of extra
+correct predictions to extra instructions.  Code size follows the
+paper's model: realising a *loop* machine multiplies its loop's size by
+the machine's state count, so two improved branches in the same loop
+multiply ("If branches are in the same loop, the number of states must
+be multiplied"), while branches in different loops — and correlated
+machines, whose tail-duplication cost is independent — merely add.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import BranchSite
+from .planner import BranchPlan, ReplicationPlanner
+
+
+@dataclass
+class TradeoffPoint:
+    """One point on the size/accuracy curve."""
+
+    size: int
+    size_factor: float
+    mispredictions: int
+    misprediction_rate: float
+    #: the upgrade that produced this point (None for the start point)
+    step: Optional[Tuple[BranchSite, int]] = None
+
+
+class _CurveState:
+    """Current per-branch choices plus the derived size model."""
+
+    def __init__(self, planner: ReplicationPlanner) -> None:
+        self.plans: List[BranchPlan] = list(planner.plans.values())
+        self.base_size = planner.program.size()
+        self.total = planner.total_executions()
+        #: option index per site; -1 = plain profile
+        self.choice: Dict[BranchSite, int] = {p.site: -1 for p in self.plans}
+        self._by_site = {p.site: p for p in self.plans}
+
+    def correct(self) -> int:
+        total = 0
+        for plan in self.plans:
+            index = self.choice[plan.site]
+            if index < 0:
+                total += plan.profile_correct
+            else:
+                total += max(plan.profile_correct, plan.options[index].correct)
+        return total
+
+    def extra_size(self) -> int:
+        """Total added instructions under the paper's size model."""
+        loop_factors: Dict[Tuple[str, str], int] = {}
+        loop_sizes: Dict[Tuple[str, str], int] = {}
+        additive = 0
+        for plan in self.plans:
+            index = self.choice[plan.site]
+            if index < 0:
+                continue
+            option = plan.options[index]
+            if option.family == "loop" and plan.loop_key is not None:
+                key = plan.loop_key
+                loop_sizes[key] = plan.loop_size
+                loop_factors[key] = loop_factors.get(key, 1) * option.n_states
+            else:
+                additive += option.extra_size
+        loop_extra = sum(
+            loop_sizes[key] * (factor - 1) for key, factor in loop_factors.items()
+        )
+        return loop_extra + additive
+
+    def size(self) -> int:
+        return self.base_size + self.extra_size()
+
+
+def tradeoff_curve(
+    planner: ReplicationPlanner,
+    max_size_factor: Optional[float] = None,
+) -> List[TradeoffPoint]:
+    """The greedy misprediction-vs-size walk.
+
+    Stops when no upgrade improves accuracy, or when applying one would
+    push the program past ``max_size_factor`` times its original size.
+    """
+    state = _CurveState(planner)
+    total = state.total
+    correct = state.correct()
+    size = state.size()
+
+    def make_point(step=None) -> TradeoffPoint:
+        return TradeoffPoint(
+            size,
+            size / state.base_size if state.base_size else 1.0,
+            total - correct,
+            (total - correct) / total if total else 0.0,
+            step,
+        )
+
+    points = [make_point()]
+    while True:
+        best_ratio = 0.0
+        best: Optional[Tuple[BranchPlan, int, int, int]] = None
+        for plan in state.plans:
+            index = state.choice[plan.site]
+            base_correct = (
+                plan.profile_correct
+                if index < 0
+                else max(plan.profile_correct, plan.options[index].correct)
+            )
+            for next_index in range(index + 1, len(plan.options)):
+                option = plan.options[next_index]
+                gain = option.correct - base_correct
+                if gain <= 0:
+                    continue
+                state.choice[plan.site] = next_index
+                delta = state.size() - size
+                state.choice[plan.site] = index
+                ratio = gain / max(delta, 1)
+                if ratio > best_ratio:
+                    best_ratio = ratio
+                    best = (plan, next_index, gain, delta)
+                break  # options strictly improve; consider the next one only
+        if best is None:
+            break
+        plan, next_index, gain, delta = best
+        if (
+            max_size_factor is not None
+            and size + delta > state.base_size * max_size_factor
+        ):
+            break
+        state.choice[plan.site] = next_index
+        size += delta
+        correct += gain
+        points.append(make_point((plan.site, plan.options[next_index].n_states)))
+    return points

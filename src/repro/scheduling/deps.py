@@ -1,0 +1,128 @@
+"""Dependence graphs over instruction sequences.
+
+The list scheduler works on a straight-line instruction sequence (one
+block, or a superblock trace).  Edges:
+
+* true (RAW), anti (WAR) and output (WAW) register dependences;
+* memory ordering: loads after stores, stores after any memory op
+  (no alias analysis — addresses are dynamic);
+* side effects (``call``, ``in``, ``out``, ``alloc``) are ordered among
+  themselves and act as barriers for memory;
+* branches depend on their operands and on all earlier side effects,
+  and everything *with a side effect* stays on its side of a branch.
+  Pure value computations may cross branches — that is precisely the
+  speculation opportunity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..ir import Alloc, Call, In, Instr, Load, Out, Store, Terminator
+
+#: default operation latencies, in cycles
+DEFAULT_LATENCIES = {
+    "mul": 3,
+    "div": 8,
+    "mod": 8,
+    "load": 2,
+    "call": 4,
+}
+
+
+def latency_of(instr: Instr, latencies: Dict[str, int] = DEFAULT_LATENCIES) -> int:
+    from ..ir import BinOp
+
+    if isinstance(instr, BinOp) and instr.op in latencies:
+        return latencies[instr.op]
+    if isinstance(instr, Load):
+        return latencies.get("load", 2)
+    if isinstance(instr, Call):
+        return latencies.get("call", 4)
+    return 1
+
+
+def has_side_effect(instr: Instr) -> bool:
+    """Instructions that must not be duplicated, dropped or reordered
+    relative to each other (or executed speculatively)."""
+    return isinstance(instr, (Store, Call, In, Out, Alloc))
+
+
+def is_memory_read(instr: Instr) -> bool:
+    return isinstance(instr, Load)
+
+
+def is_memory_write(instr: Instr) -> bool:
+    return isinstance(instr, (Store, Call))  # calls may store
+
+
+@dataclass
+class DepGraph:
+    """Predecessor lists + latencies for one instruction sequence."""
+
+    instrs: List[Instr]
+    preds: List[List[Tuple[int, int]]]  # (pred index, latency) per node
+    succs: List[List[int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.succs:
+            self.succs = [[] for _ in self.instrs]
+            for node, edges in enumerate(self.preds):
+                for pred, _ in edges:
+                    self.succs[pred].append(node)
+
+
+def build_dep_graph(
+    instrs: Sequence[Instr],
+    latencies: Dict[str, int] = DEFAULT_LATENCIES,
+) -> DepGraph:
+    """Dependence graph over *instrs* (terminators allowed inline)."""
+    instrs = list(instrs)
+    preds: List[List[Tuple[int, int]]] = [[] for _ in instrs]
+    last_def: Dict[str, int] = {}
+    last_uses: Dict[str, List[int]] = {}
+    last_mem_write = -1
+    mem_reads_since_write: List[int] = []
+    last_side_effect = -1
+    last_branch = -1
+
+    def add_edge(source: int, target: int) -> None:
+        if source >= 0 and source != target:
+            preds[target].append((source, latency_of(instrs[source], latencies)))
+
+    for index, instr in enumerate(instrs):
+        # Register dependences.
+        for reg in instr.uses():
+            add_edge(last_def.get(reg, -1), index)  # RAW
+        for reg in instr.defs():
+            add_edge(last_def.get(reg, -1), index)  # WAW
+            for user in last_uses.get(reg, ()):  # WAR
+                add_edge(user, index)
+        # Memory ordering.
+        if is_memory_read(instr):
+            add_edge(last_mem_write, index)
+            mem_reads_since_write.append(index)
+        if is_memory_write(instr):
+            add_edge(last_mem_write, index)
+            for reader in mem_reads_since_write:
+                add_edge(reader, index)
+            mem_reads_since_write = []
+            last_mem_write = index
+        # Side-effect ordering (program order among effects, and
+        # effects never cross branches).
+        if has_side_effect(instr):
+            add_edge(last_side_effect, index)
+            add_edge(last_branch, index)
+            last_side_effect = index
+        if isinstance(instr, Terminator):
+            add_edge(last_side_effect, index)
+            add_edge(last_branch, index)
+            last_branch = index
+        # Bookkeeping.
+        for reg in instr.uses():
+            last_uses.setdefault(reg, []).append(index)
+        for reg in instr.defs():
+            last_def[reg] = index
+            last_uses[reg] = []
+    return DepGraph(instrs, preds)

@@ -1,0 +1,129 @@
+"""A latency-aware list scheduler for a statically scheduled core.
+
+Models a simple in-order multi-issue machine: up to ``issue_width``
+instructions start per cycle, each finishing after its latency; an
+instruction may start once all its dependence predecessors have
+finished.  Critical-path priority breaks ties — the classic greedy
+list-scheduling heuristic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..ir import Instr
+from .deps import DEFAULT_LATENCIES, DepGraph, build_dep_graph, latency_of
+
+
+@dataclass
+class Schedule:
+    """Result of scheduling one instruction sequence."""
+
+    cycles: int
+    #: issue cycle of every instruction, in original order
+    start_cycle: List[int]
+
+    def __len__(self) -> int:
+        return len(self.start_cycle)
+
+
+def _critical_path(graph: DepGraph) -> List[int]:
+    """Longest latency path from each node to any sink."""
+    order = _topological(graph)
+    height = [0] * len(graph.instrs)
+    for node in reversed(order):
+        latency = latency_of(graph.instrs[node])
+        best = 0
+        for succ in graph.succs[node]:
+            best = max(best, height[succ])
+        height[node] = latency + best
+    return height
+
+
+def _topological(graph: DepGraph) -> List[int]:
+    indegree = [len(p) for p in graph.preds]
+    ready = [node for node, degree in enumerate(indegree) if degree == 0]
+    order: List[int] = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for succ in graph.succs[node]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if len(order) != len(graph.instrs):
+        raise ValueError("dependence graph has a cycle")
+    return order
+
+
+def list_schedule(
+    graph: DepGraph,
+    issue_width: int = 2,
+    latencies: Dict[str, int] = DEFAULT_LATENCIES,
+) -> Schedule:
+    """Greedy critical-path list scheduling of *graph*."""
+    count = len(graph.instrs)
+    if count == 0:
+        return Schedule(0, [])
+    priority = _critical_path(graph)
+    indegree = [len(p) for p in graph.preds]
+    earliest = [0] * count
+    # Ready heap keyed by (-priority, original position).
+    ready: List = []
+    for node in range(count):
+        if indegree[node] == 0:
+            heapq.heappush(ready, (-priority[node], node))
+    start = [0] * count
+    pending: List = []  # (finish cycle, node)
+    cycle = 0
+    issued_total = 0
+    deferred: List = []
+    while issued_total < count:
+        issued_this_cycle = 0
+        # Issue up to width from the ready set whose earliest <= cycle.
+        deferred = []
+        while ready and issued_this_cycle < issue_width:
+            _, node = heapq.heappop(ready)
+            if earliest[node] > cycle:
+                deferred.append((-priority[node], node))
+                continue
+            start[node] = cycle
+            issued_total += 1
+            issued_this_cycle += 1
+            finish = cycle + latency_of(graph.instrs[node], latencies)
+            heapq.heappush(pending, (finish, node))
+        for item in deferred:
+            heapq.heappush(ready, item)
+        # Advance time; retire finished instructions, waking successors.
+        cycle += 1
+        while pending and pending[0][0] <= cycle:
+            _, node = heapq.heappop(pending)
+            for succ in graph.succs[node]:
+                earliest[succ] = max(earliest[succ], pending_finish(graph, succ, start, latencies))
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    heapq.heappush(ready, (-priority[succ], succ))
+    finish_cycles = [
+        start[node] + latency_of(graph.instrs[node], latencies)
+        for node in range(count)
+    ]
+    return Schedule(max(finish_cycles), start)
+
+
+def pending_finish(graph: DepGraph, node: int, start: List[int], latencies) -> int:
+    """Earliest start of *node* given its predecessors' finish times."""
+    value = 0
+    for pred, _ in graph.preds[node]:
+        value = max(value, start[pred] + latency_of(graph.instrs[pred], latencies))
+    return value
+
+
+def schedule_instructions(
+    instrs: Sequence[Instr],
+    issue_width: int = 2,
+    latencies: Dict[str, int] = DEFAULT_LATENCIES,
+) -> Schedule:
+    """Convenience: build the graph and schedule in one call."""
+    return list_schedule(build_dep_graph(instrs, latencies), issue_width, latencies)

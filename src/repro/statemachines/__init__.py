@@ -1,0 +1,96 @@
+"""Branch prediction state machines (Section 4 of the paper)."""
+
+from .correlated import (
+    CorrelatedMachine,
+    best_correlated_machine,
+    correlated_machine_options,
+)
+from .intra_loop import (
+    best_intra_machine,
+    greedy_intra_machine,
+    machine_from_shape,
+)
+from .joint import (
+    JointLoopMachine,
+    JointState,
+    ScoredJointMachine,
+    best_joint_machine,
+)
+from .loop_exit import best_loop_exit_machine, comb_machine, parity_machine
+from .minimize import minimize_machine
+from .serialize import MachineFormatError, machine_from_json, machine_to_json
+from .machine import (
+    MachineState,
+    Pattern,
+    PredictionMachine,
+    ScoredMachine,
+    is_suffix,
+    pattern_str,
+    pattern_suffix,
+    single_state_machine,
+)
+from .render import correlated_to_dot, joint_to_dot, machine_to_ascii, machine_to_dot
+from .scoring import (
+    NodeCounts,
+    leaf_counts,
+    longest_match_groups,
+    majority,
+    node_counts,
+    partition_score,
+)
+from .trie import (
+    LEAF,
+    Shape,
+    TrieMachineShape,
+    analyze_shape,
+    shape_depth,
+    shape_leaves,
+    shapes_with_leaves,
+    valid_shapes,
+)
+
+__all__ = [
+    "CorrelatedMachine",
+    "JointLoopMachine",
+    "JointState",
+    "LEAF",
+    "ScoredJointMachine",
+    "best_joint_machine",
+    "MachineState",
+    "NodeCounts",
+    "Pattern",
+    "PredictionMachine",
+    "ScoredMachine",
+    "Shape",
+    "TrieMachineShape",
+    "analyze_shape",
+    "best_correlated_machine",
+    "best_intra_machine",
+    "correlated_machine_options",
+    "best_loop_exit_machine",
+    "comb_machine",
+    "correlated_to_dot",
+    "greedy_intra_machine",
+    "is_suffix",
+    "joint_to_dot",
+    "leaf_counts",
+    "longest_match_groups",
+    "machine_from_shape",
+    "machine_to_ascii",
+    "machine_from_json",
+    "machine_to_dot",
+    "machine_to_json",
+    "MachineFormatError",
+    "minimize_machine",
+    "majority",
+    "node_counts",
+    "parity_machine",
+    "partition_score",
+    "pattern_str",
+    "pattern_suffix",
+    "shape_depth",
+    "shape_leaves",
+    "shapes_with_leaves",
+    "single_state_machine",
+    "valid_shapes",
+]

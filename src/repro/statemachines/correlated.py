@@ -1,0 +1,161 @@
+"""Correlated branch state machines (Section 4.3).
+
+"A state in a correlated branch state machine represents a path from
+correlated branches to the branch to be predicted.  The correlated
+branch state machine is the set of those paths which give the lowest
+misprediction rate.  One state covers the case where the control flow
+matches none of the paths."
+
+States are therefore *independent* — there are no transitions between
+them; which state applies is decided by the path control flow took,
+i.e. by the most recent global branch outcomes.  An execution is
+charged to the longest chosen path matching its global history, or to
+the catch-all.
+
+``best_correlated_machine`` selects the path set greedily by exact
+marginal gain: with at most a few hundred observed history patterns per
+branch, each candidate evaluation is a full recount, so nested paths
+and majority flips in the residual group are handled exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..profiling import PatternTable
+from .machine import Pattern, ScoredMachine, pattern_str
+from .scoring import longest_match_groups, majority, node_counts
+
+
+@dataclass(frozen=True)
+class CorrelatedMachine:
+    """Independent path states plus a catch-all."""
+
+    paths: Tuple[Pattern, ...]
+    predictions: Tuple[bool, ...]
+    fallback: bool
+    kind: str = "correlated"
+
+    @property
+    def n_states(self) -> int:
+        return len(self.paths) + 1
+
+    def state_of(self, history: int) -> Optional[int]:
+        """Index of the longest path matching *history* (None = catch-all)."""
+        best: Optional[int] = None
+        best_length = -1
+        for index, (value, length) in enumerate(self.paths):
+            if length > best_length and (history & ((1 << length) - 1)) == value:
+                best = index
+                best_length = length
+        return best
+
+    def predict(self, history: int) -> bool:
+        state = self.state_of(history)
+        if state is None:
+            return self.fallback
+        return self.predictions[state]
+
+    def describe(self) -> str:
+        lines = [f"correlated machine, {self.n_states} states"]
+        for (pattern, prediction) in zip(self.paths, self.predictions):
+            lines.append(
+                f"   [{pattern_str(pattern)}] predict "
+                f"{'taken' if prediction else 'not-taken'}"
+            )
+        lines.append(
+            f"   [*] predict {'taken' if self.fallback else 'not-taken'}"
+        )
+        return "\n".join(lines)
+
+
+def _score_paths(
+    table: PatternTable, paths: List[Pattern], default: bool
+) -> Tuple[int, List[bool], bool]:
+    """Correct count + per-path and fallback majority predictions."""
+    groups, fallback_counts = longest_match_groups(table, paths)
+    correct = sum(max(cell) for cell in groups) + max(fallback_counts)
+    predictions = [majority((cell[0], cell[1]), default) for cell in groups]
+    fallback = majority((fallback_counts[0], fallback_counts[1]), default)
+    return correct, predictions, fallback
+
+
+def best_correlated_machine(
+    table: PatternTable,
+    max_states: int,
+    max_path_length: Optional[int] = None,
+    max_candidates: int = 64,
+) -> ScoredMachine:
+    """Greedy exact-gain selection of at most ``max_states - 1`` paths.
+
+    *table* is the branch's **global**-history pattern table.  Paths
+    longer than ``max_path_length`` (default: ``max_states - 1``, the
+    paper's "maximum path length of n for an n state machine" bound to
+    keep the replicated code small) are not considered.  Candidates are
+    the ``max_candidates`` most frequent observed patterns.
+    """
+    if max_states < 1:
+        raise ValueError("need at least one state")
+    total = table.executions()
+    nodes = node_counts(table)
+    default = majority(nodes.get((0, 0), (0, 0)))
+    limit = max_path_length if max_path_length is not None else max(1, max_states - 1)
+    limit = min(limit, table.bits)
+    candidates = [
+        (pattern, counts)
+        for pattern, counts in nodes.items()
+        if 1 <= pattern[1] <= limit
+    ]
+    candidates.sort(key=lambda item: -(item[1][0] + item[1][1]))
+    candidates = [pattern for pattern, _ in candidates[:max_candidates]]
+
+    chosen: List[Pattern] = []
+    best_correct, predictions, fallback = _score_paths(table, chosen, default)
+    while len(chosen) < max_states - 1:
+        best_gain = 0
+        best_pattern: Optional[Pattern] = None
+        for pattern in candidates:
+            if pattern in chosen:
+                continue
+            correct, _, _ = _score_paths(table, chosen + [pattern], default)
+            gain = correct - best_correct
+            if gain > best_gain:
+                best_gain = gain
+                best_pattern = pattern
+        if best_pattern is None:
+            break
+        chosen.append(best_pattern)
+        best_correct, predictions, fallback = _score_paths(table, chosen, default)
+    machine = CorrelatedMachine(tuple(chosen), tuple(predictions), fallback)
+    return ScoredMachine(machine, best_correct, total)
+
+
+def correlated_machine_options(
+    table: PatternTable,
+    max_states: int,
+    max_candidates: int = 64,
+) -> List[ScoredMachine]:
+    """One scored machine per state count 1..max_states.
+
+    Runs the greedy selection once at the largest budget and derives
+    the smaller machines from prefixes of the chosen path sequence,
+    dropping paths longer than each size's ``n - 1`` length bound and
+    rescoring exactly.  Returned machines are indexed so that
+    ``options[n - 1]`` has at most *n* states.
+    """
+    total = table.executions()
+    nodes = node_counts(table)
+    default = majority(nodes.get((0, 0), (0, 0)))
+    full = best_correlated_machine(
+        table, max_states, max_path_length=table.bits, max_candidates=max_candidates
+    )
+    sequence: Tuple[Pattern, ...] = full.machine.paths
+    options: List[ScoredMachine] = []
+    for n_states in range(1, max_states + 1):
+        limit = n_states - 1
+        chosen = [p for p in sequence if p[1] <= limit][:limit]
+        correct, predictions, fallback = _score_paths(table, chosen, default)
+        machine = CorrelatedMachine(tuple(chosen), tuple(predictions), fallback)
+        options.append(ScoredMachine(machine, correct, total))
+    return options

@@ -1,0 +1,179 @@
+"""Loop-exit branch state machines (Section 4.2).
+
+A loop-exit branch leaves the loop on one of its directions.  Its
+machines are chains: the initial state represents "the loop exited on
+the last execution", the following states count iterations since then,
+and the deepest state is a catch-all.  Figure 5's variant additionally
+lets the two deepest states alternate, capturing loops with a strong
+even/odd iteration-count bias.
+
+Both variants are built here and ``best_loop_exit_machine`` picks the
+better one per branch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..profiling import PatternTable
+from .machine import (
+    MachineState,
+    Pattern,
+    PredictionMachine,
+    ScoredMachine,
+    pattern_str,
+    single_state_machine,
+)
+from .scoring import NodeCounts, majority, node_counts, partition_score
+
+
+def _comb_patterns(n_states: int, stay_bit: int) -> List[Pattern]:
+    """Patterns of the saturating chain: [exit], [stay,exit], ...,
+    [stay^(n-1)] — in taken-bit terms, newest outcome in bit 0."""
+    exit_bit = 1 - stay_bit
+    patterns: List[Pattern] = []
+    for i in range(n_states - 1):
+        value = sum(stay_bit << j for j in range(i)) | (exit_bit << i)
+        patterns.append((value, i + 1))
+    catch_value = sum(stay_bit << j for j in range(n_states - 1))
+    patterns.append((catch_value, n_states - 1))
+    return patterns
+
+
+def comb_machine(
+    table: PatternTable,
+    n_states: int,
+    exit_on_taken: bool,
+    nodes: Optional[NodeCounts] = None,
+) -> ScoredMachine:
+    """The saturating loop-exit chain with *n_states* states."""
+    if n_states < 1:
+        raise ValueError("need at least one state")
+    if n_states - 1 > table.bits:
+        raise ValueError("chain deeper than the recorded history")
+    nodes = nodes if nodes is not None else node_counts(table)
+    total = table.executions()
+    default = majority(nodes.get((0, 0), (0, 0)))
+    if n_states == 1:
+        return ScoredMachine(
+            single_state_machine(default, "loop-exit"),
+            max(nodes.get((0, 0), (0, 0))),
+            total,
+        )
+    stay_bit = 0 if exit_on_taken else 1
+    patterns = _comb_patterns(n_states, stay_bit)
+    states: List[MachineState] = []
+    last = n_states - 1
+    for index, pattern in enumerate(patterns):
+        counts = nodes.get(pattern, (0, 0))
+        on_stay, on_exit = (min(index + 1, last), 0)
+        on_not_taken = on_stay if exit_on_taken else on_exit
+        on_taken = on_exit if exit_on_taken else on_stay
+        states.append(
+            MachineState(
+                pattern_str(pattern),
+                majority(counts, default),
+                on_not_taken,
+                on_taken,
+                pattern,
+            )
+        )
+    machine = PredictionMachine(tuple(states), 0, "loop-exit")
+    return ScoredMachine(machine, partition_score(nodes, patterns), total)
+
+
+def parity_machine(
+    table: PatternTable,
+    n_states: int,
+    exit_on_taken: bool,
+    nodes: Optional[NodeCounts] = None,
+) -> ScoredMachine:
+    """Figure 5's variant: the two deepest states alternate, tracking
+    the parity of the iteration count beyond the chain."""
+    if n_states < 3:
+        raise ValueError("parity machine needs at least 3 states")
+    nodes = nodes if nodes is not None else node_counts(table)
+    total = table.executions()
+    default = majority(nodes.get((0, 0), (0, 0)))
+    stay_bit = 0 if exit_on_taken else 1
+    exit_bit = 1 - stay_bit
+    depth = n_states - 2  # chain states 0..depth-1, then parity pair
+    chain_patterns: List[Pattern] = []
+    for i in range(depth):
+        value = sum(stay_bit << j for j in range(i)) | (exit_bit << i)
+        chain_patterns.append((value, i + 1))
+    chain_counts = [nodes.get(p, (0, 0)) for p in chain_patterns]
+    # Deep patterns [stay^k, exit] with k >= depth split by parity of k.
+    parity_counts = [[0, 0], [0, 0]]  # index = k % 2
+    for k in range(depth, table.bits):
+        value = sum(stay_bit << j for j in range(k)) | (exit_bit << k)
+        counts = nodes.get((value, k + 1), (0, 0))
+        parity_counts[k % 2][0] += counts[0]
+        parity_counts[k % 2][1] += counts[1]
+    # The all-stay pattern cannot reveal its exit distance; charge it to
+    # the parity of the full history depth (documented approximation).
+    all_stay = (sum(stay_bit << j for j in range(table.bits)), table.bits)
+    counts = nodes.get(all_stay, (0, 0))
+    parity_counts[table.bits % 2][0] += counts[0]
+    parity_counts[table.bits % 2][1] += counts[1]
+
+    states: List[MachineState] = []
+    for i, pattern in enumerate(chain_patterns):
+        # Chain state i has seen i stays; one more stay gives i+1.
+        next_k = i + 1
+        if next_k < depth:
+            on_stay = next_k
+        else:
+            on_stay = depth + (next_k % 2 != depth % 2)
+        states.append(
+            MachineState(
+                pattern_str(pattern),
+                majority(chain_counts[i], default),
+                0 if not exit_on_taken else on_stay,
+                on_stay if not exit_on_taken else 0,
+                pattern,
+            )
+        )
+    # Parity states: index depth = parity (depth % 2), depth+1 = other.
+    for offset in (0, 1):
+        parity = (depth + offset) % 2
+        counts_cell = (
+            parity_counts[parity][0],
+            parity_counts[parity][1],
+        )
+        other = depth + (1 - offset)
+        name = f"{'1' if stay_bit else '0'}^{'even' if parity == 0 else 'odd'}"
+        states.append(
+            MachineState(
+                name,
+                majority(counts_cell, default),
+                0 if not exit_on_taken else other,
+                other if not exit_on_taken else 0,
+                None,
+            )
+        )
+    machine = PredictionMachine(tuple(states), 0, "loop-exit-parity")
+    correct = sum(max(c) for c in chain_counts)
+    correct += max(parity_counts[0]) + max(parity_counts[1])
+    # Plus everything shorter than depth that the chain cannot see is
+    # already covered: chain + parity states partition all histories.
+    return ScoredMachine(machine, correct, total)
+
+
+def best_loop_exit_machine(
+    table: PatternTable,
+    max_states: int,
+    exit_on_taken: bool,
+) -> ScoredMachine:
+    """Best chain or parity machine with at most *max_states* states."""
+    nodes = node_counts(table)
+    best: Optional[ScoredMachine] = None
+    for n_states in range(1, min(max_states, table.bits + 1) + 1):
+        candidates = [comb_machine(table, n_states, exit_on_taken, nodes)]
+        if n_states >= 3:
+            candidates.append(parity_machine(table, n_states, exit_on_taken, nodes))
+        for scored in candidates:
+            if best is None or scored.correct > best.correct:
+                best = scored
+    assert best is not None
+    return best

@@ -1,0 +1,102 @@
+"""State machine minimisation.
+
+Every machine state becomes a copy of the loop, so redundant states are
+pure code-size waste.  Two states are *equivalent* when they predict
+the same direction and their successors are (recursively) equivalent —
+the Moore-machine variant of DFA minimisation, solved by the classic
+partition-refinement algorithm.
+
+``minimize_machine`` returns a machine with the same prediction
+behaviour on every outcome sequence (property-tested) and the fewest
+states that can have it.  The exhaustive trie search usually produces
+already-minimal machines; minimisation pays off for hand-built or
+chain machines whose deep states agree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .machine import MachineState, PredictionMachine
+
+
+def minimize_machine(machine: PredictionMachine) -> PredictionMachine:
+    """Merge behaviourally equivalent states (reachable ones only)."""
+    reachable = machine.reachable_states()
+    index_of = {state: i for i, state in enumerate(reachable)}
+
+    # Initial partition: by prediction.
+    block_of: List[int] = [
+        0 if machine.states[state].prediction else 1 for state in reachable
+    ]
+    # Normalise block ids to be dense.
+    block_of = _renumber(block_of)
+
+    while True:
+        # Refine: signature = (block, successor blocks).
+        signatures: List[Tuple[int, int, int]] = []
+        for position, state in enumerate(reachable):
+            on_not_taken = machine.states[state].on_not_taken
+            on_taken = machine.states[state].on_taken
+            signatures.append(
+                (
+                    block_of[position],
+                    block_of[index_of[on_not_taken]],
+                    block_of[index_of[on_taken]],
+                )
+            )
+        refined = _renumber([_intern(signatures)[i] for i in range(len(reachable))])
+        if refined == block_of:
+            break
+        block_of = refined
+
+    block_count = max(block_of) + 1
+    if block_count == len(reachable) and reachable == list(range(machine.n_states)):
+        return machine  # already minimal
+
+    # Build the quotient machine: one representative per block.
+    representative: Dict[int, int] = {}
+    for position, block in enumerate(block_of):
+        representative.setdefault(block, reachable[position])
+    states: List[MachineState] = []
+    for block in range(block_count):
+        old = machine.states[representative[block]]
+        members = [
+            machine.states[reachable[i]].name
+            for i, b in enumerate(block_of)
+            if b == block
+        ]
+        name = members[0] if len(members) == 1 else "{" + ",".join(members) + "}"
+        states.append(
+            MachineState(
+                name,
+                old.prediction,
+                block_of[index_of[old.on_not_taken]],
+                block_of[index_of[old.on_taken]],
+                old.pattern if len(members) == 1 else None,
+            )
+        )
+    initial = block_of[index_of[machine.initial]]
+    return PredictionMachine(tuple(states), initial, machine.kind)
+
+
+def _renumber(blocks: List[int]) -> List[int]:
+    """Relabel block ids densely in first-appearance order."""
+    mapping: Dict[int, int] = {}
+    out: List[int] = []
+    for block in blocks:
+        if block not in mapping:
+            mapping[block] = len(mapping)
+        out.append(mapping[block])
+    return out
+
+
+def _intern(signatures: List[Tuple[int, int, int]]) -> Dict[int, int]:
+    """Map each position to a dense id of its signature."""
+    ids: Dict[Tuple[int, int, int], int] = {}
+    out: Dict[int, int] = {}
+    for position, signature in enumerate(signatures):
+        if signature not in ids:
+            ids[signature] = len(ids)
+        out[position] = ids[signature]
+    return out

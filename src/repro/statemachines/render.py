@@ -1,0 +1,82 @@
+"""Rendering state machines as Graphviz DOT or ASCII.
+
+The paper's Figures 2-5 are state machine diagrams; these helpers
+regenerate their content for any machine the search produces.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .correlated import CorrelatedMachine
+from .machine import PredictionMachine, pattern_str
+
+
+def machine_to_dot(machine: PredictionMachine, name: str = "machine") -> str:
+    """Graphviz DOT for a transition machine."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for index, state in enumerate(machine.states):
+        shape = "doublecircle" if index == machine.initial else "circle"
+        prediction = "T" if state.prediction else "N"
+        lines.append(
+            f'  s{index} [label="{state.name}\\npredict {prediction}", '
+            f"shape={shape}];"
+        )
+    for index, state in enumerate(machine.states):
+        lines.append(f'  s{index} -> s{state.on_not_taken} [label="0"];')
+        lines.append(f'  s{index} -> s{state.on_taken} [label="1"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def correlated_to_dot(machine: CorrelatedMachine, name: str = "machine") -> str:
+    """Graphviz DOT for a correlated (transition-free) machine."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for index, (pattern, prediction) in enumerate(
+        zip(machine.paths, machine.predictions)
+    ):
+        label = pattern_str(pattern)
+        lines.append(
+            f'  p{index} [label="path {label}\\npredict '
+            f'{"T" if prediction else "N"}", shape=box];'
+        )
+    lines.append(
+        f'  fallback [label="no match\\npredict '
+        f'{"T" if machine.fallback else "N"}", shape=box, style=dashed];'
+    )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def joint_to_dot(machine, name: str = "machine") -> str:
+    """Graphviz DOT for a joint loop machine (per-branch predictions)."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for index, state in enumerate(machine.states):
+        shape = "doublecircle" if index == machine.initial else "circle"
+        predictions = "\\n".join(
+            f"{site.block}: {'T' if p else 'N'}" for site, p in state.predictions
+        )
+        lines.append(
+            f'  s{index} [label="{state.name}\\n{predictions}", shape={shape}];'
+        )
+    for index, state in enumerate(machine.states):
+        lines.append(f'  s{index} -> s{state.on_not_taken} [label="0"];')
+        lines.append(f'  s{index} -> s{state.on_taken} [label="1"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def machine_to_ascii(machine: PredictionMachine) -> str:
+    """Compact transition table."""
+    rows: List[str] = []
+    width = max(len(state.name) for state in machine.states)
+    header = f"{'state':<{width}}  pred  on-0{'':<{width - 4 if width > 4 else 0}}  on-1"
+    rows.append(header)
+    for index, state in enumerate(machine.states):
+        marker = "*" if index == machine.initial else " "
+        rows.append(
+            f"{state.name:<{width}}{marker} {'T' if state.prediction else 'N':>4}  "
+            f"{machine.states[state.on_not_taken].name:<{width}}  "
+            f"{machine.states[state.on_taken].name}"
+        )
+    return "\n".join(rows)

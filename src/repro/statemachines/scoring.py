@@ -1,0 +1,91 @@
+"""Scoring state machines against pattern tables.
+
+"For each 9 bit pattern we collected the number of taken and not taken
+branches.  This information is used to compute the number of taken and
+not taken branches for all shorter patterns.  Adding now the counts for
+the more frequent direction of all states ... taking care that patterns
+are counted not more than once, we get the number of correct predicted
+branches for the state machine."  (Section 4.1)
+
+:func:`node_counts` materialises the counts of *every* pattern length
+at once; each full-depth pattern is then charged to exactly one state
+(its unique trie leaf, or its longest matching path for correlated
+machines).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..profiling import PatternTable
+from .machine import Pattern
+
+
+NodeCounts = Dict[Pattern, Tuple[int, int]]
+
+
+def node_counts(table: PatternTable) -> NodeCounts:
+    """Counts for all suffixes of all observed patterns.
+
+    Key ``(value, length)`` with LSB = most recent outcome; value
+    ``(not_taken, taken)``.  Includes the empty pattern ``(0, 0)``
+    holding the branch totals.
+    """
+    acc: Dict[Pattern, List[int]] = {}
+    bits = table.bits
+    for history, entry in table.counts.items():
+        for length in range(0, bits + 1):
+            key = (history & ((1 << length) - 1), length)
+            cell = acc.get(key)
+            if cell is None:
+                acc[key] = [entry[0], entry[1]]
+            else:
+                cell[0] += entry[0]
+                cell[1] += entry[1]
+    return {key: (cell[0], cell[1]) for key, cell in acc.items()}
+
+
+def leaf_counts(
+    nodes: NodeCounts, leaves: Iterable[Pattern]
+) -> List[Tuple[int, int]]:
+    """Counts charged to each leaf of a partition machine."""
+    return [nodes.get(leaf, (0, 0)) for leaf in leaves]
+
+
+def partition_score(nodes: NodeCounts, leaves: Iterable[Pattern]) -> int:
+    """Correct predictions when each leaf predicts its majority."""
+    return sum(max(nodes.get(leaf, (0, 0))) for leaf in leaves)
+
+
+def longest_match_groups(
+    table: PatternTable, patterns: List[Pattern]
+) -> Tuple[List[List[int]], List[int]]:
+    """Charge each full-depth table entry to its *longest* matching
+    pattern (correlated-machine semantics).
+
+    Returns ``(per_pattern_counts, fallback_counts)`` where each counts
+    cell is ``[not_taken, taken]``; entries matching no pattern land in
+    the fallback (catch-all) cell.
+    """
+    ordered = sorted(range(len(patterns)), key=lambda i: -patterns[i][1])
+    groups: List[List[int]] = [[0, 0] for _ in patterns]
+    fallback = [0, 0]
+    for history, entry in table.counts.items():
+        target: Optional[int] = None
+        for index in ordered:
+            value, length = patterns[index]
+            if (history & ((1 << length) - 1)) == value:
+                target = index
+                break
+        cell = groups[target] if target is not None else fallback
+        cell[0] += entry[0]
+        cell[1] += entry[1]
+    return groups, fallback
+
+
+def majority(counts: Tuple[int, int], default: bool = True) -> bool:
+    """Majority direction of a (not_taken, taken) cell."""
+    not_taken, taken = counts
+    if taken == not_taken:
+        return default
+    return taken > not_taken

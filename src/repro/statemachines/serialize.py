@@ -1,0 +1,125 @@
+"""Machine serialisation (JSON).
+
+Chosen machines are compiler artefacts worth persisting — a build
+system would compute them once per training run and reuse them across
+compilations.  Round-trips :class:`PredictionMachine`,
+:class:`CorrelatedMachine` and :class:`JointLoopMachine`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+
+from ..ir import BranchSite
+from .correlated import CorrelatedMachine
+from .joint import JointLoopMachine, JointState
+from .machine import MachineState, PredictionMachine
+
+Machine = Union[PredictionMachine, CorrelatedMachine, JointLoopMachine]
+
+
+class MachineFormatError(Exception):
+    """Raised when serialised machine data is malformed."""
+
+
+def machine_to_json(machine: Machine) -> str:
+    """Serialise any machine kind to a JSON string."""
+    if isinstance(machine, PredictionMachine):
+        document = {
+            "type": "prediction",
+            "kind": machine.kind,
+            "initial": machine.initial,
+            "states": [
+                {
+                    "name": state.name,
+                    "prediction": state.prediction,
+                    "on_not_taken": state.on_not_taken,
+                    "on_taken": state.on_taken,
+                    "pattern": list(state.pattern) if state.pattern else None,
+                }
+                for state in machine.states
+            ],
+        }
+    elif isinstance(machine, CorrelatedMachine):
+        document = {
+            "type": "correlated",
+            "kind": machine.kind,
+            "paths": [list(p) for p in machine.paths],
+            "predictions": list(machine.predictions),
+            "fallback": machine.fallback,
+        }
+    elif isinstance(machine, JointLoopMachine):
+        document = {
+            "type": "joint",
+            "kind": machine.kind,
+            "initial": machine.initial,
+            "sites": [[s.function, s.block] for s in machine.sites],
+            "states": [
+                {
+                    "name": state.name,
+                    "predictions": [
+                        [site.function, site.block, p]
+                        for site, p in state.predictions
+                    ],
+                    "on_not_taken": state.on_not_taken,
+                    "on_taken": state.on_taken,
+                    "pattern": list(state.pattern) if state.pattern else None,
+                }
+                for state in machine.states
+            ],
+        }
+    else:
+        raise MachineFormatError(f"cannot serialise {type(machine).__name__}")
+    return json.dumps(document, indent=2)
+
+
+def machine_from_json(text: str) -> Machine:
+    """Deserialise a machine written by :func:`machine_to_json`."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise MachineFormatError(f"bad JSON: {error}") from None
+    try:
+        machine_type = document["type"]
+        if machine_type == "prediction":
+            states = tuple(
+                MachineState(
+                    entry["name"],
+                    bool(entry["prediction"]),
+                    entry["on_not_taken"],
+                    entry["on_taken"],
+                    tuple(entry["pattern"]) if entry["pattern"] else None,
+                )
+                for entry in document["states"]
+            )
+            return PredictionMachine(states, document["initial"], document["kind"])
+        if machine_type == "correlated":
+            return CorrelatedMachine(
+                tuple(tuple(p) for p in document["paths"]),
+                tuple(bool(p) for p in document["predictions"]),
+                bool(document["fallback"]),
+                document["kind"],
+            )
+        if machine_type == "joint":
+            sites = tuple(
+                BranchSite(function, block)
+                for function, block in document["sites"]
+            )
+            states = tuple(
+                JointState(
+                    entry["name"],
+                    tuple(
+                        (BranchSite(function, block), bool(p))
+                        for function, block, p in entry["predictions"]
+                    ),
+                    entry["on_not_taken"],
+                    entry["on_taken"],
+                    tuple(entry["pattern"]) if entry["pattern"] else None,
+                )
+                for entry in document["states"]
+            )
+            return JointLoopMachine(sites, states, document["initial"], document["kind"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise MachineFormatError(f"malformed machine document: {error}") from None
+    raise MachineFormatError(f"unknown machine type {machine_type!r}")

@@ -1,0 +1,231 @@
+"""``python -m repro`` — a command-line front end to the whole pipeline.
+
+Works on textual IR files (see :mod:`repro.ir.parser` for the format):
+
+    python -m repro validate prog.ir
+    python -m repro run prog.ir --args 100
+    python -m repro trace prog.ir --args 100 -o prog.trace
+    python -m repro analyze prog.ir --args 100
+    python -m repro optimize prog.ir --args 100 --max-states 4 -o out.ir
+    python -m repro machines prog.ir --args 100 --branch main:body
+
+`optimize` is the full paper pipeline: profile a training run, choose
+the best machine per branch, replicate, annotate and report the
+measured misprediction improvement; the transformed program is written
+back as text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .cfg import classify_branches
+from .ir import BranchSite, format_program, parse_program, validate_program
+from .interp import run_program
+from .profiling import (
+    ProfileData,
+    load_profile,
+    profile_program,
+    save_profile,
+    save_trace,
+    trace_program,
+)
+from .replication import (
+    ReplicationPlanner,
+    apply_replication,
+    measure_annotated,
+)
+from .statemachines import machine_to_ascii, machine_to_dot
+
+
+def _load(path: str):
+    with open(path) as stream:
+        program = parse_program(stream.read())
+    validate_program(program)
+    return program
+
+
+def _parse_args_list(text: Optional[str]) -> List[int]:
+    if not text:
+        return []
+    return [int(part) for part in text.split(",")]
+
+
+def cmd_validate(options) -> int:
+    _load(options.program)
+    print(f"{options.program}: OK")
+    return 0
+
+
+def cmd_run(options) -> int:
+    program = _load(options.program)
+    result = run_program(program, _parse_args_list(options.args))
+    print(f"result: {result.value}")
+    print(f"output: {result.output}")
+    print(f"steps: {result.steps}, branches: {result.branches}")
+    return 0
+
+
+def cmd_trace(options) -> int:
+    program = _load(options.program)
+    trace, result = trace_program(program, _parse_args_list(options.args))
+    print(f"{len(trace)} branch events, result {result.value}")
+    if options.output:
+        save_trace(trace, options.output)
+        print(f"trace written to {options.output}")
+    return 0
+
+
+def cmd_analyze(options) -> int:
+    program = _load(options.program)
+    trace, _ = trace_program(program, _parse_args_list(options.args))
+    profile = ProfileData.from_trace(trace)
+    infos = classify_branches(program)
+    print(f"{options.program}: {program.size()} instructions, "
+          f"{len(program.branch_sites())} branches, {len(trace)} events\n")
+    print(f"{'branch':30s} {'class':12s} {'execs':>8s} {'taken%':>8s} "
+          f"{'profile-miss%':>14s}")
+    for site, counts in sorted(profile.totals.items()):
+        info = infos.get(site)
+        kind = info.kind.value if info else "?"
+        executions = counts[0] + counts[1]
+        taken_pct = 100 * counts[1] / executions
+        miss = 100 * min(counts) / executions
+        print(f"{str(site):30s} {kind:12s} {executions:8d} {taken_pct:7.1f}% "
+              f"{miss:13.2f}%")
+    return 0
+
+
+def cmd_profile(options) -> int:
+    """One-pass streaming profile of a run, saved for later optimize."""
+    program = _load(options.program)
+    profile, result = profile_program(program, _parse_args_list(options.args))
+    print(f"{profile.events} branch events over {len(profile.totals)} "
+          f"branches (result {result.value})")
+    if options.output:
+        save_profile(profile, options.output)
+        print(f"profile written to {options.output}")
+    return 0
+
+
+def cmd_optimize(options) -> int:
+    program = _load(options.program)
+    args = _parse_args_list(options.args)
+    if options.profile:
+        profile = load_profile(options.profile)
+        print(f"using saved profile {options.profile} "
+              f"({profile.events} events)")
+    else:
+        trace, _ = trace_program(program, args)
+        profile = ProfileData.from_trace(trace)
+    planner = ReplicationPlanner(program, profile, options.max_states)
+    selections = []
+    for plan in planner.improvable_plans():
+        option = plan.best_option(options.max_states)
+        if option is None:
+            continue
+        selections.append((plan.site, option.scored.machine))
+        print(f"improving {plan.site}: {option.family} machine, "
+              f"{option.n_states} states")
+    if not selections:
+        print("nothing to improve; emitting profile annotations only")
+    report = apply_replication(program, selections, profile)
+    baseline = measure_annotated(
+        apply_replication(program, [], profile).program, args
+    )
+    improved = measure_annotated(report.program, args)
+    print(f"code size: {report.size_before} -> {report.size_after} "
+          f"({report.size_factor:.2f}x)")
+    print(f"misprediction: {baseline.misprediction_rate:.2%} -> "
+          f"{improved.misprediction_rate:.2%}")
+    if options.output:
+        with open(options.output, "w") as stream:
+            stream.write(format_program(report.program))
+        print(f"transformed program written to {options.output}")
+    return 0
+
+
+def cmd_machines(options) -> int:
+    program = _load(options.program)
+    args = _parse_args_list(options.args)
+    trace, _ = trace_program(program, args)
+    profile = ProfileData.from_trace(trace)
+    planner = ReplicationPlanner(program, profile, options.max_states)
+    function_name, _, block = options.branch.partition(":")
+    site = BranchSite(function_name, block)
+    plan = planner.plans.get(site)
+    if plan is None:
+        print(f"no such executed branch: {options.branch}", file=sys.stderr)
+        return 1
+    print(f"{site}: {plan.info.kind.value}, {plan.executions} executions, "
+          f"profile predicts {plan.profile_correct} correctly")
+    for option in plan.options:
+        machine = option.scored.machine
+        print(f"\n-- {option.n_states} states ({option.family}), "
+              f"{option.correct} correct, +{option.extra_size} instructions --")
+        if hasattr(machine, "states"):
+            print(machine_to_ascii(machine))
+            if options.dot:
+                print(machine_to_dot(machine))
+        else:
+            print(machine.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Semi-static branch prediction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("program", help="textual IR file")
+        p.add_argument("--args", default="", help="comma-separated main() args")
+
+    p = sub.add_parser("validate", help="parse and validate an IR file")
+    p.add_argument("program")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("run", help="execute a program")
+    common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("trace", help="collect a branch trace")
+    common(p)
+    p.add_argument("-o", "--output", help="write compressed trace here")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("analyze", help="profile and classify branches")
+    common(p)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("profile", help="one-pass streaming profile")
+    common(p)
+    p.add_argument("-o", "--output", help="write profile file here")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("optimize", help="replicate code for prediction")
+    common(p)
+    p.add_argument("--max-states", type=int, default=4)
+    p.add_argument("--profile", help="train from a saved profile file")
+    p.add_argument("-o", "--output", help="write transformed IR here")
+    p.set_defaults(func=cmd_optimize)
+
+    p = sub.add_parser("machines", help="show candidate machines for a branch")
+    common(p)
+    p.add_argument("--branch", required=True, help="function:block")
+    p.add_argument("--max-states", type=int, default=6)
+    p.add_argument("--dot", action="store_true", help="also emit Graphviz DOT")
+    p.set_defaults(func=cmd_machines)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    options = build_parser().parse_args(argv)
+    return options.func(options)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

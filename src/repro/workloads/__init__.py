@@ -1,0 +1,45 @@
+"""Synthetic workloads standing in for the paper's benchmark suite."""
+
+from . import (
+    abalone,
+    c_compiler,
+    compress,
+    doduc,
+    ghostview,
+    predict,
+    prolog,
+    scheduler,
+)
+from .benchmarks import (
+    BENCHMARK_NAMES,
+    WORKLOADS,
+    Workload,
+    get_profile,
+    get_program,
+    get_run_steps,
+    get_trace,
+    get_workload,
+)
+from .common import (
+    add_global_lcg,
+    add_lcg,
+    reference_global_lcg,
+    reference_lcg,
+)
+from .generators import random_program
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "WORKLOADS",
+    "Workload",
+    "add_global_lcg",
+    "add_lcg",
+    "get_profile",
+    "get_program",
+    "get_run_steps",
+    "get_trace",
+    "get_workload",
+    "random_program",
+    "reference_global_lcg",
+    "reference_lcg",
+]

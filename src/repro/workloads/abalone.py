@@ -1,0 +1,85 @@
+"""`abalone` stand-in: alpha-beta game-tree search.
+
+The original is a board game engine built on alpha-beta search — the
+paper's hardest benchmark: its figures show it needs enormous code
+growth to approach its best misprediction rate, because the pruning
+branches ("is this move better?" / "can we cut off?") are dominated by
+data and carry little exploitable history structure.  We reproduce
+that with a negamax search over a pseudo-random game tree.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+from .common import add_global_lcg
+
+DEPTH = 4
+
+
+def build() -> Program:
+    """``main(games, seed)`` returns the total of root evaluations."""
+    pb = ProgramBuilder()
+    add_global_lcg(pb)
+
+    # func search(depth, alpha, beta) -> score (negamax with pruning)
+    fb = pb.function("search", ["depth", "alpha", "beta"])
+    fb.branch("le", "depth", 0, "leaf", "expand")
+    fb.label("leaf")
+    pick = fb.call("grand", [])
+    bounded = fb.mod(pick, 201)
+    score = fb.sub(bounded, 100)
+    fb.ret(score)
+
+    fb.label("expand")
+    width_pick = fb.call("grand", [])
+    extra = fb.mod(width_pick, 3)
+    fb.add(extra, 2, "nmoves")
+    fb.move(-1000, "best")
+    fb.move("alpha", "a")
+    fb.move(0, "m")
+
+    fb.label("move_head")
+    fb.branch("lt", "m", "nmoves", "move_body", "done")
+    fb.label("move_body")
+    child_depth = fb.sub("depth", 1)
+    neg_beta = fb.unop("neg", "beta")
+    neg_a = fb.unop("neg", "a")
+    child = fb.call("search", [child_depth, neg_beta, neg_a])
+    value = fb.unop("neg", child)
+    # Is this move an improvement?  Data-dependent, hard to predict.
+    fb.branch("gt", value, "best", "improve", "no_improve")
+    fb.label("improve")
+    fb.move(value, "best")
+    fb.branch("gt", value, "a", "raise_alpha", "no_improve")
+    fb.label("raise_alpha")
+    fb.move(value, "a")
+    # Beta cutoff: prune the remaining moves.
+    fb.branch("ge", "a", "beta", "done", "no_improve")
+    fb.label("no_improve")
+    fb.add("m", 1, "m")
+    fb.jump("move_head")
+
+    fb.label("done")
+    fb.ret("best")
+
+    # main
+    fb = pb.function("main", ["games", "seed"])
+    fb.call("gseed", ["seed"], void=True)
+    fb.move(0, "total")
+    fb.move(0, "g")
+    fb.label("head")
+    fb.branch("lt", "g", "games", "body", "finish")
+    fb.label("body")
+    result = fb.call("search", [DEPTH, -1000, 1000])
+    fb.add("total", result, "total")
+    fb.add("g", 1, "g")
+    fb.jump("head")
+    fb.label("finish")
+    fb.output("total")
+    fb.ret("total")
+    return pb.build()
+
+
+def default_args(scale: int = 1) -> tuple:
+    games = max(1, (scale * 10_000) // 150)
+    return (games, 97531), ()

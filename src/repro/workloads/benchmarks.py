@@ -1,0 +1,159 @@
+"""The benchmark registry: the paper's eight programs, synthesised.
+
+Each entry mirrors one program of the paper's suite (Section 3).  The
+stand-ins generate real branch traces through the interpreter; DESIGN.md
+documents why each is a behavioural substitute for the original.
+
+``get_trace`` memoises traces per (name, scale) — trace generation is
+by far the most expensive step of the experiment pipeline.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..ir import Program
+from ..profiling import ProfileData, Trace, collect_path_tables, trace_program
+from . import (
+    abalone,
+    c_compiler,
+    compress,
+    doduc,
+    ghostview,
+    predict,
+    prolog,
+    scheduler,
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark: a program builder plus its input convention."""
+
+    name: str
+    description: str
+    build: Callable[[], Program]
+    default_args: Callable[[int], Tuple[Sequence[int], Sequence[int]]]
+
+
+#: The paper's benchmark suite, in its presentation order.
+WORKLOADS: Dict[str, Workload] = {
+    spec.name: spec
+    for spec in (
+        Workload(
+            "abalone",
+            "a board game employing alpha-beta search",
+            abalone.build,
+            abalone.default_args,
+        ),
+        Workload(
+            "c-compiler",
+            "the lcc compiler front end of Fraser & Hanson",
+            c_compiler.build,
+            c_compiler.default_args,
+        ),
+        Workload(
+            "compress",
+            "a file compression utility (SPEC)",
+            compress.build,
+            compress.default_args,
+        ),
+        Workload(
+            "ghostview",
+            "an X postscript previewer",
+            ghostview.build,
+            ghostview.default_args,
+        ),
+        Workload(
+            "predict",
+            "our profiling and trace tool",
+            predict.build,
+            predict.default_args,
+        ),
+        Workload(
+            "prolog",
+            "the miniVIP Prolog interpreter",
+            prolog.build,
+            prolog.default_args,
+        ),
+        Workload(
+            "scheduler",
+            "an instruction scheduler",
+            scheduler.build,
+            scheduler.default_args,
+        ),
+        Workload(
+            "doduc",
+            "hydrocode simulation (floating point) (SPEC)",
+            doduc.build,
+            doduc.default_args,
+        ),
+    )
+}
+
+BENCHMARK_NAMES: List[str] = list(WORKLOADS)
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {', '.join(WORKLOADS)}"
+        ) from None
+
+
+@functools.lru_cache(maxsize=None)
+def get_program(name: str) -> Program:
+    """The (cached, shared — treat as read-only) program of *name*."""
+    return get_workload(name).build()
+
+
+@functools.lru_cache(maxsize=32)
+def get_trace(name: str, scale: int = 1, seed_offset: int = 0) -> Trace:
+    """Trace of one run of *name* at *scale* (≈ scale × 10k branches).
+
+    ``seed_offset`` perturbs the workload seed — used by the
+    cross-dataset experiments to produce a *different* run of the same
+    program.
+    """
+    workload = get_workload(name)
+    args, input_values = workload.default_args(scale)
+    if seed_offset:
+        args = tuple(args[:-1]) + (args[-1] + seed_offset,)
+    trace, _ = trace_program(get_program(name), args, input_values)
+    return trace
+
+
+@functools.lru_cache(maxsize=32)
+def get_run_steps(name: str, scale: int = 1, seed_offset: int = 0) -> int:
+    """Executed instruction count of the reference run (used by the
+    Fisher/Freudenberger instructions-per-misprediction metric)."""
+    from ..interp import run_program
+
+    workload = get_workload(name)
+    args, input_values = workload.default_args(scale)
+    if seed_offset:
+        args = tuple(args[:-1]) + (args[-1] + seed_offset,)
+    return run_program(get_program(name), args, input_values).steps
+
+
+@functools.lru_cache(maxsize=32)
+def get_profile(
+    name: str, scale: int = 1, seed_offset: int = 0, local_bits: int = 9, global_bits: int = 8
+) -> ProfileData:
+    """Cached profile data for a workload trace, with frame-local path
+    tables attached (an extra instrumented run)."""
+    profile = ProfileData.from_trace(
+        get_trace(name, scale, seed_offset), local_bits, global_bits
+    )
+    workload = get_workload(name)
+    args, input_values = workload.default_args(scale)
+    if seed_offset:
+        args = tuple(args[:-1]) + (args[-1] + seed_offset,)
+    profile.attach_path_tables(
+        collect_path_tables(get_program(name), args, input_values, global_bits)
+    )
+    return profile

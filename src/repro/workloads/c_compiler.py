@@ -1,0 +1,151 @@
+"""`c-compiler` stand-in: the lcc front end's lexer/dispatch behaviour.
+
+A compiler front end spends its branches classifying tokens and
+dispatching on them.  Token streams are far from random: an identifier
+is usually followed by an operator or punctuation, an operator by an
+identifier or number, and so on.  We generate tokens from exactly such
+a Markov chain, then *re-dispatch* on them in a separate if-chain —
+those dispatch branches correlate strongly with the generator branches
+a few events back, which is the behaviour global-history (correlated)
+prediction exploits.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+from .common import add_global_lcg
+
+IDENT, NUMBER, OPERATOR, PUNCT = 0, 1, 2, 3
+
+
+def build() -> Program:
+    """``main(tokens, seed)`` returns a class-count checksum."""
+    pb = ProgramBuilder()
+    add_global_lcg(pb)
+
+    fb = pb.function("main", ["tokens", "seed"])
+    fb.call("gseed", ["seed"], void=True)
+    counts = fb.alloc(4, "counts")
+    fb.move(0, "t")
+    fb.move(PUNCT, "prev")
+    fb.move(0, "chars")
+
+    fb.label("head")
+    fb.branch("lt", "t", "tokens", "gen", "finish")
+
+    # --- Markov token generator -------------------------------------------
+    fb.label("gen")
+    pick = fb.call("grand", [])
+    fb.mod(pick, 10, "r")
+    fb.branch("eq", "prev", IDENT, "after_ident", "gen2")
+    fb.label("after_ident")
+    # ident -> operator (70%) | punct (30%)
+    fb.branch("lt", "r", 7, "make_op", "make_punct")
+    fb.label("gen2")
+    fb.branch("eq", "prev", OPERATOR, "after_op", "gen3")
+    fb.label("after_op")
+    # operator -> ident (60%) | number (40%)
+    fb.branch("lt", "r", 6, "make_ident", "make_number")
+    fb.label("gen3")
+    fb.branch("eq", "prev", NUMBER, "after_number", "after_punct")
+    fb.label("after_number")
+    # number -> operator (50%) | punct (50%)
+    fb.branch("lt", "r", 5, "make_op", "make_punct")
+    fb.label("after_punct")
+    # punct -> ident (80%) | punct (20%)
+    fb.branch("lt", "r", 8, "make_ident", "make_punct")
+
+    fb.label("make_ident")
+    fb.move(IDENT, "tok")
+    fb.jump("dispatch")
+    fb.label("make_number")
+    fb.move(NUMBER, "tok")
+    fb.jump("dispatch")
+    fb.label("make_op")
+    fb.move(OPERATOR, "tok")
+    fb.jump("dispatch")
+    fb.label("make_punct")
+    fb.move(PUNCT, "tok")
+    fb.jump("dispatch")
+
+    # --- Dispatch chain (correlates with the generator) ---------------------
+    fb.label("dispatch")
+    fb.branch("eq", "tok", IDENT, "lex_ident", "disp2")
+    fb.label("disp2")
+    fb.branch("eq", "tok", NUMBER, "lex_number", "disp3")
+    fb.label("disp3")
+    fb.branch("eq", "tok", OPERATOR, "lex_op", "lex_punct")
+
+    # Identifier: scan a short name.
+    fb.label("lex_ident")
+    len_pick = fb.call("grand", [])
+    short = fb.mod(len_pick, 6)
+    name_len = fb.add(short, 2, "name_len")
+    fb.move(0, "p")
+    fb.label("ident_scan")
+    fb.branch("lt", "p", "name_len", "ident_char", "ident_done")
+    fb.label("ident_char")
+    fb.add("chars", 1, "chars")
+    fb.add("p", 1, "p")
+    fb.jump("ident_scan")
+    fb.label("ident_done")
+    fb.move(IDENT, "class")
+    fb.jump("account")
+
+    # Number: scan digits.
+    fb.label("lex_number")
+    dig_pick = fb.call("grand", [])
+    digits = fb.mod(dig_pick, 4)
+    num_len = fb.add(digits, 1, "num_len")
+    fb.move(0, "q")
+    fb.label("num_scan")
+    fb.branch("lt", "q", "num_len", "num_char", "num_done")
+    fb.label("num_char")
+    fb.add("chars", 1, "chars")
+    fb.add("q", 1, "q")
+    fb.jump("num_scan")
+    fb.label("num_done")
+    fb.move(NUMBER, "class")
+    fb.jump("account")
+
+    fb.label("lex_op")
+    fb.add("chars", 1, "chars")
+    fb.move(OPERATOR, "class")
+    fb.jump("account")
+
+    fb.label("lex_punct")
+    fb.add("chars", 1, "chars")
+    fb.move(PUNCT, "class")
+    fb.jump("account")
+
+    fb.label("account")
+    slot = fb.add("counts", "class")
+    old = fb.load(slot)
+    new = fb.add(old, 1)
+    fb.store(slot, new)
+    fb.move("tok", "prev")
+    fb.add("t", 1, "t")
+    fb.jump("head")
+
+    fb.label("finish")
+    fb.move(0, "sum")
+    fb.move(0, "k")
+    fb.label("sum_head")
+    fb.branch("lt", "k", 4, "sum_body", "done")
+    fb.label("sum_body")
+    slot2 = fb.add("counts", "k")
+    val = fb.load(slot2)
+    weighted = fb.mul(val, "k")
+    fb.add("sum", weighted, "sum")
+    fb.add("sum", "chars", "sum")
+    fb.add("k", 1, "k")
+    fb.jump("sum_head")
+    fb.label("done")
+    fb.output("sum")
+    fb.ret("sum")
+    return pb.build()
+
+
+def default_args(scale: int = 1) -> tuple:
+    tokens = max(1, (scale * 10_000) // 10)
+    return (tokens, 31415), ()

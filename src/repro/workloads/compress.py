@@ -1,0 +1,98 @@
+"""`compress` stand-in: run-length + hash-table compression.
+
+The SPEC ``compress`` utility's hot branches test "is this code in the
+table?" and "does the run continue?".  Our stand-in generates a symbol
+stream with geometric runs, probes a small hash table (hit/miss branch
+whose behaviour correlates with run structure) and run-length encodes
+(the "same as previous symbol" branch is strongly correlated with its
+own recent history).
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+from .common import add_global_lcg
+
+TABLE = 32
+SYMBOLS = 12
+
+
+def build() -> Program:
+    """``main(length, seed)`` returns (hits << 16) + emitted codes."""
+    pb = ProgramBuilder()
+    add_global_lcg(pb)
+
+    fb = pb.function("main", ["length", "seed"])
+    fb.call("gseed", ["seed"], void=True)
+    table = fb.alloc(TABLE, "table")
+    fb.move(0, "i")
+    fb.move(-1, "prev")
+    fb.move(0, "run")
+    fb.move(0, "hits")
+    fb.move(0, "emitted")
+    fb.move(0, "runleft")
+    fb.move(0, "sym")
+
+    fb.label("head")
+    fb.branch("lt", "i", "length", "body", "finish")
+
+    # Produce the next symbol: continue the current run or start a new
+    # one with a fresh symbol and a geometric-ish run length.
+    fb.label("body")
+    fb.branch("gt", "runleft", 0, "continue_run", "new_run")
+    fb.label("continue_run")
+    fb.sub("runleft", 1, "runleft")
+    fb.jump("have_symbol")
+    fb.label("new_run")
+    pick = fb.call("grand", [])
+    fb.mod(pick, SYMBOLS, "sym")
+    length_pick = fb.call("grand", [])
+    short = fb.mod(length_pick, 7)
+    fb.move(short, "runleft")
+    fb.jump("have_symbol")
+
+    # Hash-table probe: hit keeps the entry, miss replaces it.
+    fb.label("have_symbol")
+    spread = fb.mul("sym", 7)
+    slot = fb.mod(spread, TABLE)
+    slot_addr = fb.add("table", slot)
+    entry = fb.load(slot_addr)
+    fb.branch("eq", entry, "sym", "probe_hit", "probe_miss")
+    fb.label("probe_hit")
+    fb.add("hits", 1, "hits")
+    fb.jump("rle")
+    fb.label("probe_miss")
+    fb.store(slot_addr, "sym")
+    fb.jump("rle")
+
+    # Run-length encoding: emit a code when the run breaks.
+    fb.label("rle")
+    fb.branch("eq", "sym", "prev", "same", "differ")
+    fb.label("same")
+    fb.add("run", 1, "run")
+    fb.jump("next")
+    fb.label("differ")
+    fb.branch("gt", "run", 0, "flush", "start")
+    fb.label("flush")
+    fb.add("emitted", 1, "emitted")
+    fb.jump("start")
+    fb.label("start")
+    fb.move("sym", "prev")
+    fb.move(1, "run")
+    fb.jump("next")
+
+    fb.label("next")
+    fb.add("i", 1, "i")
+    fb.jump("head")
+
+    fb.label("finish")
+    packed = fb.shl("hits", 16)
+    result = fb.add(packed, "emitted")
+    fb.output(result)
+    fb.ret(result)
+    return pb.build()
+
+
+def default_args(scale: int = 1) -> tuple:
+    length = max(1, (scale * 10_000) // 4)
+    return (length, 13579), ()

@@ -1,0 +1,108 @@
+"""`doduc` stand-in: a fixed-point numeric relaxation kernel.
+
+The original is a Monte-Carlo hydrocode simulation (SPEC, Fortran) —
+the paper's single floating-point benchmark.  Its branch profile is
+dominated by deeply nested counted loops with long trip counts (highly
+predictable loop-exit branches) and a rare convergence test.  We mimic
+that with an integer Jacobi-style stencil over a small grid plus a
+seldom-taken residual check.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+from .common import add_global_lcg
+
+GRID = 24
+
+
+def build() -> Program:
+    """Build the doduc stand-in program.
+
+    ``main(iterations, seed)`` returns a grid checksum.
+    """
+    pb = ProgramBuilder()
+    add_global_lcg(pb)
+
+    fb = pb.function("main", ["iterations", "seed"])
+    fb.call("gseed", ["seed"], void=True)
+    grid = fb.alloc(GRID, "grid")
+
+    # Initialise the grid with pseudo-random values.
+    fb.move(0, "i")
+    fb.label("init_head")
+    fb.branch("lt", "i", GRID, "init_body", "iter_init")
+    fb.label("init_body")
+    value = fb.call("grand", [])
+    scaled = fb.mod(value, 1000)
+    addr = fb.add("grid", "i")
+    fb.store(addr, scaled)
+    fb.add("i", 1, "i")
+    fb.jump("init_head")
+
+    fb.label("iter_init")
+    fb.move(0, "it")
+
+    fb.label("iter_head")
+    fb.branch("lt", "it", "iterations", "sweep_init", "checksum_init")
+
+    # One relaxation sweep: grid[j] = (grid[j-1] + grid[j] + grid[j+1]) / 3.
+    fb.label("sweep_init")
+    fb.move(1, "j")
+    fb.move(0, "residual")
+    fb.label("sweep_head")
+    fb.branch("lt", "j", GRID - 1, "sweep_body", "converged_check")
+    fb.label("sweep_body")
+    left_addr = fb.add("grid", "j")
+    left = fb.load(left_addr, -1)
+    mid = fb.load(left_addr, 0)
+    right = fb.load(left_addr, 1)
+    total = fb.add(left, mid)
+    total = fb.add(total, right)
+    new = fb.div(total, 3)
+    diff = fb.sub(new, mid)
+    magnitude = fb.unop("abs", diff)
+    fb.add("residual", magnitude, "residual")
+    fb.store(left_addr, new)
+    fb.add("j", 1, "j")
+    fb.jump("sweep_head")
+
+    # Rarely-taken convergence branch: perturb the grid when the sweep
+    # changed almost nothing, so the computation keeps going.
+    fb.label("converged_check")
+    fb.branch("lt", "residual", 3, "perturb", "iter_next")
+    fb.label("perturb")
+    noise = fb.call("grand", [])
+    bounded = fb.mod(noise, 500)
+    slot = fb.mod(bounded, GRID)
+    slot_addr = fb.add("grid", slot)
+    fb.store(slot_addr, bounded)
+    fb.jump("iter_next")
+
+    fb.label("iter_next")
+    fb.add("it", 1, "it")
+    fb.jump("iter_head")
+
+    # Checksum of the grid.
+    fb.label("checksum_init")
+    fb.move(0, "k")
+    fb.move(0, "sum")
+    fb.label("checksum_head")
+    fb.branch("lt", "k", GRID, "checksum_body", "finish")
+    fb.label("checksum_body")
+    cell_addr = fb.add("grid", "k")
+    cell = fb.load(cell_addr)
+    fb.add("sum", cell, "sum")
+    fb.add("k", 1, "k")
+    fb.jump("checksum_head")
+
+    fb.label("finish")
+    fb.output("sum")
+    fb.ret("sum")
+    return pb.build()
+
+
+def default_args(scale: int = 1) -> tuple:
+    """(args, input) for a trace of roughly ``scale`` × 10k branches."""
+    iterations = max(1, (scale * 10_000) // (GRID * 2))
+    return (iterations, 987654321), ()

@@ -1,0 +1,96 @@
+"""`ghostview` stand-in: a PostScript-like command interpreter.
+
+The original is an X11 PostScript previewer.  Its interpreter loop
+dispatches drawing commands, and many branches test *mode flags* set by
+earlier commands — the classic correlated-branch situation: whether
+"fill" is enabled when a path is painted is decided by the most recent
+``setfill`` command, i.e. by the outcome of an earlier branch.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+from .common import add_global_lcg
+
+
+def build() -> Program:
+    """``main(commands, seed)`` returns the number of painted cells."""
+    pb = ProgramBuilder()
+    add_global_lcg(pb)
+
+    fb = pb.function("main", ["commands", "seed"])
+    fb.call("gseed", ["seed"], void=True)
+    fb.move(0, "c")
+    fb.move(0, "fill_mode")
+    fb.move(0, "clip_mode")
+    fb.move(0, "painted")
+    fb.move(0, "x")
+
+    fb.label("head")
+    fb.branch("lt", "c", "commands", "body", "finish")
+
+    # Dispatch: 0 = fill on, 1 = fill off, 2 = clip toggle,
+    # 3/4/5 = draw (draws are the common case).
+    fb.label("body")
+    pick = fb.call("grand", [])
+    cmd = fb.mod(pick, 6, "cmd")
+    fb.branch("eq", "cmd", 0, "fill_on", "not_fill_on")
+    fb.label("fill_on")
+    fb.move(1, "fill_mode")
+    fb.jump("next")
+    fb.label("not_fill_on")
+    fb.branch("eq", "cmd", 1, "fill_off", "not_fill_off")
+    fb.label("fill_off")
+    fb.move(0, "fill_mode")
+    fb.jump("next")
+    fb.label("not_fill_off")
+    fb.branch("eq", "cmd", 2, "clip_toggle", "draw")
+    fb.label("clip_toggle")
+    fb.sub(1, "clip_mode", "clip_mode")
+    fb.jump("next")
+
+    # Draw a short path; the fill branch correlates with the dispatch
+    # branches that set fill_mode.
+    fb.label("draw")
+    seg_pick = fb.call("grand", [])
+    segs = fb.mod(seg_pick, 4)
+    nsegs = fb.add(segs, 1, "nsegs")
+    fb.move(0, "s")
+    fb.label("seg_head")
+    fb.branch("lt", "s", "nsegs", "seg_body", "paint_check")
+    fb.label("seg_body")
+    step = fb.call("grand", [])
+    dx = fb.mod(step, 5)
+    fb.add("x", dx, "x")
+    fb.add("s", 1, "s")
+    fb.jump("seg_head")
+
+    fb.label("paint_check")
+    fb.branch("eq", "fill_mode", 1, "paint_fill", "paint_stroke")
+    fb.label("paint_fill")
+    area = fb.mul("nsegs", 3)
+    fb.add("painted", area, "painted")
+    fb.jump("clip_check")
+    fb.label("paint_stroke")
+    fb.add("painted", "nsegs", "painted")
+    fb.jump("clip_check")
+
+    fb.label("clip_check")
+    fb.branch("eq", "clip_mode", 1, "clipped", "next")
+    fb.label("clipped")
+    fb.sub("painted", 1, "painted")
+    fb.jump("next")
+
+    fb.label("next")
+    fb.add("c", 1, "c")
+    fb.jump("head")
+
+    fb.label("finish")
+    fb.output("painted")
+    fb.ret("painted")
+    return pb.build()
+
+
+def default_args(scale: int = 1) -> tuple:
+    commands = max(1, (scale * 10_000) // 8)
+    return (commands, 55331), ()

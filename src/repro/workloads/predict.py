@@ -1,0 +1,108 @@
+"""`predict` stand-in: the paper's own profiling/analysis tool.
+
+A trace analyser spends its time updating per-branch counters and
+comparing predictions against outcomes.  We simulate exactly that: a
+stream of synthetic branch events drives a bank of 2-bit saturating
+counters; some event sources are strongly biased, some alternate
+(pathological for counters, ideal for 1-bit-history replication), some
+are random.  The comparison and counter-update branches inherit this
+mixture.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+from .common import add_global_lcg
+
+SOURCES = 12
+
+
+def build() -> Program:
+    """``main(events, seed)`` returns the number of correct guesses."""
+    pb = ProgramBuilder()
+    add_global_lcg(pb)
+
+    fb = pb.function("main", ["events", "seed"])
+    fb.call("gseed", ["seed"], void=True)
+    counters = fb.alloc(SOURCES, "counters")
+    parity = fb.alloc(SOURCES, "parity")
+    fb.move(0, "hits")
+    fb.move(0, "e")
+
+    fb.label("event_head")
+    fb.branch("lt", "e", "events", "event_body", "finish")
+
+    fb.label("event_body")
+    raw = fb.call("grand", [])
+    fb.mod(raw, SOURCES, "src")
+
+    # Outcome model: sources 0-3 biased taken, 4-7 alternate, 8-11 random.
+    fb.branch("lt", "src", 4, "biased", "not_biased")
+    fb.label("biased")
+    noise = fb.call("grand", [])
+    chance = fb.mod(noise, 10)
+    # Taken 90% of the time.
+    fb.cmp("lt", chance, 9, "outcome")
+    fb.jump("have_outcome")
+
+    fb.label("not_biased")
+    fb.branch("lt", "src", 8, "alternating", "random_source")
+    fb.label("alternating")
+    par_addr = fb.add("parity", "src")
+    par = fb.load(par_addr)
+    flipped = fb.sub(1, par)
+    fb.store(par_addr, flipped)
+    fb.move(flipped, "outcome")
+    fb.jump("have_outcome")
+
+    fb.label("random_source")
+    coin = fb.call("grand", [])
+    fb.mod(coin, 2, "outcome")
+    fb.jump("have_outcome")
+
+    # Predict from the 2-bit counter, compare, update (saturating).
+    fb.label("have_outcome")
+    ctr_addr = fb.add("counters", "src")
+    ctr = fb.load(ctr_addr, 0, "ctr")
+    fb.branch("ge", "ctr", 2, "guess_taken", "guess_not")
+    fb.label("guess_taken")
+    fb.move(1, "guess")
+    fb.jump("compare")
+    fb.label("guess_not")
+    fb.move(0, "guess")
+    fb.jump("compare")
+
+    fb.label("compare")
+    fb.branch("eq", "guess", "outcome", "hit", "update")
+    fb.label("hit")
+    fb.add("hits", 1, "hits")
+    fb.jump("update")
+
+    fb.label("update")
+    fb.branch("eq", "outcome", 1, "count_up", "count_down")
+    fb.label("count_up")
+    fb.branch("lt", "ctr", 3, "inc", "event_next")
+    fb.label("inc")
+    up = fb.add("ctr", 1)
+    fb.store(ctr_addr, up)
+    fb.jump("event_next")
+    fb.label("count_down")
+    fb.branch("gt", "ctr", 0, "dec", "event_next")
+    fb.label("dec")
+    down = fb.sub("ctr", 1)
+    fb.store(ctr_addr, down)
+    fb.jump("event_next")
+
+    fb.label("event_next")
+    fb.add("e", 1, "e")
+    fb.jump("event_head")
+
+    fb.label("finish")
+    fb.output("hits")
+    fb.ret("hits")
+    return pb.build()
+
+
+def default_args(scale: int = 1) -> tuple:
+    events = max(1, (scale * 10_000) // 8)
+    return (events, 24680), ()

@@ -1,0 +1,77 @@
+"""`prolog` stand-in: a backtracking resolution engine.
+
+The miniVIP Prolog interpreter's branches decide "does this clause
+unify?" and "did the subgoal succeed?".  Failure triggers backtracking
+to the next clause — a loop whose exit pattern depends on the depth and
+on data.  We model a depth-bounded solver trying three clauses per
+goal, each unifying with moderate probability, recursing on success.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+from .common import add_global_lcg
+
+CLAUSES = 3
+
+
+def build() -> Program:
+    """``main(queries, seed)`` returns the number of provable queries."""
+    pb = ProgramBuilder()
+    add_global_lcg(pb)
+
+    # func solve(depth) -> 0/1
+    fb = pb.function("solve", ["depth"])
+    fb.branch("le", "depth", 0, "base", "try_init")
+    fb.label("base")
+    fb.ret(1)
+
+    fb.label("try_init")
+    fb.move(0, "clause")
+    fb.label("try_head")
+    fb.branch("lt", "clause", CLAUSES, "try_body", "fail")
+
+    fb.label("try_body")
+    pick = fb.call("grand", [])
+    roll = fb.mod(pick, 8)
+    # Unification succeeds 5/8 of the time.
+    fb.branch("lt", roll, 5, "unified", "try_next")
+    fb.label("unified")
+    arg = fb.sub("depth", 1)
+    sub = fb.call("solve", [arg])
+    fb.branch("eq", sub, 1, "succeed", "try_next")
+    fb.label("succeed")
+    fb.ret(1)
+
+    fb.label("try_next")
+    fb.add("clause", 1, "clause")
+    fb.jump("try_head")
+
+    fb.label("fail")
+    fb.ret(0)
+
+    # main
+    fb = pb.function("main", ["queries", "seed"])
+    fb.call("gseed", ["seed"], void=True)
+    fb.move(0, "proved")
+    fb.move(0, "q")
+    fb.label("head")
+    fb.branch("lt", "q", "queries", "body", "finish")
+    fb.label("body")
+    result = fb.call("solve", [4])
+    fb.branch("eq", result, 1, "count", "next")
+    fb.label("count")
+    fb.add("proved", 1, "proved")
+    fb.jump("next")
+    fb.label("next")
+    fb.add("q", 1, "q")
+    fb.jump("head")
+    fb.label("finish")
+    fb.output("proved")
+    fb.ret("proved")
+    return pb.build()
+
+
+def default_args(scale: int = 1) -> tuple:
+    queries = max(1, (scale * 10_000) // 40)
+    return (queries, 27182), ()

@@ -1,0 +1,119 @@
+"""`scheduler` stand-in: a list instruction scheduler.
+
+The original is the authors' instruction scheduler.  Its hot loop
+repeatedly scans a ready list for the highest-priority instruction —
+a max-update branch whose taken probability decays over the scan — and
+retires it, waking dependents (a data-dependent readiness branch).
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+from .common import add_global_lcg
+
+ITEMS = 10
+
+
+def build() -> Program:
+    """``main(rounds, seed)`` returns a checksum of schedule orders."""
+    pb = ProgramBuilder()
+    add_global_lcg(pb)
+
+    fb = pb.function("main", ["rounds", "seed"])
+    fb.call("gseed", ["seed"], void=True)
+    priority = fb.alloc(ITEMS, "priority")
+    done = fb.alloc(ITEMS, "done")
+    deps = fb.alloc(ITEMS, "deps")
+    fb.move(0, "order")
+    fb.move(0, "round")
+
+    fb.label("round_head")
+    fb.branch("lt", "round", "rounds", "setup_init", "finish")
+
+    # Fresh priorities, clear done flags, simple chain dependencies:
+    # item k depends on item k-1 with probability 1/2.
+    fb.label("setup_init")
+    fb.move(0, "k")
+    fb.label("setup_head")
+    fb.branch("lt", "k", ITEMS, "setup_body", "sched_init")
+    fb.label("setup_body")
+    prio_pick = fb.call("grand", [])
+    prio = fb.mod(prio_pick, 100)
+    prio_addr = fb.add("priority", "k")
+    fb.store(prio_addr, prio)
+    done_addr = fb.add("done", "k")
+    fb.store(done_addr, 0)
+    dep_pick = fb.call("grand", [])
+    dep_coin = fb.mod(dep_pick, 2)
+    dep_addr = fb.add("deps", "k")
+    fb.branch("eq", dep_coin, 1, "chain_dep", "no_dep")
+    fb.label("chain_dep")
+    pred = fb.sub("k", 1)
+    fb.store(dep_addr, pred)
+    fb.jump("setup_next")
+    fb.label("no_dep")
+    fb.store(dep_addr, -1)
+    fb.jump("setup_next")
+    fb.label("setup_next")
+    fb.add("k", 1, "k")
+    fb.jump("setup_head")
+
+    # Schedule all items: repeatedly pick the ready item with the
+    # highest priority.
+    fb.label("sched_init")
+    fb.move(0, "scheduled")
+    fb.label("sched_head")
+    fb.branch("lt", "scheduled", ITEMS, "scan_init", "round_next")
+
+    fb.label("scan_init")
+    fb.move(-1, "best")
+    fb.move(-1, "best_prio")
+    fb.move(0, "j")
+    fb.label("scan_head")
+    fb.branch("lt", "j", ITEMS, "scan_body", "retire")
+    fb.label("scan_body")
+    jdone_addr = fb.add("done", "j")
+    jdone = fb.load(jdone_addr)
+    fb.branch("eq", jdone, 1, "scan_next", "check_ready")
+    fb.label("check_ready")
+    jdep_addr = fb.add("deps", "j")
+    jdep = fb.load(jdep_addr)
+    fb.branch("lt", jdep, 0, "ready", "check_dep_done")
+    fb.label("check_dep_done")
+    dep_done_addr = fb.add("done", jdep)
+    dep_done = fb.load(dep_done_addr)
+    fb.branch("eq", dep_done, 1, "ready", "scan_next")
+    fb.label("ready")
+    jprio_addr = fb.add("priority", "j")
+    jprio = fb.load(jprio_addr)
+    # The classic max-update branch.
+    fb.branch("gt", jprio, "best_prio", "take", "scan_next")
+    fb.label("take")
+    fb.move("j", "best")
+    fb.move(jprio, "best_prio")
+    fb.jump("scan_next")
+    fb.label("scan_next")
+    fb.add("j", 1, "j")
+    fb.jump("scan_head")
+
+    fb.label("retire")
+    best_done_addr = fb.add("done", "best")
+    fb.store(best_done_addr, 1)
+    weighted = fb.mul("best", "scheduled")
+    fb.add("order", weighted, "order")
+    fb.add("scheduled", 1, "scheduled")
+    fb.jump("sched_head")
+
+    fb.label("round_next")
+    fb.add("round", 1, "round")
+    fb.jump("round_head")
+
+    fb.label("finish")
+    fb.output("order")
+    fb.ret("order")
+    return pb.build()
+
+
+def default_args(scale: int = 1) -> tuple:
+    rounds = max(1, (scale * 10_000) // (ITEMS * ITEMS * 4))
+    return (rounds, 11223), ()

@@ -1,0 +1,140 @@
+"""Shared fixtures: small programs exercising each branch class."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import parse_program
+
+#: A loop with an alternating intra-loop branch — the paper's Figure 1
+#: motivating example.
+ALTERNATING_LOOP = """
+func main(n) {
+entry:
+  i = move 0
+  flip = move 0
+  acc = move 0
+loop:
+  br lt i, n ? body : done
+body:
+  flip = sub 1, flip
+  br eq flip, 1 ? odd : even
+odd:
+  acc = add acc, 1
+  jump cont
+even:
+  acc = add acc, 2
+  jump cont
+cont:
+  i = add i, 1
+  jump loop
+done:
+  out acc
+  ret acc
+}
+"""
+
+#: A loop with a fixed trip count of 4 nested in an outer loop — the
+#: loop-exit machine target.
+FIXED_TRIP_LOOP = """
+func main(n) {
+entry:
+  outer = move 0
+  acc = move 0
+outer_head:
+  br lt outer, n ? inner_init : done
+inner_init:
+  j = move 0
+inner_head:
+  br lt j, 4 ? inner_body : outer_next
+inner_body:
+  acc = add acc, j
+  j = add j, 1
+  jump inner_head
+outer_next:
+  outer = add outer, 1
+  jump outer_head
+done:
+  out acc
+  ret acc
+}
+"""
+
+#: A correlated pair of branches outside any loop structure is hard to
+#: build (everything interesting repeats), so this program re-tests the
+#: same condition inside a loop: the second branch is fully determined
+#: by the first.
+CORRELATED_BRANCHES = """
+func main(n) {
+entry:
+  i = move 0
+  acc = move 0
+loop:
+  br lt i, n ? body : done
+body:
+  parity = mod i, 2
+  br eq parity, 0 ? even1 : odd1
+even1:
+  acc = add acc, 1
+  jump second
+odd1:
+  acc = add acc, 2
+  jump second
+second:
+  br eq parity, 0 ? even2 : odd2
+even2:
+  acc = add acc, 10
+  jump cont
+odd2:
+  acc = add acc, 20
+  jump cont
+cont:
+  i = add i, 1
+  jump loop
+done:
+  out acc
+  ret acc
+}
+"""
+
+#: Calls, recursion and memory.
+RECURSIVE_SUM = """
+func sum(k) {
+entry:
+  br le k, 0 ? base : rec
+base:
+  ret 0
+rec:
+  k1 = sub k, 1
+  rest = call sum(k1)
+  total = add rest, k
+  ret total
+}
+
+func main(n) {
+entry:
+  result = call sum(n)
+  out result
+  ret result
+}
+"""
+
+
+@pytest.fixture
+def alternating_loop():
+    return parse_program(ALTERNATING_LOOP)
+
+
+@pytest.fixture
+def fixed_trip_loop():
+    return parse_program(FIXED_TRIP_LOOP)
+
+
+@pytest.fixture
+def correlated_branches():
+    return parse_program(CORRELATED_BRANCHES)
+
+
+@pytest.fixture
+def recursive_sum():
+    return parse_program(RECURSIVE_SUM)

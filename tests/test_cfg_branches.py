@@ -1,0 +1,88 @@
+"""Branch classification: intra-loop, loop-exit, non-loop."""
+
+from repro.cfg import BranchClass, branches_of_class, classify_branches
+from repro.ir import BranchSite, parse_program
+
+
+def test_alternating_loop_classes(alternating_loop):
+    infos = classify_branches(alternating_loop)
+    assert infos[BranchSite("main", "loop")].kind is BranchClass.LOOP_EXIT
+    assert infos[BranchSite("main", "body")].kind is BranchClass.INTRA_LOOP
+
+
+def test_loop_exit_direction_flags(alternating_loop):
+    infos = classify_branches(alternating_loop)
+    info = infos[BranchSite("main", "loop")]
+    # `br lt i, n ? body : done` — the not-taken edge leaves the loop.
+    assert info.not_taken_exits is True
+    assert info.taken_exits is False
+
+
+def test_non_loop_branch():
+    program = parse_program(
+        "func main(n) {\nentry:\n  br lt n, 0 ? a : b\na:\n  ret 1\nb:\n  ret 2\n}"
+    )
+    infos = classify_branches(program)
+    assert infos[BranchSite("main", "entry")].kind is BranchClass.NON_LOOP
+    assert infos[BranchSite("main", "entry")].loop is None
+
+
+def test_nested_loop_branch_uses_innermost(fixed_trip_loop):
+    infos = classify_branches(fixed_trip_loop)
+    inner = infos[BranchSite("main", "inner_head")]
+    assert inner.kind is BranchClass.LOOP_EXIT
+    assert inner.loop.header == "inner_head"
+    outer = infos[BranchSite("main", "outer_head")]
+    assert outer.loop.header == "outer_head"
+
+
+def test_branches_of_class(correlated_branches):
+    infos = classify_branches(correlated_branches)
+    intra = branches_of_class(infos, BranchClass.INTRA_LOOP)
+    assert BranchSite("main", "body") in intra
+    assert BranchSite("main", "second") in intra
+    exits = branches_of_class(infos, BranchClass.LOOP_EXIT)
+    assert exits == [BranchSite("main", "loop")]
+
+
+def test_unreachable_branches_ignored():
+    program = parse_program(
+        "func main(n) {\nentry:\n  ret n\n"
+        "dead:\n  br lt n, 0 ? entry : dead\n}"
+    )
+    assert classify_branches(program) == {}
+
+
+def test_multiple_functions_classified(recursive_sum):
+    infos = classify_branches(recursive_sum)
+    assert infos[BranchSite("sum", "entry")].kind is BranchClass.NON_LOOP
+
+
+def test_branch_exiting_on_both_sides():
+    # Both arms leave the loop: still a loop-exit branch.
+    program = parse_program(
+        """
+func main(n) {
+entry:
+  i = move 0
+head:
+  i = add i, 1
+  br lt i, n ? stay : check
+stay:
+  jump head
+check:
+  br gt i, 100 ? far : near
+far:
+  ret 1
+near:
+  ret 0
+}
+"""
+    )
+    infos = classify_branches(program)
+    head = infos[BranchSite("main", "head")]
+    assert head.kind is BranchClass.LOOP_EXIT
+    assert head.not_taken_exits is True
+    assert head.taken_exits is False
+    # `check` is outside the loop body entirely.
+    assert infos[BranchSite("main", "check")].kind is BranchClass.NON_LOOP

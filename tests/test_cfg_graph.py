@@ -1,0 +1,83 @@
+"""CFG construction, traversal orders and unreachable-block removal."""
+
+from repro.cfg import CFG, remove_unreachable_blocks
+from repro.ir import parse_function, parse_program
+
+DIAMOND = """
+func f(n) {
+entry:
+  br lt n, 0 ? left : right
+left:
+  jump join
+right:
+  jump join
+join:
+  ret n
+}
+"""
+
+
+def test_successors_and_predecessors():
+    cfg = CFG.from_function(parse_function(DIAMOND))
+    assert cfg.succs["entry"] == ("left", "right")
+    assert sorted(cfg.preds["join"]) == ["left", "right"]
+    assert cfg.preds["entry"] == []
+
+
+def test_edges():
+    cfg = CFG.from_function(parse_function(DIAMOND))
+    assert ("entry", "left") in cfg.edges()
+    assert len(cfg.edges()) == 4
+
+
+def test_reachable_excludes_orphans():
+    function = parse_function(
+        DIAMOND.replace("join:", "orphan:\n  jump join\njoin:")
+    )
+    cfg = CFG.from_function(function)
+    assert "orphan" not in cfg.reachable()
+    assert cfg.reachable() == {"entry", "left", "right", "join"}
+
+
+def test_postorder_ends_at_entry():
+    cfg = CFG.from_function(parse_function(DIAMOND))
+    order = cfg.postorder()
+    assert order[-1] == "entry"
+    assert set(order) == {"entry", "left", "right", "join"}
+
+
+def test_reverse_postorder_starts_at_entry():
+    cfg = CFG.from_function(parse_function(DIAMOND))
+    rpo = cfg.reverse_postorder()
+    assert rpo[0] == "entry"
+    # A node appears after all its non-back-edge predecessors.
+    assert rpo.index("join") > rpo.index("left")
+    assert rpo.index("join") > rpo.index("right")
+
+
+def test_rpo_with_loop():
+    function = parse_function(
+        "func f(n) {\nentry:\n  i = move 0\nhead:\n"
+        "  br lt i, n ? body : exit\nbody:\n  i = add i, 1\n  jump head\n"
+        "exit:\n  ret i\n}"
+    )
+    rpo = CFG.from_function(function).reverse_postorder()
+    assert rpo.index("entry") < rpo.index("head") < rpo.index("body")
+
+
+def test_remove_unreachable_blocks():
+    program = parse_program(
+        "func main() {\nentry:\n  ret\ndead1:\n  jump dead2\ndead2:\n  ret\n}"
+    )
+    removed = remove_unreachable_blocks(program.main_function())
+    assert sorted(removed) == ["dead1", "dead2"]
+    assert list(program.main_function().blocks) == ["entry"]
+
+
+def test_remove_unreachable_keeps_live_cycle():
+    program = parse_program(
+        "func main(n) {\nentry:\n  i = move 0\nhead:\n"
+        "  br lt i, n ? body : exit\nbody:\n  i = add i, 1\n  jump head\n"
+        "exit:\n  ret i\n}"
+    )
+    assert remove_unreachable_blocks(program.main_function()) == []

@@ -1,0 +1,85 @@
+"""Live-variable analysis tests."""
+
+from repro.cfg import LivenessInfo
+from repro.ir import parse_function
+
+
+def info_of(source: str) -> LivenessInfo:
+    return LivenessInfo(parse_function(source))
+
+
+def test_straight_line_liveness():
+    info = info_of(
+        "func f(a) {\nentry:\n  x = add a, 1\n  jump out\nout:\n  ret x\n}"
+    )
+    assert "x" in info.live_into("out")
+    assert "a" in info.live_into("entry")
+    assert "x" not in info.live_into("entry")
+
+
+def test_dead_after_last_use():
+    info = info_of(
+        "func f(a) {\nentry:\n  x = add a, 1\n  y = add x, 1\n  jump out\n"
+        "out:\n  ret y\n}"
+    )
+    assert "x" not in info.live_into("out")
+    assert "y" in info.live_into("out")
+
+
+def test_branch_merges_liveness():
+    info = info_of(
+        """
+func f(a, b) {
+entry:
+  br lt a, 0 ? left : right
+left:
+  ret a
+right:
+  ret b
+}
+"""
+    )
+    live = info.live_into("entry")
+    assert "a" in live and "b" in live
+
+
+def test_redefinition_kills():
+    info = info_of(
+        "func f(a) {\nentry:\n  x = const 1\n  jump use\n"
+        "use:\n  x = const 2\n  ret x\n}"
+    )
+    # `use` redefines x before reading it: not live into `use`.
+    assert "x" not in info.live_into("use")
+
+
+def test_loop_carried_liveness():
+    info = info_of(
+        """
+func f(n) {
+entry:
+  i = move 0
+  acc = move 0
+head:
+  br lt i, n ? body : exit
+body:
+  acc = add acc, i
+  i = add i, 1
+  jump head
+exit:
+  ret acc
+}
+"""
+    )
+    # acc is read in body and exit; i is read in head and body; both
+    # live around the back edge.
+    assert {"i", "acc", "n"} <= info.live_into("head")
+    assert "acc" in info.live_out["body"]
+
+
+def test_use_before_def_in_block():
+    info = info_of(
+        "func f() {\nentry:\n  x = const 1\n  jump b\n"
+        "b:\n  y = add x, 1\n  x = const 2\n  ret y\n}"
+    )
+    # b reads x before writing it: live into b.
+    assert "x" in info.live_into("b")

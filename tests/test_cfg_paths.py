@@ -1,0 +1,110 @@
+"""Predecessor path enumeration for correlated branches."""
+
+from repro.cfg import predecessor_paths
+from repro.ir import parse_function
+
+DIAMOND_THEN_TEST = """
+func f(n) {
+entry:
+  br lt n, 0 ? neg : pos
+neg:
+  x = const -1
+  jump join
+pos:
+  x = const 1
+  jump join
+join:
+  br eq x, 1 ? yes : no
+yes:
+  ret 1
+no:
+  ret 0
+}
+"""
+
+
+def test_two_paths_to_join():
+    function = parse_function(DIAMOND_THEN_TEST)
+    paths = predecessor_paths(function, "join", max_branches=2)
+    patterns = sorted(str(p).split(":")[0] for p in paths)
+    assert patterns == ["0", "1"]
+
+
+def test_path_records_blocks():
+    function = parse_function(DIAMOND_THEN_TEST)
+    paths = predecessor_paths(function, "join", max_branches=2)
+    routes = {p.blocks for p in paths}
+    assert ("entry", "neg", "join") in routes
+    assert ("entry", "pos", "join") in routes
+
+
+def test_path_pattern_bit_order():
+    function = parse_function(DIAMOND_THEN_TEST)
+    paths = predecessor_paths(function, "join", max_branches=2)
+    by_route = {p.blocks: p for p in paths}
+    # entry -> neg is the taken edge of `br lt n, 0 ? neg : pos`.
+    value, length = by_route[("entry", "neg", "join")].pattern
+    assert (value, length) == (1, 1)
+    value, length = by_route[("entry", "pos", "join")].pattern
+    assert (value, length) == (0, 1)
+
+
+def test_depth_limit_respected():
+    function = parse_function(
+        """
+func f(a, b) {
+entry:
+  br lt a, 0 ? m1a : m1b
+m1a:
+  jump mid
+m1b:
+  jump mid
+mid:
+  br lt b, 0 ? m2a : m2b
+m2a:
+  jump target
+m2b:
+  jump target
+target:
+  ret 0
+}
+"""
+    )
+    shallow = predecessor_paths(function, "target", max_branches=1)
+    assert all(len(p) <= 1 for p in shallow)
+    assert len(shallow) == 2
+    deep = predecessor_paths(function, "target", max_branches=2)
+    assert len(deep) == 4
+    assert all(len(p) == 2 for p in deep)
+
+
+def test_paths_stop_at_entry():
+    function = parse_function(
+        "func f(n) {\nentry:\n  jump target\ntarget:\n  ret n\n}"
+    )
+    paths = predecessor_paths(function, "target", max_branches=4)
+    assert len(paths) == 1
+    assert paths[0].blocks == ("entry", "target")
+    assert len(paths[0]) == 0
+
+
+def test_loop_paths_do_not_cycle(alternating_loop):
+    paths = predecessor_paths(alternating_loop.function("main"), "body", 8)
+    # Every path must be finite and acyclic.
+    for path in paths:
+        assert len(set(path.blocks)) == len(path.blocks)
+
+
+def test_branch_with_both_arms_to_target():
+    function = parse_function(
+        "func f(n) {\nentry:\n  br lt n, 0 ? t : t\nt:\n  ret n\n}"
+    )
+    paths = predecessor_paths(function, "t", max_branches=2)
+    patterns = sorted(p.pattern for p in paths)
+    assert patterns == [(0, 1), (1, 1)]
+
+
+def test_max_paths_cutoff():
+    function = parse_function(DIAMOND_THEN_TEST)
+    paths = predecessor_paths(function, "join", max_branches=2, max_paths=1)
+    assert len(paths) == 1

@@ -1,0 +1,85 @@
+"""Tests for the extension experiments: alignment, cost fn, joint."""
+
+import pytest
+
+from repro.experiments import alignment, costfn, joint
+
+NAMES = ["ghostview", "doduc"]
+
+
+class TestAlignment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return alignment.run(scale=1, names=NAMES)
+
+    def test_rows(self, result):
+        assert result.rows == [
+            "original layout",
+            "rotated",
+            "rotated + aligned",
+            "replicated + aligned",
+        ]
+
+    def test_alignment_cuts_taken_transfers(self, result):
+        original = sum(taken for taken, _ in result.data["original layout"])
+        aligned = sum(taken for taken, _ in result.data["rotated + aligned"])
+        assert aligned <= original
+
+    def test_rotation_cuts_instructions(self, result):
+        original = sum(instrs for _, instrs in result.data["original layout"])
+        rotated = sum(instrs for _, instrs in result.data["rotated"])
+        assert rotated <= original
+
+    def test_replication_cuts_further(self, result):
+        aligned = sum(taken for taken, _ in result.data["rotated + aligned"])
+        replicated = sum(
+            taken for taken, _ in result.data["replicated + aligned"]
+        )
+        assert replicated <= aligned
+
+    def test_values_positive(self, result):
+        for row in result.rows:
+            for taken, instrs in result.data[row]:
+                assert taken >= 0 and instrs > 0
+
+
+class TestCostFunction:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return costfn.run("ghostview", scale=1, max_states=4)
+
+    def test_columns(self, result):
+        assert "est. cycles" in result.columns
+
+    def test_first_step_is_original_size(self, result):
+        assert result.data[result.rows[0]][0] == pytest.approx(1.0)
+
+    def test_misprediction_decreases_along_curve(self, result):
+        rates = [result.data[row][1] for row in result.rows]
+        assert rates[-1] <= rates[0]
+
+    def test_cache_misses_grow_with_replication(self, result):
+        misses = [result.data[row][2] for row in result.rows]
+        assert misses[-1] >= misses[0]
+
+
+class TestJointExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return joint.run(scale=1, names=["c-compiler", "doduc"])
+
+    def test_rows(self, result):
+        assert "independent mispredict" in result.rows
+        assert "joint loop multiplier" in result.rows
+
+    def test_joint_cheaper_on_ccompiler(self, result):
+        indep = result.data["independent loop multiplier"][0]
+        shared = result.data["joint loop multiplier"][0]
+        assert shared <= indep
+
+    def test_joint_wins_where_branches_share_history(self, result):
+        indep = result.data["independent mispredict"][0]
+        shared = result.data["joint mispredict"][0]
+        # c-compiler's Markov generator + dispatch chain overlap
+        # heavily; the joint machine exploits it.
+        assert shared < indep

@@ -1,0 +1,30 @@
+"""Fisher/Freudenberger instructions-per-misprediction experiment."""
+
+import pytest
+
+from repro.experiments import instper
+
+NAMES = ["compress", "doduc"]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return instper.run(scale=1, names=NAMES)
+
+
+def test_rows(result):
+    assert "profile" in result.rows
+    assert "loop-correlation" in result.rows
+
+
+def test_loop_correlation_stretches_distance(result):
+    profile = result.data["profile"]
+    combined = result.data["loop-correlation"]
+    for p, c in zip(profile, combined):
+        assert c >= p - 1e-9
+
+
+def test_values_positive(result):
+    for row in result.rows:
+        for value in result.data[row]:
+            assert value > 0

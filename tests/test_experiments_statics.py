@@ -1,0 +1,38 @@
+"""Static-baseline experiment tests."""
+
+import pytest
+
+from repro.experiments import statics
+
+NAMES = ["c-compiler", "doduc"]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return statics.run(scale=1, names=NAMES)
+
+
+def test_rows(result):
+    for row in ("always taken", "backward taken", "opcode", "ball-larus", "profile"):
+        assert row in result.rows
+
+
+def test_ball_larus_best_static(result):
+    # Ball/Larus must beat the simple heuristics on every benchmark.
+    bl = result.data["ball-larus"]
+    for other in ("always taken", "backward taken", "opcode"):
+        for b, o in zip(bl, result.data[other]):
+            assert b <= o + 1e-9
+
+
+def test_profile_beats_every_static(result):
+    profile = result.data["profile"]
+    bl = result.data["ball-larus"]
+    for p, b in zip(profile, bl):
+        assert p <= b + 1e-9
+
+
+def test_ratio_row(result):
+    ratios = result.data["ball-larus / profile"]
+    for ratio in ratios:
+        assert ratio >= 1.0 - 1e-9

@@ -1,0 +1,63 @@
+"""Tests for the two-level zoo and training-length sweeps."""
+
+import pytest
+
+from repro.experiments import tracelen, twolevel_zoo
+
+NAMES = ["ghostview", "doduc"]
+
+
+class TestTwoLevelZoo:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return twolevel_zoo.run(scale=1, names=NAMES, history_bits=5)
+
+    def test_all_nine_variants(self, result):
+        assert len(result.rows) == 9
+        assert set(result.rows) == {
+            "GAg", "GAs", "GAp", "SAg", "SAs", "SAp", "PAg", "PAs", "PAp"
+        }
+
+    def test_cost_column(self, result):
+        assert result.columns[-1] == "cost bits"
+        for row in result.rows:
+            assert result.data[row][-1] > 0
+
+    def test_gag_is_cheapest(self, result):
+        costs = {row: result.data[row][-1] for row in result.rows}
+        assert costs["GAg"] == min(costs.values())
+
+    def test_rates_in_bounds(self, result):
+        for row in result.rows:
+            for value in result.data[row][:-1]:
+                assert 0.0 <= value <= 1.0
+
+
+class TestTraceLength:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return tracelen.run(scale=1, names=NAMES)
+
+    def test_rows_are_fractions(self, result):
+        assert result.rows[0] == "1% prefix"
+        assert result.rows[-1] == "100% prefix"
+
+    def test_more_training_never_hurts_much(self, result):
+        # Longer prefixes should broadly improve (small non-monotonic
+        # wiggles allowed: the tables can overfit a tiny prefix).
+        first = result.data["1% prefix"]
+        last = result.data["100% prefix"]
+        for early, late in zip(first, last):
+            assert late <= early + 0.02
+
+    def test_full_prefix_matches_table1(self, result):
+        from repro.predictors import LoopCorrelationPredictor, evaluate
+        from repro.workloads import get_profile, get_trace
+
+        for index, name in enumerate(NAMES):
+            trace = get_trace(name, 1)
+            profile = get_profile(name, 1)
+            direct = evaluate(LoopCorrelationPredictor(profile), trace)
+            assert result.data["100% prefix"][index] == pytest.approx(
+                direct.misprediction_rate, abs=1e-9
+            )

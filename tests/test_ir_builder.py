@@ -1,0 +1,144 @@
+"""Unit tests for the imperative builder API."""
+
+import pytest
+
+from repro.interp import run_program
+from repro.ir import (
+    Branch,
+    Const,
+    FunctionBuilder,
+    IRError,
+    Jump,
+    ProgramBuilder,
+    Return,
+    validate_program,
+)
+
+
+class TestFunctionBuilder:
+    def test_entry_block_created(self):
+        fb = FunctionBuilder("f")
+        assert fb.function.entry == "entry"
+
+    def test_implicit_fallthrough_jump(self):
+        fb = FunctionBuilder("f")
+        fb.const(1)
+        fb.label("next")
+        fb.ret()
+        function = fb.build()
+        assert isinstance(function.block("entry").terminator, Jump)
+        assert function.block("entry").terminator.target == "next"
+
+    def test_build_terminates_final_block(self):
+        fb = FunctionBuilder("f")
+        fb.const(1)
+        function = fb.build()
+        assert isinstance(function.block("entry").terminator, Return)
+
+    def test_fresh_registers_unique(self):
+        fb = FunctionBuilder("f")
+        registers = {fb.reg() for _ in range(50)}
+        assert len(registers) == 50
+
+    def test_emit_after_terminator_fails(self):
+        fb = FunctionBuilder("f")
+        fb.jump("entry")
+        with pytest.raises(IRError):
+            fb.emit(Const("x", 1))
+
+    def test_double_terminate_fails(self):
+        fb = FunctionBuilder("f")
+        fb.ret()
+        with pytest.raises(IRError):
+            fb.ret()
+
+    def test_emit_rejects_terminators(self):
+        fb = FunctionBuilder("f")
+        with pytest.raises(IRError):
+            fb.emit(Jump("entry"))
+
+    def test_named_destination(self):
+        fb = FunctionBuilder("f")
+        assert fb.const(5, "five") == "five"
+
+    def test_branch_helper(self):
+        fb = FunctionBuilder("f")
+        fb.branch("lt", 1, 2, "entry", "entry", pointer=True)
+        branch = fb.function.block("entry").terminator
+        assert isinstance(branch, Branch)
+        assert branch.pointer is True
+
+    def test_void_call(self):
+        pb = ProgramBuilder()
+        callee = pb.function("noop")
+        callee.ret()
+        fb = pb.function("main")
+        assert fb.call("noop", [], void=True) is None
+        fb.ret(0)
+        validate_program(pb.build())
+
+
+class TestBuilderPrograms:
+    def test_countdown_program_runs(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main", ["n"])
+        fb.move("n", "i")
+        fb.move(0, "steps")
+        fb.label("head")
+        fb.branch("gt", "i", 0, "body", "done")
+        fb.label("body")
+        fb.sub("i", 1, "i")
+        fb.add("steps", 1, "steps")
+        fb.jump("head")
+        fb.label("done")
+        fb.ret("steps")
+        program = pb.build()
+        validate_program(program)
+        assert run_program(program, [7]).value == 7
+
+    def test_arithmetic_helpers(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        a = fb.const(10)
+        b = fb.add(a, 5)
+        c = fb.sub(b, 3)
+        d = fb.mul(c, 2)
+        e = fb.div(d, 4)
+        f = fb.mod(e, 4)
+        g = fb.shl(f, 2)
+        h = fb.shr(g, 1)
+        i = fb.bor(h, 1)
+        j = fb.band(i, 7)
+        k = fb.bxor(j, 2)
+        fb.ret(k)
+        result = run_program(pb.build())
+        # 10+5=15, -3=12, *2=24, /4=6, %4=2, <<2=8, >>1=4, |1=5, &7=5, ^2=7
+        assert result.value == 7
+
+    def test_memory_helpers(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        buf = fb.alloc(4)
+        fb.store(buf, 42, 2)
+        loaded = fb.load(buf, 2)
+        fb.ret(loaded)
+        assert run_program(pb.build()).value == 42
+
+    def test_io_helpers(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        x = fb.input()
+        doubled = fb.mul(x, 2)
+        fb.output(doubled)
+        fb.ret(doubled)
+        result = run_program(pb.build(), [], input_values=[21])
+        assert result.output == [42]
+
+    def test_cmp_and_unop(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        flag = fb.cmp("lt", 3, 5)
+        neg = fb.unop("neg", flag)
+        absolute = fb.unop("abs", neg)
+        fb.ret(absolute)
+        assert run_program(pb.build()).value == 1

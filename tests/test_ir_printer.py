@@ -1,0 +1,90 @@
+"""Printer tests, including parse → print → parse round trips."""
+
+import pytest
+
+from repro.ir import (
+    Branch,
+    Const,
+    format_instr,
+    format_program,
+    parse_program,
+    validate_program,
+)
+from repro.workloads import WORKLOADS
+
+from conftest import (
+    ALTERNATING_LOOP,
+    CORRELATED_BRANCHES,
+    FIXED_TRIP_LOOP,
+    RECURSIVE_SUM,
+)
+
+
+class TestFormatInstr:
+    def test_const(self):
+        assert format_instr(Const("x", 3)) == "x = const 3"
+
+    def test_branch(self):
+        branch = Branch("lt", "a", 5, "yes", "no")
+        assert format_instr(branch) == "br lt a, 5 ? yes : no"
+
+    def test_pointer_branch(self):
+        branch = Branch("eq", "p", 0, "yes", "no", pointer=True)
+        assert format_instr(branch).startswith("br.ptr")
+
+    def test_prediction_annotation_rendered(self):
+        branch = Branch("eq", "p", 0, "yes", "no", predict=True)
+        assert format_instr(branch).startswith("br.t ")
+        negative = Branch("eq", "p", 0, "yes", "no", predict=False)
+        assert format_instr(negative).startswith("br.n ")
+
+    def test_pointer_and_prediction_combine(self):
+        branch = Branch("eq", "p", 0, "yes", "no", pointer=True, predict=False)
+        assert format_instr(branch).startswith("br.ptr.n ")
+
+    def test_annotated_branch_roundtrips(self):
+        program = parse_program(
+            "func main(p) {\nentry:\n  br.ptr.t eq p, 0 ? a : b\n"
+            "a:\n  ret 1\nb:\n  ret 0\n}"
+        )
+        branch = program.main_function().block("entry").branch
+        assert branch.pointer is True
+        assert branch.predict is True
+        assert format_program(parse_program(format_program(program))) == (
+            format_program(program)
+        )
+
+
+@pytest.mark.parametrize(
+    "source",
+    [ALTERNATING_LOOP, FIXED_TRIP_LOOP, CORRELATED_BRANCHES, RECURSIVE_SUM],
+    ids=["alternating", "fixed-trip", "correlated", "recursive"],
+)
+def test_roundtrip_fixture_programs(source):
+    program = parse_program(source)
+    text = format_program(program)
+    reparsed = parse_program(text)
+    assert format_program(reparsed) == text
+    validate_program(reparsed)
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_roundtrip_workloads(name):
+    program = WORKLOADS[name].build()
+    text = format_program(program)
+    reparsed = parse_program(text)
+    assert format_program(reparsed) == text
+    validate_program(reparsed)
+
+
+def test_entry_function_printed_first():
+    program = parse_program(
+        "func helper() {\nentry:\n  ret\n}\nfunc main() {\nentry:\n  ret\n}"
+    )
+    assert format_program(program).startswith("func main")
+
+
+def test_entry_block_printed_first():
+    program = parse_program("func main() {\nstart:\n  ret\n}")
+    text = format_program(program)
+    assert text.splitlines()[1] == "start:"

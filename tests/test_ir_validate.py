@@ -1,0 +1,101 @@
+"""Validator tests: every invariant has a failing example."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    Branch,
+    Call,
+    Const,
+    Function,
+    Jump,
+    Program,
+    Return,
+    ValidationError,
+    parse_program,
+    validate_program,
+)
+
+
+def empty_main() -> Program:
+    program = Program()
+    function = Function("main")
+    function.add_block(BasicBlock("entry", [], Return(None)))
+    program.add_function(function)
+    return program
+
+
+def test_valid_program_passes():
+    validate_program(empty_main())
+
+
+def test_missing_entry_function():
+    program = Program(main="main")
+    function = Function("other")
+    function.add_block(BasicBlock("entry", [], Return(None)))
+    program.add_function(function)
+    with pytest.raises(ValidationError, match="missing entry function"):
+        validate_program(program)
+
+
+def test_block_without_terminator():
+    program = empty_main()
+    program.function("main").add_block(BasicBlock("hole", [Const("x", 1)]))
+    with pytest.raises(ValidationError, match="no terminator"):
+        validate_program(program)
+
+
+def test_jump_to_unknown_block():
+    program = empty_main()
+    program.function("main").add_block(BasicBlock("bad", [], Jump("ghost")))
+    with pytest.raises(ValidationError, match="unknown"):
+        validate_program(program)
+
+
+def test_branch_to_unknown_block():
+    program = empty_main()
+    program.function("main").add_block(
+        BasicBlock("bad", [], Branch("eq", 1, 1, "entry", "ghost"))
+    )
+    with pytest.raises(ValidationError, match="unknown"):
+        validate_program(program)
+
+
+def test_undefined_register_use():
+    program = empty_main()
+    block = program.function("main").block("entry")
+    block.instrs.append(Const("x", 1))
+    block.terminator = Return("never_defined")
+    with pytest.raises(ValidationError, match="undefined"):
+        validate_program(program)
+
+
+def test_parameters_count_as_defined():
+    program = parse_program("func main(n) {\nentry:\n  ret n\n}")
+    validate_program(program)
+
+
+def test_call_to_unknown_function():
+    program = empty_main()
+    program.function("main").block("entry").instrs.append(Call("x", "ghost", ()))
+    with pytest.raises(ValidationError, match="unknown function"):
+        validate_program(program)
+
+
+def test_call_arity_mismatch():
+    program = parse_program(
+        "func main() {\nentry:\n  x = call helper(1, 2)\n  ret\n}\n"
+        "func helper(a) {\nentry:\n  ret a\n}"
+    )
+    with pytest.raises(ValidationError, match="expected 1"):
+        validate_program(program)
+
+
+def test_multiple_errors_reported_together():
+    program = empty_main()
+    function = program.function("main")
+    function.add_block(BasicBlock("one", [], Jump("ghost1")))
+    function.add_block(BasicBlock("two", [], Jump("ghost2")))
+    with pytest.raises(ValidationError) as info:
+        validate_program(program)
+    assert "ghost1" in str(info.value) and "ghost2" in str(info.value)

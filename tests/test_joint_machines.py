@@ -1,0 +1,192 @@
+"""Joint loop machine tests (the Further Work extension)."""
+
+import pytest
+
+from repro.interp import run_program
+from repro.ir import BranchSite, parse_program, validate_program
+from repro.profiling import PatternTable, ProfileData, trace_program
+from repro.replication import (
+    annotate_profile_predictions,
+    collect_joint_tables,
+    loop_membership,
+    measure_annotated,
+    plan_joint_machines,
+    replicate_loop_joint,
+)
+from repro.statemachines import best_intra_machine, best_joint_machine
+
+TWO_ALTERNATORS = """
+func main(n) {
+entry:
+  i = move 0
+  acc = move 0
+loop:
+  br lt i, n ? first : done
+first:
+  p2 = mod i, 2
+  br eq p2, 0 ? a : b
+a:
+  acc = add acc, 1
+  jump second
+b:
+  acc = add acc, 2
+  jump second
+second:
+  br eq p2, 0 ? c : d
+c:
+  acc = add acc, 10
+  jump cont
+d:
+  acc = add acc, 20
+  jump cont
+cont:
+  i = add i, 1
+  jump loop
+done:
+  ret acc
+}
+"""
+
+
+def program_and_trace(n=64):
+    program = parse_program(TWO_ALTERNATORS)
+    trace, _ = trace_program(program.copy(), [n])
+    return program, trace
+
+
+class TestJointTables:
+    def test_membership(self):
+        program, _ = program_and_trace()
+        membership = loop_membership(program)
+        key = ("main", "loop")
+        assert membership[BranchSite("main", "first")] == key
+        assert membership[BranchSite("main", "second")] == key
+        assert membership[BranchSite("main", "loop")] == key
+
+    def test_joint_history_interleaves(self):
+        program, trace = program_and_trace()
+        membership = loop_membership(program)
+        tables = collect_joint_tables(trace, membership, bits=4)
+        loop_tables = tables[("main", "loop")]
+        # `second` sees a history whose most recent bit is `first`'s
+        # outcome in the same iteration: histories correlate perfectly.
+        table = loop_tables[BranchSite("main", "second")]
+        for pattern, (not_taken, taken) in table.counts.items():
+            # Deterministic: each observed history fixes the outcome.
+            assert not_taken == 0 or taken == 0
+
+    def test_counts_cover_all_member_events(self):
+        program, trace = program_and_trace()
+        membership = loop_membership(program)
+        tables = collect_joint_tables(trace, membership)
+        total = sum(
+            table.executions()
+            for loop_tables in tables.values()
+            for table in loop_tables.values()
+        )
+        assert total == len(trace)  # every branch here is in the loop
+
+
+class TestJointSearch:
+    def test_finds_shared_structure(self):
+        program, trace = program_and_trace()
+        membership = loop_membership(program)
+        tables = collect_joint_tables(trace, membership)
+        scored = best_joint_machine(tables[("main", "loop")], max_states=4)
+        # All three branches predicted almost perfectly by one machine.
+        assert scored.misprediction_rate < 0.03
+
+    def test_beats_product_at_equal_size(self):
+        program, trace = program_and_trace()
+        profile = ProfileData.from_trace(trace)
+        membership = loop_membership(program)
+        tables = collect_joint_tables(trace, membership)
+        joint = best_joint_machine(tables[("main", "loop")], max_states=4)
+        # Independent per-branch machines: first and second each need 2
+        # states (product: 4 states of loop size) and get the same
+        # accuracy only on their own branch; the joint machine handles
+        # all members within the same 4-state budget.
+        first = best_intra_machine(
+            profile.local[BranchSite("main", "first")], 2
+        )
+        second = best_intra_machine(
+            profile.local[BranchSite("main", "second")], 2
+        )
+        independent_correct = (
+            first.correct
+            + second.correct
+            + max(profile.totals[BranchSite("main", "loop")])
+        )
+        assert joint.correct >= independent_correct - 5
+
+    def test_per_site_breakdown(self):
+        program, trace = program_and_trace()
+        membership = loop_membership(program)
+        tables = collect_joint_tables(trace, membership)
+        scored = best_joint_machine(tables[("main", "loop")], 4)
+        assert set(scored.per_site) == set(tables[("main", "loop")])
+        assert sum(c for c, _ in scored.per_site.values()) == scored.correct
+
+    def test_simulation_matches_score(self):
+        program, trace = program_and_trace()
+        membership = loop_membership(program)
+        tables = collect_joint_tables(trace, membership)
+        scored = best_joint_machine(tables[("main", "loop")], 4)
+        events = [
+            (site, taken)
+            for site, taken in trace
+            if membership.get(site) == ("main", "loop")
+        ]
+        correct, total = scored.machine.simulate(events)
+        assert total == scored.total
+        assert abs(correct - scored.correct) <= 9  # warmup
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(ValueError):
+            best_joint_machine({}, 4)
+
+
+class TestJointReplication:
+    def test_semantics_preserved(self):
+        program, trace = program_and_trace()
+        expected = run_program(program.copy(), [64]).value
+        membership = loop_membership(program)
+        tables = collect_joint_tables(trace, membership)
+        scored = best_joint_machine(tables[("main", "loop")], 4)
+        work = program.copy()
+        replicate_loop_joint(work.main_function(), "loop", scored.machine)
+        validate_program(work)
+        assert run_program(work, [64]).value == expected
+
+    def test_measured_accuracy(self):
+        program, trace = program_and_trace(200)
+        profile = ProfileData.from_trace(trace)
+        membership = loop_membership(program)
+        tables = collect_joint_tables(trace, membership)
+        scored = best_joint_machine(tables[("main", "loop")], 4)
+        work = program.copy()
+        annotate_profile_predictions(work, profile)
+        replicate_loop_joint(work.main_function(), "loop", scored.machine)
+        measured = measure_annotated(work, [200])
+        assert measured.misprediction_rate == pytest.approx(
+            scored.misprediction_rate, abs=0.05
+        )
+
+    def test_size_single_multiplier(self):
+        # A 4-state joint machine costs 4x the loop; two independent
+        # machines of 2 states each would also cost 2x2 = 4x, but a
+        # THIRD improved branch is free under the joint machine.
+        program, trace = program_and_trace()
+        membership = loop_membership(program)
+        tables = collect_joint_tables(trace, membership)
+        scored = best_joint_machine(tables[("main", "loop")], 4)
+        work = program.copy()
+        before = work.size()
+        result = replicate_loop_joint(work.main_function(), "loop", scored.machine)
+        assert result.size_after <= before * scored.machine.n_states
+
+    def test_plan_joint_machines(self):
+        program, trace = program_and_trace()
+        plans = plan_joint_machines(program, trace, max_states=4)
+        assert ("main", "loop") in plans
+        assert plans[("main", "loop")].misprediction_rate < 0.05

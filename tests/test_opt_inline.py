@@ -1,0 +1,211 @@
+"""Function-inlining tests, including the correlation-recovery story."""
+
+import pytest
+
+from repro.interp import run_program
+from repro.ir import BranchSite, IRError, parse_program, validate_program
+from repro.opt import inline_all_calls, inline_call, recursive_functions
+from repro.profiling import ProfileData, collect_path_tables, trace_program
+from repro.replication import ReplicationPlanner
+
+SIMPLE = """
+func double(x) {
+entry:
+  y = mul x, 2
+  ret y
+}
+
+func main(n) {
+entry:
+  a = call double(n)
+  b = call double(a)
+  out b
+  ret b
+}
+"""
+
+
+class TestInlineCall:
+    def test_semantics_preserved(self):
+        program = parse_program(SIMPLE)
+        expected = run_program(program.copy(), [5])
+        inline_call(program, "main", "entry", 0)
+        validate_program(program)
+        result = run_program(program, [5])
+        assert result.value == expected.value == 20
+        assert result.output == expected.output
+
+    def test_inline_all(self):
+        program = parse_program(SIMPLE)
+        count = inline_all_calls(program)
+        assert count == 2
+        validate_program(program)
+        assert run_program(program, [3]).value == 12
+        # No calls remain in main.
+        from repro.ir import Call
+
+        for block in program.function("main"):
+            assert not any(isinstance(i, Call) for i in block.instrs)
+
+    def test_repeated_inlining_renames_uniquely(self):
+        program = parse_program(SIMPLE)
+        inline_all_calls(program)
+        validate_program(program)  # would fail on register collisions
+
+    def test_void_callee(self):
+        program = parse_program(
+            """
+func emit(v) {
+entry:
+  out v
+  ret
+}
+
+func main(n) {
+entry:
+  call emit(n)
+  call emit(7)
+  ret n
+}
+"""
+        )
+        inline_all_calls(program)
+        validate_program(program)
+        assert run_program(program, [3]).output == [3, 7]
+
+    def test_callee_with_branches(self, recursive_sum):
+        # sum() is recursive: must be refused.
+        assert "sum" in recursive_functions(recursive_sum)
+        with pytest.raises(IRError):
+            inline_call(recursive_sum, "main", "entry", 0)
+        assert inline_all_calls(recursive_sum) == 0
+
+    def test_mutual_recursion_detected(self):
+        program = parse_program(
+            """
+func ping(n) {
+entry:
+  r = call pong(n)
+  ret r
+}
+
+func pong(n) {
+entry:
+  r = call ping(n)
+  ret r
+}
+
+func main(n) {
+entry:
+  r = call ping(n)
+  ret r
+}
+"""
+        )
+        assert recursive_functions(program) == {"ping", "pong"}
+
+    def test_size_cap_respected(self):
+        program = parse_program(SIMPLE)
+        count = inline_all_calls(program, max_program_size=program.size())
+        assert count == 0
+
+    def test_not_a_call_rejected(self):
+        program = parse_program(SIMPLE)
+        with pytest.raises(IRError):
+            inline_call(program, "double", "entry", 0)
+
+
+class TestCorrelationRecovery:
+    """Inlining turns *interprocedural* correlation into CFG paths.
+
+    The callee's branch is fully determined by its argument, which the
+    caller computes from its own alternating branch.  As a separate
+    function, the callee branch starts every activation with empty
+    frame-local history (not improvable); inlined into the caller, the
+    correlation becomes an ordinary predecessor path.
+    """
+
+    PROGRAM = """
+func kernel(mode) {
+entry:
+  br eq mode, 1 ? fancy : plain
+fancy:
+  ret 10
+plain:
+  ret 1
+}
+
+func main(n) {
+entry:
+  k = move 0
+  acc = move 0
+loop:
+  br lt k, n ? body : finish
+body:
+  parity = mod k, 2
+  br eq parity, 0 ? even : odd
+even:
+  x = call kernel(1)
+  acc = add acc, x
+  jump cont
+odd:
+  y = call kernel(0)
+  acc = add acc, y
+  jump cont
+cont:
+  k = add k, 1
+  jump loop
+finish:
+  ret acc
+}
+"""
+
+    def kernel_gain(self, program, branch_site, max_states=4):
+        trace, _ = trace_program(program.copy(), [60])
+        profile = ProfileData.from_trace(trace)
+        profile.attach_path_tables(collect_path_tables(program, [60]))
+        planner = ReplicationPlanner(program, profile, max_states)
+        plan = planner.plans.get(branch_site)
+        if plan is None:
+            return None
+        best = plan.best_option(max_states)
+        if best is None:
+            return 0.0
+        return (best.correct - plan.profile_correct) / plan.executions
+
+    def test_callee_branch_not_improvable_before(self):
+        program = parse_program(self.PROGRAM)
+        gain = self.kernel_gain(program, BranchSite("kernel", "entry"))
+        assert gain == 0.0  # empty frame history: 50/50 forever
+
+    def test_inlining_recovers_correlation(self):
+        from repro.predictors import ProfilePredictor, evaluate
+
+        original = parse_program(self.PROGRAM)
+        inlined = parse_program(self.PROGRAM)
+        inline_all_calls(inlined, callees={"kernel"})
+        validate_program(inlined)
+        assert (
+            run_program(inlined.copy(), [20]).value
+            == run_program(original.copy(), [20]).value
+        )
+        # Before: the shared kernel branch is a coin flip for profile
+        # prediction.
+        trace, _ = trace_program(original.copy(), [60])
+        profile = ProfileData.from_trace(trace)
+        before = evaluate(ProfilePredictor(profile), trace)
+        kernel_before = before.per_site[BranchSite("kernel", "entry")]
+        assert kernel_before.rate == pytest.approx(0.5, abs=0.05)
+        # After: each inlined copy sees a constant mode — plain profile
+        # prediction is now perfect on them.  (Inlining specialised the
+        # branch the way code replication specialises loop copies.)
+        trace2, _ = trace_program(inlined.copy(), [60])
+        profile2 = ProfileData.from_trace(trace2)
+        after = evaluate(ProfilePredictor(profile2), trace2)
+        copies = [
+            stats
+            for site, stats in after.per_site.items()
+            if site.block.startswith("entry$kernel")
+        ]
+        assert copies, "inlined kernel branches should execute"
+        assert all(stats.mispredictions == 0 for stats in copies)

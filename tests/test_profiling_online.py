@@ -1,0 +1,116 @@
+"""Online profiler and profile serialisation tests."""
+
+import pytest
+
+from repro.ir import BranchSite
+from repro.profiling import (
+    OnlineProfiler,
+    ProfileData,
+    ProfileFormatError,
+    Trace,
+    collect_path_tables,
+    load_profile,
+    profile_from_bytes,
+    profile_program,
+    profile_to_bytes,
+    save_profile,
+    trace_program,
+)
+
+
+def profiles_equal(a: ProfileData, b: ProfileData) -> bool:
+    if a.totals != b.totals or a.events != b.events:
+        return False
+    for site in a.totals:
+        if a.local[site].counts != b.local[site].counts:
+            return False
+        if a.global_tables[site].counts != b.global_tables[site].counts:
+            return False
+    return True
+
+
+class TestOnlineProfiler:
+    def test_matches_batch_profile(self, alternating_loop):
+        trace, _ = trace_program(alternating_loop.copy(), [123])
+        batch = ProfileData.from_trace(trace)
+        online = OnlineProfiler()
+        for site, taken in trace:
+            online.record(site, taken)
+        assert profiles_equal(batch, online.finish())
+
+    def test_profile_program_one_pass(self, alternating_loop):
+        trace, _ = trace_program(alternating_loop.copy(), [50])
+        batch = ProfileData.from_trace(trace)
+        streamed, result = profile_program(alternating_loop, [50])
+        assert result.value == 75
+        assert profiles_equal(batch, streamed)
+
+    def test_custom_depths(self, alternating_loop):
+        streamed, _ = profile_program(
+            alternating_loop, [30], local_bits=4, global_bits=3
+        )
+        assert streamed.local_bits == 4
+        table = streamed.local[BranchSite("main", "body")]
+        assert max(table.counts) < 16
+
+    def test_memory_stays_bounded(self):
+        # A long biased stream creates exactly 1-2 live patterns.
+        profiler = OnlineProfiler()
+        site = BranchSite("f", "b")
+        for _ in range(100_000):
+            profiler.record(site, True)
+        profile = profiler.finish()
+        assert len(profile.local[site].counts) <= 10  # warmup patterns only
+
+
+class TestProfileSerialisation:
+    def test_roundtrip(self, correlated_branches):
+        trace, _ = trace_program(correlated_branches.copy(), [80])
+        profile = ProfileData.from_trace(trace)
+        loaded = profile_from_bytes(profile_to_bytes(profile))
+        assert profiles_equal(profile, loaded)
+        assert loaded.path_tables is None
+
+    def test_roundtrip_with_path_tables(self, correlated_branches):
+        trace, _ = trace_program(correlated_branches.copy(), [80])
+        profile = ProfileData.from_trace(trace)
+        profile.attach_path_tables(
+            collect_path_tables(correlated_branches, [80])
+        )
+        loaded = profile_from_bytes(profile_to_bytes(profile))
+        assert loaded.path_tables is not None
+        for site, table in profile.path_tables.items():
+            assert loaded.path_tables[site].counts == table.counts
+
+    def test_file_roundtrip(self, tmp_path, alternating_loop):
+        trace, _ = trace_program(alternating_loop.copy(), [40])
+        profile = ProfileData.from_trace(trace)
+        path = str(tmp_path / "train.profile")
+        save_profile(profile, path)
+        assert profiles_equal(profile, load_profile(path))
+
+    def test_bad_magic(self):
+        with pytest.raises(ProfileFormatError, match="magic"):
+            profile_from_bytes(b"XXXX" + b"junk")
+
+    def test_corrupt_payload(self, alternating_loop):
+        trace, _ = trace_program(alternating_loop.copy(), [10])
+        blob = bytearray(profile_to_bytes(ProfileData.from_trace(trace)))
+        blob[10] ^= 0xFF
+        with pytest.raises(ProfileFormatError):
+            profile_from_bytes(bytes(blob))
+
+    def test_loaded_profile_drives_the_planner(self, alternating_loop):
+        from repro.replication import ReplicationPlanner
+
+        trace, _ = trace_program(alternating_loop.copy(), [100])
+        profile = ProfileData.from_trace(trace)
+        loaded = profile_from_bytes(profile_to_bytes(profile))
+        planner = ReplicationPlanner(alternating_loop, loaded, max_states=4)
+        assert planner.improved_branch_count() >= 1
+
+    def test_empty_profile_roundtrip(self):
+        empty = ProfileData.from_trace(Trace())
+        loaded = profile_from_bytes(profile_to_bytes(empty))
+        assert loaded.totals == {}
+        assert loaded.events == 0

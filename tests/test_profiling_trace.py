@@ -1,0 +1,79 @@
+"""Trace data structure tests."""
+
+from repro.ir import BranchSite
+from repro.profiling import Trace, trace_program
+
+
+def sample_trace() -> Trace:
+    trace = Trace()
+    a = BranchSite("f", "a")
+    b = BranchSite("f", "b")
+    trace.record(a, True)
+    trace.record(b, False)
+    trace.record(a, True)
+    trace.record(a, False)
+    return trace
+
+
+def test_length():
+    assert len(sample_trace()) == 4
+
+
+def test_site_interning_is_stable():
+    trace = sample_trace()
+    assert trace.site_id(BranchSite("f", "a")) == 0
+    assert trace.site_id(BranchSite("f", "b")) == 1
+    assert len(trace.sites) == 2
+
+
+def test_events_stream():
+    assert list(sample_trace().events()) == [(0, 1), (1, 0), (0, 1), (0, 0)]
+
+
+def test_iteration_yields_sites():
+    events = list(sample_trace())
+    assert events[0] == (BranchSite("f", "a"), True)
+    assert events[3] == (BranchSite("f", "a"), False)
+
+
+def test_executed_sites_in_first_appearance_order():
+    trace = Trace()
+    trace.site_id(BranchSite("f", "never"))  # interned but not executed
+    trace.record(BranchSite("f", "b"), True)
+    trace.record(BranchSite("f", "a"), True)
+    assert trace.executed_sites() == [BranchSite("f", "b"), BranchSite("f", "a")]
+
+
+def test_taken_counts():
+    counts = sample_trace().taken_counts()
+    assert counts[BranchSite("f", "a")] == (1, 2)
+    assert counts[BranchSite("f", "b")] == (1, 0)
+
+
+def test_truncated():
+    trace = sample_trace()
+    short = trace.truncated(2)
+    assert len(short) == 2
+    assert list(short.events()) == [(0, 1), (1, 0)]
+    assert short.sites == trace.sites
+
+
+def test_from_events_roundtrip():
+    trace = sample_trace()
+    rebuilt = Trace.from_events(iter(trace))
+    assert list(rebuilt.events()) == list(trace.events())
+
+
+def test_record_id_matches_record():
+    trace = Trace()
+    site = BranchSite("f", "x")
+    sid = trace.site_id(site)
+    trace.record_id(sid, True)
+    trace.record(site, False)
+    assert list(trace.events()) == [(0, 1), (0, 0)]
+
+
+def test_trace_program_max_branches(alternating_loop):
+    trace, result = trace_program(alternating_loop, [50], max_branches=10)
+    assert len(trace) == 10
+    assert result.branches > 10  # execution continued past the cap

@@ -1,0 +1,264 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The heavyweight invariant is the last one: *code replication never
+changes program behaviour* — checked on randomly generated structured
+programs with randomly chosen branches and machines.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.cfg import CFG, DominatorTree, LoopForest, classify_branches
+from repro.interp import run_program
+from repro.ir import BranchSite, format_program, parse_program, validate_program
+from repro.profiling import (
+    PatternTable,
+    ProfileData,
+    Trace,
+    trace_from_bytes,
+    trace_to_bytes,
+    trace_program,
+)
+from repro.replication import ReplicationPlanner, apply_replication
+from repro.statemachines import (
+    best_intra_machine,
+    greedy_intra_machine,
+    node_counts,
+    partition_score,
+    shape_leaves,
+    shapes_with_leaves,
+)
+from repro.workloads import random_program
+
+events_strategy = st.lists(
+    st.tuples(st.integers(0, 5), st.booleans()), max_size=300
+)
+
+
+@given(events_strategy)
+def test_trace_file_roundtrip(events):
+    trace = Trace()
+    for site_index, taken in events:
+        trace.record(BranchSite("f", f"b{site_index}"), taken)
+    loaded = trace_from_bytes(trace_to_bytes(trace))
+    assert list(loaded.events()) == list(trace.events())
+    assert loaded.sites == trace.sites
+
+
+@given(events_strategy, st.integers(1, 8))
+def test_marginalization_preserves_totals(events, bits):
+    table = PatternTable(9)
+    history = 0
+    for _, taken in events:
+        table.add(history, 1 if taken else 0)
+        history = ((history << 1) | (1 if taken else 0)) & 0x1FF
+    short = table.marginalize(bits)
+    assert short.total() == table.total()
+    # Per-pattern majority at full depth is at least as accurate.
+    assert table.correct_if_per_pattern() >= short.correct_if_per_pattern()
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=400), st.integers(2, 6))
+def test_machine_search_bounds(outcomes, max_states):
+    table = PatternTable(9)
+    history = 0
+    for taken in outcomes:
+        table.add(history, 1 if taken else 0)
+        history = ((history << 1) | (1 if taken else 0)) & 0x1FF
+    scored = best_intra_machine(table, max_states)
+    # Never worse than profile, never better than the full table.
+    assert scored.correct >= max(table.total())
+    assert scored.correct <= table.correct_if_per_pattern()
+    greedy = greedy_intra_machine(table, max_states)
+    assert greedy.correct <= scored.correct
+
+
+@given(st.integers(1, 7))
+def test_trie_shapes_partition(n_leaves):
+    for shape in shapes_with_leaves(n_leaves):
+        leaves = shape_leaves(shape)
+        max_depth = max(length for _, length in leaves)
+        for history in range(1 << max_depth):
+            matches = [
+                (value, length)
+                for value, length in leaves
+                if (history & ((1 << length) - 1)) == value
+            ]
+            assert len(matches) == 1
+
+
+@given(st.lists(st.booleans(), min_size=10, max_size=300))
+def test_partition_score_conserves_counts(outcomes):
+    table = PatternTable(9)
+    history = 0
+    for taken in outcomes:
+        table.add(history, 1 if taken else 0)
+        history = ((history << 1) | (1 if taken else 0)) & 0x1FF
+    nodes = node_counts(table)
+    for shape in shapes_with_leaves(3):
+        leaves = shape_leaves(shape)
+        charged = sum(
+            sum(nodes.get(leaf, (0, 0))) for leaf in leaves
+        )
+        assert charged == len(outcomes)
+        assert partition_score(nodes, leaves) <= len(outcomes)
+
+
+@given(events_strategy)
+def test_online_profiler_matches_batch(events):
+    from repro.profiling import OnlineProfiler
+
+    trace = Trace()
+    for site_index, taken in events:
+        trace.record(BranchSite("f", f"b{site_index}"), taken)
+    batch = ProfileData.from_trace(trace)
+    online = OnlineProfiler()
+    for site, taken in trace:
+        online.record(site, taken)
+    streamed = online.finish()
+    assert streamed.totals == batch.totals
+    for site in batch.totals:
+        assert streamed.local[site].counts == batch.local[site].counts
+        assert (
+            streamed.global_tables[site].counts
+            == batch.global_tables[site].counts
+        )
+
+
+@given(events_strategy)
+def test_profile_serialisation_roundtrip(events):
+    from repro.profiling import profile_from_bytes, profile_to_bytes
+
+    trace = Trace()
+    for site_index, taken in events:
+        trace.record(BranchSite("f", f"b{site_index}"), taken)
+    profile = ProfileData.from_trace(trace)
+    loaded = profile_from_bytes(profile_to_bytes(profile))
+    assert loaded.totals == profile.totals
+    for site in profile.totals:
+        assert loaded.local[site].counts == profile.local[site].counts
+
+
+@given(st.integers(0, 200))
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_random_programs_analyse_cleanly(seed):
+    program = random_program(seed)
+    validate_program(program)
+    function = program.main_function()
+    cfg = CFG.from_function(function)
+    tree = DominatorTree(cfg)
+    forest = LoopForest(cfg, tree)
+    # Every loop header dominates its whole body.
+    for loop in forest:
+        for label in loop.body:
+            assert tree.dominates(loop.header, label)
+    classify_branches(program)
+
+
+@given(st.integers(0, 200))
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_random_programs_roundtrip(seed):
+    program = random_program(seed)
+    text = format_program(program)
+    assert format_program(parse_program(text)) == text
+
+
+@given(st.integers(0, 150), st.integers(0, 20))
+@settings(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_rotation_and_layout_preserve_semantics(seed, arg):
+    """Loop rotation + alignment + chain layout never change behaviour."""
+    from repro.layout import layout_program, profile_edges, rotate_program
+    from repro.replication import annotate_profile_predictions
+
+    program = random_program(seed)
+    reference = run_program(program.copy(), [arg], max_steps=2_000_000)
+    trace, _ = trace_program(program.copy(), [arg], max_steps=2_000_000)
+    profile = ProfileData.from_trace(trace)
+    annotate_profile_predictions(program, profile)
+    rotate_program(program)
+    layout_program(program, profile_edges(program, [arg]))
+    validate_program(program)
+    transformed = run_program(program, [arg], max_steps=2_000_000)
+    assert transformed.value == reference.value
+    assert transformed.output == reference.output
+
+
+@given(st.integers(0, 150))
+@settings(
+    deadline=None,
+    max_examples=20,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_scheduling_estimates_well_formed(seed):
+    """Superblock estimates exist for any annotated program and never
+    exceed the per-block baseline."""
+    from repro.interp import Machine
+    from repro.replication import annotate_profile_predictions
+    from repro.scheduling import estimate_program_cycles
+
+    program = random_program(seed)
+    trace, _ = trace_program(program.copy(), [seed % 7], max_steps=2_000_000)
+    profile = ProfileData.from_trace(trace)
+    annotate_profile_predictions(program, profile)
+    machine = Machine(program, max_steps=2_000_000, count_edges=True)
+    machine.run(seed % 7)
+    counts = {}
+    for (fn, _src, dst), count in machine.edge_counts.items():
+        counts[(fn, dst)] = counts.get((fn, dst), 0) + count
+    for function in program:
+        counts.setdefault((function.name, function.entry), 1)
+    baseline, region = estimate_program_cycles(program, counts)
+    assert 0 <= region <= baseline
+
+
+@given(st.integers(0, 120), st.integers(0, 15))
+@settings(
+    deadline=None,
+    max_examples=20,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_inlining_preserves_semantics(seed, arg):
+    """Inlining random helper calls never changes behaviour, and the
+    pipeline still works on the inlined program."""
+    from repro.opt import inline_all_calls
+
+    program = random_program(seed, helpers=2)
+    validate_program(program)
+    reference = run_program(program.copy(), [arg], max_steps=2_000_000)
+    inlined = program.copy()
+    inline_all_calls(inlined)
+    validate_program(inlined)
+    result = run_program(inlined, [arg], max_steps=2_000_000)
+    assert result.value == reference.value
+    assert result.output == reference.output
+
+
+@given(st.integers(0, 80), st.integers(0, 30))
+@settings(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_replication_preserves_semantics(seed, arg):
+    """The headline property: replicated programs behave identically."""
+    program = random_program(seed, helpers=seed % 3)
+    reference = run_program(program.copy(), [arg], max_steps=2_000_000)
+    trace, _ = trace_program(program.copy(), [arg], max_steps=2_000_000)
+    if len(trace) == 0:
+        return
+    profile = ProfileData.from_trace(trace)
+    planner = ReplicationPlanner(program, profile, max_states=4)
+    selections = []
+    for plan in planner.improvable_plans():
+        option = plan.best_option(4)
+        if option is not None:
+            selections.append((plan.site, option.scored.machine))
+    report = apply_replication(program, selections, profile)
+    validate_program(report.program)
+    transformed = run_program(report.program, [arg], max_steps=8_000_000)
+    assert transformed.value == reference.value
+    assert transformed.output == reference.output

@@ -1,0 +1,86 @@
+"""Annotation planting and end-to-end misprediction measurement."""
+
+import pytest
+
+from repro.ir import BranchSite, parse_program
+from repro.profiling import ProfileData, trace_program
+from repro.replication import (
+    annotate_profile_predictions,
+    clear_predictions,
+    measure_annotated,
+)
+
+
+def trained(program, args):
+    trace, _ = trace_program(program.copy(), args)
+    return ProfileData.from_trace(trace)
+
+
+def test_annotate_sets_majority(alternating_loop):
+    profile = trained(alternating_loop, [100])
+    work = alternating_loop.copy()
+    count = annotate_profile_predictions(work, profile)
+    assert count == 2
+    loop_branch = work.main_function().block("loop").branch
+    assert loop_branch.predict is True  # taken 100/101 times
+
+
+def test_annotate_respects_existing(alternating_loop):
+    import dataclasses
+
+    profile = trained(alternating_loop, [100])
+    work = alternating_loop.copy()
+    block = work.main_function().block("loop")
+    block.terminator = dataclasses.replace(block.branch, predict=False)
+    annotate_profile_predictions(work, profile)
+    assert work.main_function().block("loop").branch.predict is False
+
+
+def test_annotate_default_for_unexecuted():
+    program = parse_program(
+        "func main(n) {\nentry:\n  br gt n, 1000 ? rare : common\n"
+        "rare:\n  ret 1\ncommon:\n  ret 0\n}"
+    )
+    # Train on a run that never reaches `rare`... entry executes, so use
+    # an empty profile instead.
+    empty_profile = ProfileData()
+    work = program.copy()
+    annotate_profile_predictions(work, empty_profile, default=False)
+    assert work.main_function().block("entry").branch.predict is False
+
+
+def test_clear_predictions(alternating_loop):
+    profile = trained(alternating_loop, [100])
+    work = alternating_loop.copy()
+    annotate_profile_predictions(work, profile)
+    clear_predictions(work)
+    for block in work.main_function():
+        if block.branch is not None:
+            assert block.branch.predict is None
+
+
+def test_measure_matches_profile_rate(alternating_loop):
+    profile = trained(alternating_loop, [100])
+    work = alternating_loop.copy()
+    annotate_profile_predictions(work, profile)
+    measurement = measure_annotated(work, [100])
+    # body alternates (50 wrong), loop mispredicts once at exit.
+    assert measurement.mispredictions == 51
+    assert measurement.events == 201
+
+
+def test_measure_per_site(alternating_loop):
+    profile = trained(alternating_loop, [100])
+    work = alternating_loop.copy()
+    annotate_profile_predictions(work, profile)
+    measurement = measure_annotated(work, [100])
+    executions, wrong = measurement.per_site[BranchSite("main", "body")]
+    assert executions == 100
+    assert wrong == 50
+
+
+def test_measure_empty_run():
+    program = parse_program("func main() {\nentry:\n  ret\n}")
+    measurement = measure_annotated(program)
+    assert measurement.events == 0
+    assert measurement.misprediction_rate == 0.0

@@ -1,0 +1,207 @@
+"""Scheduling substrate tests: dependences, list scheduling, superblocks."""
+
+import pytest
+
+from repro.cfg import LivenessInfo
+from repro.ir import parse_function, parse_program
+from repro.scheduling import (
+    build_dep_graph,
+    estimate_program_cycles,
+    form_superblocks,
+    latency_of,
+    list_schedule,
+    schedule_blocks_individually,
+    schedule_instructions,
+    schedule_superblock,
+)
+
+
+def instrs_of(body: str):
+    function = parse_function(f"func f(a, b, p) {{\nentry:\n{body}\n}}")
+    block = function.block("entry")
+    out = list(block.instrs)
+    out.append(block.terminator)
+    return out
+
+
+class TestDepGraph:
+    def test_raw_dependence(self):
+        instrs = instrs_of("  x = add a, 1\n  y = add x, 1\n  ret y")
+        graph = build_dep_graph(instrs)
+        assert (0, 1) in [(p, 1) for p, _ in graph.preds[1]] or any(
+            p == 0 for p, _ in graph.preds[1]
+        )
+
+    def test_independent_instructions(self):
+        instrs = instrs_of("  x = add a, 1\n  y = add b, 1\n  ret x")
+        graph = build_dep_graph(instrs)
+        assert not any(p == 0 for p, _ in graph.preds[1])
+
+    def test_war_dependence(self):
+        instrs = instrs_of("  x = add a, 1\n  a = add b, 1\n  ret x")
+        graph = build_dep_graph(instrs)
+        assert any(p == 0 for p, _ in graph.preds[1])
+
+    def test_memory_ordering(self):
+        instrs = instrs_of(
+            "  store p, 1, 0\n  x = load p, 0\n  store p, 2, 0\n  ret x"
+        )
+        graph = build_dep_graph(instrs)
+        assert any(p == 0 for p, _ in graph.preds[1])  # load after store
+        assert any(p == 1 for p, _ in graph.preds[2])  # store after load
+
+    def test_loads_may_reorder(self):
+        instrs = instrs_of("  x = load p, 0\n  y = load p, 1\n  ret x")
+        graph = build_dep_graph(instrs)
+        assert not any(p == 0 for p, _ in graph.preds[1])
+
+    def test_latencies(self):
+        instrs = instrs_of("  x = mul a, b\n  y = add a, b\n  ret x")
+        assert latency_of(instrs[0]) == 3
+        assert latency_of(instrs[1]) == 1
+
+
+class TestListSchedule:
+    def test_serial_chain(self):
+        instrs = instrs_of(
+            "  x = add a, 1\n  y = add x, 1\n  z = add y, 1\n  ret z"
+        )
+        schedule = schedule_instructions(instrs, issue_width=4)
+        assert schedule.cycles == 4  # fully serial
+
+    def test_parallel_pairs(self):
+        instrs = instrs_of(
+            "  x = add a, 1\n  y = add b, 1\n  z = add a, 2\n  w = add b, 2\n  ret x"
+        )
+        wide = schedule_instructions(instrs, issue_width=4)
+        narrow = schedule_instructions(instrs, issue_width=1)
+        assert wide.cycles < narrow.cycles
+
+    def test_latency_respected(self):
+        instrs = instrs_of("  x = mul a, b\n  y = add x, 1\n  ret y")
+        schedule = schedule_instructions(instrs, issue_width=2)
+        # mul latency 3 -> add at cycle >= 3, ret after it.
+        assert schedule.start_cycle[1] >= 3
+
+    def test_empty(self):
+        assert schedule_instructions([]).cycles == 0
+
+    def test_all_instructions_scheduled(self):
+        instrs = instrs_of(
+            "  x = add a, 1\n  y = mul x, b\n  store p, y, 0\n  ret y"
+        )
+        schedule = schedule_instructions(instrs)
+        assert len(schedule) == len(instrs)
+
+
+SUPERBLOCK_PROGRAM = """
+func main(n) {
+entry:
+  i = move 0
+  acc = move 0
+loop:
+  br lt i, n ? body : exit  ; predict taken
+body:
+  t = mul i, 3
+  acc = add acc, t
+  i = add i, 1
+  jump loop
+exit:
+  ret acc
+}
+"""
+
+
+class TestSuperblocks:
+    def program(self):
+        import dataclasses
+
+        program = parse_program(SUPERBLOCK_PROGRAM)
+        block = program.main_function().block("loop")
+        block.terminator = dataclasses.replace(block.branch, predict=True)
+        return program
+
+    def test_trace_follows_prediction(self):
+        function = self.program().main_function()
+        traces = form_superblocks(function)
+        main_trace = traces[0]
+        assert main_trace.blocks[:3] == ["entry", "loop", "body"]
+
+    def test_unpredicted_branch_ends_trace(self):
+        program = parse_program(SUPERBLOCK_PROGRAM)  # no predictions
+        traces = form_superblocks(program.main_function())
+        lead = traces[0]
+        assert lead.blocks == ["entry", "loop"]
+
+    def test_traces_partition_blocks(self):
+        function = self.program().main_function()
+        traces = form_superblocks(function)
+        flat = [label for trace in traces for label in trace.blocks]
+        assert sorted(flat) == sorted(function.blocks)
+
+    def test_region_schedule_not_longer(self):
+        function = self.program().main_function()
+        trace = form_superblocks(function)[0]
+        region = schedule_superblock(function, trace)
+        blockwise = schedule_blocks_individually(function, trace)
+        assert region.cycles <= blockwise
+
+    def test_speculation_respects_liveness(self):
+        # acc is live into `exit` (returned there); an instruction
+        # defining acc must not be hoisted above the loop branch.
+        function = self.program().main_function()
+        trace = form_superblocks(function)[0]
+        liveness = LivenessInfo(function)
+        schedule = schedule_superblock(function, trace, liveness)
+        branch_position = trace.branch_positions[0]
+        acc_positions = [
+            index
+            for index, instr in enumerate(trace.instrs)
+            if "acc" in instr.defs() and index > branch_position
+        ]
+        for position in acc_positions:
+            assert (
+                schedule.start_cycle[position]
+                > schedule.start_cycle[branch_position]
+            )
+
+    def test_pure_work_speculated(self):
+        function = self.program().main_function()
+        trace = form_superblocks(function)[0]
+        with_spec = schedule_superblock(function, trace, allow_speculation=True)
+        without = schedule_superblock(function, trace, allow_speculation=False)
+        assert with_spec.cycles <= without.cycles
+
+
+class TestEstimates:
+    def test_program_estimate(self):
+        import dataclasses
+
+        program = parse_program(SUPERBLOCK_PROGRAM)
+        block = program.main_function().block("loop")
+        block.terminator = dataclasses.replace(block.branch, predict=True)
+        counts = {
+            ("main", "entry"): 1,
+            ("main", "loop"): 101,
+            ("main", "body"): 100,
+            ("main", "exit"): 1,
+        }
+        baseline, region = estimate_program_cycles(program, counts)
+        assert 0 < region <= baseline
+
+    def test_divergence_cost_charged(self):
+        import dataclasses
+
+        program = parse_program(SUPERBLOCK_PROGRAM)
+        block = program.main_function().block("loop")
+        block.terminator = dataclasses.replace(block.branch, predict=True)
+        counts = {
+            ("main", "entry"): 1,
+            ("main", "loop"): 101,
+            ("main", "body"): 100,
+            ("main", "exit"): 1,
+        }
+        quiet = estimate_program_cycles(program, counts)[1]
+        noisy_edges = {("main", "loop", "exit"): 50}
+        noisy = estimate_program_cycles(program, counts, noisy_edges)[1]
+        assert noisy >= quiet

@@ -1,0 +1,123 @@
+"""Correlated machine tests: path selection and prediction semantics."""
+
+from repro.profiling import PatternTable
+from repro.statemachines import (
+    CorrelatedMachine,
+    best_correlated_machine,
+    correlated_machine_options,
+)
+
+
+def global_table(events, bits: int = 8) -> PatternTable:
+    """events: outcomes of the target branch interleaved after a
+    context-generating sequence; here we directly provide (history,
+    outcome) pairs."""
+    table = PatternTable(bits)
+    for history, outcome in events:
+        table.add(history, outcome)
+    return table
+
+
+def perfectly_correlated_table() -> PatternTable:
+    # The branch copies the previous global outcome (history bit 0).
+    events = []
+    import random
+
+    rng = random.Random(2)
+    for _ in range(400):
+        context = rng.getrandbits(8)
+        events.append((context, context & 1))
+    return global_table(events)
+
+
+class TestBestCorrelatedMachine:
+    def test_finds_single_bit_correlation(self):
+        table = perfectly_correlated_table()
+        scored = best_correlated_machine(table, 3)
+        assert scored.mispredictions == 0
+        patterns = {p for p in scored.machine.paths}
+        # One path on each direction of the correlated bit (or one path
+        # plus the catch-all covering the other).
+        assert all(length == 1 for _, length in patterns)
+
+    def test_stops_when_no_gain(self):
+        table = global_table([(h, 1) for h in range(100)])
+        scored = best_correlated_machine(table, 8)
+        assert scored.machine.paths == ()
+        assert scored.mispredictions == 0
+
+    def test_path_length_bound(self):
+        table = perfectly_correlated_table()
+        scored = best_correlated_machine(table, 4, max_path_length=2)
+        assert all(length <= 2 for _, length in scored.machine.paths)
+
+    def test_two_bit_correlation_needs_longer_paths(self):
+        # Outcome = XOR of the last two global outcomes: unpredictable
+        # from any single bit, perfectly predictable from two.
+        events = []
+        import random
+
+        rng = random.Random(4)
+        for _ in range(600):
+            context = rng.getrandbits(8)
+            outcome = (context ^ (context >> 1)) & 1
+            events.append((context, outcome))
+        table = global_table(events)
+        short = best_correlated_machine(table, 2, max_path_length=1)
+        longer = best_correlated_machine(table, 5, max_path_length=2)
+        assert longer.correct > short.correct
+        assert longer.mispredictions == 0
+
+
+class TestCorrelatedMachineSemantics:
+    def machine(self) -> CorrelatedMachine:
+        return CorrelatedMachine(
+            paths=((0b1, 1), (0b10, 2)),
+            predictions=(True, False),
+            fallback=True,
+        )
+
+    def test_longest_match_wins(self):
+        machine = self.machine()
+        # History 0b...10: matches (0b10, 2)form (low bits 10) but not (1,1).
+        assert machine.state_of(0b0110) == 1
+        assert machine.predict(0b0110) is False
+
+    def test_shorter_match(self):
+        machine = self.machine()
+        assert machine.state_of(0b011) == 0
+        assert machine.predict(0b011) is True
+
+    def test_fallback(self):
+        machine = self.machine()
+        assert machine.state_of(0b100) is None
+        assert machine.predict(0b100) is True
+
+    def test_n_states_includes_catch_all(self):
+        assert self.machine().n_states == 3
+
+    def test_describe(self):
+        text = self.machine().describe()
+        assert "3 states" in text
+        assert "[*]" in text
+
+
+class TestMachineOptions:
+    def test_one_option_per_size(self):
+        table = perfectly_correlated_table()
+        options = correlated_machine_options(table, 6)
+        assert len(options) == 6
+        for index, scored in enumerate(options, start=1):
+            assert scored.machine.n_states <= index
+
+    def test_monotone_accuracy(self):
+        table = perfectly_correlated_table()
+        options = correlated_machine_options(table, 6)
+        for earlier, later in zip(options, options[1:]):
+            assert later.correct >= earlier.correct
+
+    def test_first_option_is_catch_all_only(self):
+        table = perfectly_correlated_table()
+        options = correlated_machine_options(table, 4)
+        assert options[0].machine.paths == ()
+        assert options[0].correct == max(table.total())

@@ -1,0 +1,115 @@
+"""Intra-loop machine search tests, including score/simulation agreement."""
+
+from repro.profiling import PatternTable
+from repro.statemachines import (
+    best_intra_machine,
+    greedy_intra_machine,
+    node_counts,
+)
+
+
+def table_from_outcomes(outcomes, bits: int = 9) -> PatternTable:
+    table = PatternTable(bits)
+    history = 0
+    mask = (1 << bits) - 1
+    for taken in outcomes:
+        table.add(history, 1 if taken else 0)
+        history = ((history << 1) | (1 if taken else 0)) & mask
+    return table
+
+
+class TestBestIntraMachine:
+    def test_alternating_two_states_suffice(self):
+        outcomes = [i % 2 == 0 for i in range(500)]
+        scored = best_intra_machine(table_from_outcomes(outcomes), 2)
+        assert scored.machine.n_states == 2
+        assert scored.misprediction_rate < 0.01
+
+    def test_period_three_needs_more_states(self):
+        outcomes = [(i % 3) != 2 for i in range(600)]  # T T N repeating
+        two = best_intra_machine(table_from_outcomes(outcomes), 2)
+        four = best_intra_machine(table_from_outcomes(outcomes), 4)
+        assert four.correct > two.correct
+        assert four.misprediction_rate < 0.01
+
+    def test_biased_branch_stays_single_state(self):
+        outcomes = [True] * 500
+        scored = best_intra_machine(table_from_outcomes(outcomes), 8)
+        assert scored.machine.n_states == 1
+        assert scored.mispredictions == 0
+
+    def test_score_matches_simulation(self):
+        # The pattern-table score must equal an actual simulation run
+        # (up to warmup effects smaller than the history depth).
+        outcomes = [(i % 4) in (0, 1) for i in range(800)]
+        table = table_from_outcomes(outcomes)
+        scored = best_intra_machine(table, 4)
+        simulated_correct, total = scored.machine.simulate(outcomes)
+        assert total == scored.total
+        assert abs(simulated_correct - scored.correct) <= table.bits
+
+    def test_exact_states_flag(self):
+        outcomes = [i % 2 == 0 for i in range(200)]
+        scored = best_intra_machine(
+            table_from_outcomes(outcomes), 4, exact_states=True
+        )
+        # Even when asked for exactly 4 states, extra states cannot hurt
+        # the alternating branch.
+        assert scored.misprediction_rate < 0.05
+
+    def test_ties_prefer_fewer_states(self):
+        outcomes = [i % 2 == 0 for i in range(400)]
+        scored = best_intra_machine(table_from_outcomes(outcomes), 8)
+        assert scored.machine.n_states <= 4
+
+    def test_random_never_improves(self):
+        import random
+
+        rng = random.Random(11)
+        outcomes = [rng.random() < 0.5 for _ in range(500)]
+        table = table_from_outcomes(outcomes)
+        scored = best_intra_machine(table, 4)
+        profile_correct = max(table.total())
+        # Machines may overfit the table slightly but the structure is
+        # noise: the gain should be small.
+        assert scored.correct - profile_correct < 80
+
+
+class TestGreedyVsExhaustive:
+    def test_greedy_never_beats_exhaustive(self):
+        for period in (2, 3, 4, 5):
+            outcomes = [(i % period) != 0 for i in range(600)]
+            table = table_from_outcomes(outcomes)
+            for states in (2, 4, 6):
+                exhaustive = best_intra_machine(table, states)
+                greedy = greedy_intra_machine(table, states)
+                assert greedy.correct <= exhaustive.correct
+
+    def test_greedy_finds_alternation(self):
+        outcomes = [i % 2 == 0 for i in range(400)]
+        scored = greedy_intra_machine(table_from_outcomes(outcomes), 2)
+        assert scored.misprediction_rate < 0.01
+
+    def test_greedy_machine_simulates_consistently(self):
+        outcomes = [(i % 3) != 2 for i in range(600)]
+        table = table_from_outcomes(outcomes)
+        scored = greedy_intra_machine(table, 4)
+        correct, total = scored.machine.simulate(outcomes)
+        assert abs(correct - scored.correct) <= table.bits
+
+
+class TestMachineStructure:
+    def test_transitions_follow_history_semantics(self):
+        outcomes = [(i % 4) in (0, 1) for i in range(400)]
+        scored = best_intra_machine(table_from_outcomes(outcomes), 4)
+        machine = scored.machine
+        for state in machine.states:
+            for bit, succ_index in ((0, state.on_not_taken), (1, state.on_taken)):
+                succ = machine.states[succ_index]
+                # The successor's pattern must be consistent with
+                # "outcome bit then this state's bits".
+                value, length = state.pattern
+                extended = ((value << 1) | bit, length + 1)
+                svalue, slength = succ.pattern
+                assert slength <= length + 1
+                assert (extended[0] & ((1 << slength) - 1)) == svalue

@@ -1,0 +1,139 @@
+"""Loop-exit machine tests: combs, parity variant, best-of search."""
+
+from repro.profiling import PatternTable
+from repro.statemachines import (
+    best_loop_exit_machine,
+    comb_machine,
+    parity_machine,
+)
+
+
+def exit_table(trip_counts, exit_on_taken=False, bits: int = 9) -> PatternTable:
+    """Pattern table of a loop-exit branch for the given trip counts.
+
+    With ``exit_on_taken=False`` the branch is taken while the loop
+    continues and not-taken on exit (the `br lt i, n ? body : done`
+    shape).
+    """
+    table = PatternTable(bits)
+    history = 0
+    mask = (1 << bits) - 1
+    stay = 0 if exit_on_taken else 1
+    for trips in trip_counts:
+        for iteration in range(trips):
+            is_exit = iteration == trips - 1
+            bit = (1 - stay) if is_exit else stay
+            table.add(history, bit)
+            history = ((history << 1) | bit) & mask
+    return table
+
+
+class TestCombMachine:
+    def test_fixed_trip_count_perfect(self):
+        table = exit_table([4] * 200)
+        scored = comb_machine(table, 5, exit_on_taken=False)
+        assert scored.mispredictions == 0
+
+    def test_too_few_states_miss_the_exit(self):
+        table = exit_table([4] * 200)
+        scored = comb_machine(table, 3, exit_on_taken=False)
+        assert scored.misprediction_rate > 0.2
+
+    def test_exit_on_taken_polarity(self):
+        table = exit_table([4] * 200, exit_on_taken=True)
+        scored = comb_machine(table, 5, exit_on_taken=True)
+        # The all-zero initial history reads as "all stays" under this
+        # polarity, costing at most one warmup miss.
+        assert scored.mispredictions <= 1
+
+    def test_simulation_agrees_with_score(self):
+        trips = [4] * 100
+        table = exit_table(trips)
+        scored = comb_machine(table, 5, exit_on_taken=False)
+        outcomes = []
+        for t in trips:
+            outcomes.extend([True] * (t - 1) + [False])
+        correct, total = scored.machine.simulate(outcomes)
+        assert abs(correct - scored.correct) <= table.bits
+
+    def test_initial_state_is_exit_state(self):
+        table = exit_table([3] * 50)
+        scored = comb_machine(table, 4, exit_on_taken=False)
+        assert scored.machine.initial == 0
+        assert scored.machine.states[0].name == "0"
+
+    def test_single_state_is_profile(self):
+        table = exit_table([4] * 100)
+        scored = comb_machine(table, 1, exit_on_taken=False)
+        assert scored.correct == max(table.total())
+
+
+class TestParityMachine:
+    def test_even_trip_counts(self):
+        # Trips alternate among even numbers beyond the chain depth:
+        # exits always happen after an odd number of stays.
+        import random
+
+        rng = random.Random(5)
+        trips = [rng.choice([4, 6, 8]) for _ in range(150)]
+        table = exit_table(trips)
+        parity = parity_machine(table, 4, exit_on_taken=False)
+        comb = comb_machine(table, 4, exit_on_taken=False)
+        assert parity.correct > comb.correct
+
+    def test_fixed_small_trip_count_no_benefit(self):
+        table = exit_table([3] * 100)
+        parity = parity_machine(table, 5, exit_on_taken=False)
+        comb = comb_machine(table, 5, exit_on_taken=False)
+        assert comb.correct >= parity.correct
+
+    def test_state_count(self):
+        table = exit_table([4] * 50)
+        scored = parity_machine(table, 5, exit_on_taken=False)
+        assert scored.machine.n_states == 5
+
+    def test_rejects_tiny_machines(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            parity_machine(exit_table([3] * 10), 2, exit_on_taken=False)
+
+    def test_parity_simulation_consistency(self):
+        import random
+
+        rng = random.Random(9)
+        trips = [rng.choice([4, 6]) for _ in range(200)]
+        table = exit_table(trips)
+        scored = parity_machine(table, 4, exit_on_taken=False)
+        outcomes = []
+        for t in trips:
+            outcomes.extend([True] * (t - 1) + [False])
+        correct, total = scored.machine.simulate(outcomes)
+        # The all-stay charging approximation allows some slack.
+        assert abs(correct - scored.correct) <= table.bits + total // 50
+
+
+class TestBestLoopExit:
+    def test_picks_enough_states(self):
+        table = exit_table([4] * 200)
+        scored = best_loop_exit_machine(table, 8, exit_on_taken=False)
+        assert scored.mispredictions == 0
+        assert scored.machine.n_states <= 5
+
+    def test_picks_parity_when_it_wins(self):
+        import random
+
+        rng = random.Random(5)
+        trips = [rng.choice([4, 6, 8]) for _ in range(150)]
+        table = exit_table(trips)
+        scored = best_loop_exit_machine(table, 4, exit_on_taken=False)
+        assert scored.machine.kind == "loop-exit-parity"
+
+    def test_never_worse_than_profile(self):
+        import random
+
+        rng = random.Random(17)
+        trips = [rng.randint(1, 12) for _ in range(150)]
+        table = exit_table(trips)
+        scored = best_loop_exit_machine(table, 6, exit_on_taken=False)
+        assert scored.correct >= max(table.total())

@@ -1,0 +1,100 @@
+"""State-machine minimisation tests."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.profiling import PatternTable
+from repro.statemachines import (
+    MachineState,
+    PredictionMachine,
+    best_intra_machine,
+    comb_machine,
+    minimize_machine,
+)
+
+
+def table_from_outcomes(outcomes, bits: int = 9) -> PatternTable:
+    table = PatternTable(bits)
+    history = 0
+    for taken in outcomes:
+        table.add(history, 1 if taken else 0)
+        history = ((history << 1) | (1 if taken else 0)) & ((1 << bits) - 1)
+    return table
+
+
+def test_alternator_already_minimal():
+    scored = best_intra_machine(
+        table_from_outcomes([i % 2 == 0 for i in range(200)]), 2
+    )
+    assert minimize_machine(scored.machine).n_states == 2
+
+
+def test_oversized_comb_shrinks():
+    # Trip count 2: a 5-state chain wastes its deep states.
+    outcomes = []
+    for _ in range(100):
+        outcomes.extend([True, False])
+    scored = comb_machine(table_from_outcomes(outcomes), 5, exit_on_taken=False)
+    minimized = minimize_machine(scored.machine)
+    assert minimized.n_states < scored.machine.n_states
+
+
+def test_behaviour_preserved_on_training_pattern():
+    outcomes = []
+    for _ in range(100):
+        outcomes.extend([True, True, False])
+    scored = comb_machine(table_from_outcomes(outcomes), 6, exit_on_taken=False)
+    minimized = minimize_machine(scored.machine)
+    assert minimized.simulate(outcomes) == scored.machine.simulate(outcomes)
+
+
+def test_idempotent():
+    outcomes = [i % 3 != 0 for i in range(300)]
+    scored = comb_machine(table_from_outcomes(outcomes), 6, exit_on_taken=False)
+    once = minimize_machine(scored.machine)
+    twice = minimize_machine(once)
+    assert twice.n_states == once.n_states
+
+
+def test_unreachable_states_dropped():
+    # State 2 is unreachable from the initial state.
+    machine = PredictionMachine(
+        (
+            MachineState("a", True, 0, 1),
+            MachineState("b", False, 0, 1),
+            MachineState("orphan", True, 2, 2),
+        ),
+        initial=0,
+    )
+    assert minimize_machine(machine).n_states == 2
+
+
+def test_merged_state_names_recorded():
+    machine = PredictionMachine(
+        (
+            MachineState("a", True, 0, 1),
+            MachineState("b", True, 0, 1),  # identical to a
+        ),
+        initial=0,
+    )
+    minimized = minimize_machine(machine)
+    assert minimized.n_states == 1
+    assert "a" in minimized.states[0].name and "b" in minimized.states[0].name
+
+
+@given(
+    st.lists(st.tuples(st.booleans(), st.integers(0, 5), st.integers(0, 5)),
+             min_size=1, max_size=6),
+    st.lists(st.booleans(), max_size=60),
+)
+@settings(deadline=None, max_examples=150)
+def test_minimization_preserves_behaviour(raw_states, outcomes):
+    count = len(raw_states)
+    states = tuple(
+        MachineState(f"s{i}", pred, nt % count, t % count)
+        for i, (pred, nt, t) in enumerate(raw_states)
+    )
+    machine = PredictionMachine(states, initial=0)
+    minimized = minimize_machine(machine)
+    assert minimized.n_states <= machine.n_states
+    assert minimized.simulate(outcomes) == machine.simulate(outcomes)

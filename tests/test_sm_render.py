@@ -1,0 +1,77 @@
+"""Rendering tests: DOT and ASCII output of state machines."""
+
+from repro.statemachines import (
+    CorrelatedMachine,
+    MachineState,
+    PredictionMachine,
+    correlated_to_dot,
+    machine_to_ascii,
+    machine_to_dot,
+)
+
+
+def alternator() -> PredictionMachine:
+    return PredictionMachine(
+        (
+            MachineState("0", True, 0, 1, (0, 1)),
+            MachineState("1", False, 0, 1, (1, 1)),
+        ),
+        initial=0,
+    )
+
+
+def test_dot_structure():
+    dot = machine_to_dot(alternator(), "fig1")
+    assert dot.startswith("digraph fig1 {")
+    assert dot.rstrip().endswith("}")
+    assert 's0 -> s1 [label="1"]' in dot
+    assert 's0 -> s0 [label="0"]' in dot
+
+
+def test_dot_marks_initial_state():
+    dot = machine_to_dot(alternator())
+    assert "doublecircle" in dot
+    assert dot.count("doublecircle") == 1
+
+
+def test_dot_shows_predictions():
+    dot = machine_to_dot(alternator())
+    assert "predict T" in dot and "predict N" in dot
+
+
+def test_ascii_table():
+    text = machine_to_ascii(alternator())
+    lines = text.splitlines()
+    assert len(lines) == 3  # header + 2 states
+    assert "0" in lines[1] and "T" in lines[1]
+
+
+def test_correlated_dot():
+    machine = CorrelatedMachine(
+        paths=((0b1, 1), (0b01, 2)),
+        predictions=(True, False),
+        fallback=True,
+    )
+    dot = correlated_to_dot(machine)
+    assert "path 1" in dot
+    assert "path 01" in dot
+    assert "no match" in dot
+
+
+def test_joint_machine_dot():
+    from repro.ir import BranchSite
+    from repro.statemachines import JointLoopMachine, JointState, joint_to_dot
+
+    a, b = BranchSite("f", "a"), BranchSite("f", "b")
+    machine = JointLoopMachine(
+        (a, b),
+        (
+            JointState("0", ((a, True), (b, False)), 0, 1, (0, 1)),
+            JointState("1", ((a, False), (b, True)), 0, 1, (1, 1)),
+        ),
+        initial=0,
+    )
+    dot = joint_to_dot(machine, "joint")
+    assert dot.startswith("digraph joint {")
+    assert "a: T" in dot and "b: N" in dot
+    assert dot.count("doublecircle") == 1

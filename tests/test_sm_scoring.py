@@ -1,0 +1,101 @@
+"""Scoring tests: node counts, partition scores, longest-match groups."""
+
+from repro.profiling import PatternTable
+from repro.statemachines import (
+    longest_match_groups,
+    majority,
+    node_counts,
+    partition_score,
+)
+
+
+def table_from(entries) -> PatternTable:
+    """entries: list of (pattern, taken) at 3-bit depth."""
+    table = PatternTable(3)
+    for pattern, taken in entries:
+        table.add(pattern, taken)
+    return table
+
+
+class TestNodeCounts:
+    def test_full_depth_preserved(self):
+        table = table_from([(0b101, 1), (0b101, 0)])
+        nodes = node_counts(table)
+        assert nodes[(0b101, 3)] == (1, 1)
+
+    def test_suffix_aggregation(self):
+        table = table_from([(0b101, 1), (0b001, 0), (0b011, 1)])
+        nodes = node_counts(table)
+        # Patterns ending in bit 1: all three.
+        assert nodes[(0b1, 1)] == (1, 2)
+        # Patterns whose low two bits are 01: 0b101 and 0b001.
+        assert nodes[(0b01, 2)] == (1, 1)
+
+    def test_empty_pattern_is_total(self):
+        table = table_from([(0, 1), (1, 1), (2, 0)])
+        assert node_counts(table)[(0, 0)] == (1, 2)
+
+    def test_totals_conserved_per_level(self):
+        table = table_from([(i % 8, i % 2) for i in range(40)])
+        nodes = node_counts(table)
+        for length in range(0, 4):
+            level_total = sum(
+                c[0] + c[1] for (v, l), c in nodes.items() if l == length
+            )
+            assert level_total == 40
+
+
+class TestPartitionScore:
+    def test_two_leaf_score(self):
+        # Alternating: pattern ...0 -> taken, ...1 -> not taken.
+        table = table_from([(0b010, 1)] * 10 + [(0b101, 0)] * 10)
+        score = partition_score(node_counts(table), [(0, 1), (1, 1)])
+        assert score == 20
+
+    def test_single_leaf_is_profile(self):
+        table = table_from([(0, 1)] * 7 + [(1, 0)] * 3)
+        score = partition_score(node_counts(table), [(0, 0)])
+        assert score == 7
+
+    def test_unseen_leaf_scores_zero(self):
+        table = table_from([(0, 1)])
+        score = partition_score(node_counts(table), [(1, 1)])
+        assert score == 0
+
+
+class TestLongestMatchGroups:
+    def test_fallback_collects_unmatched(self):
+        table = table_from([(0b000, 1), (0b111, 0)])
+        groups, fallback = longest_match_groups(table, [(0b1, 1)])
+        assert groups[0] == [1, 0]  # 0b111 (not taken) has low bit 1
+        assert fallback == [0, 1]  # 0b000 (taken) matched nothing
+
+    def test_longest_wins_over_shorter(self):
+        table = table_from([(0b011, 1), (0b001, 0)])
+        # Patterns: "1" matches both; "11" matches only 0b011.
+        groups, fallback = longest_match_groups(
+            table, [(0b1, 1), (0b11, 2)]
+        )
+        assert groups[1] == [0, 1]  # 0b011 went to the longer pattern
+        assert groups[0] == [1, 0]  # 0b001 stayed with the shorter
+        assert fallback == [0, 0]
+
+    def test_counts_conserved(self):
+        table = table_from([(i % 8, (i // 3) % 2) for i in range(50)])
+        groups, fallback = longest_match_groups(
+            table, [(0b1, 1), (0b10, 2), (0b011, 3)]
+        )
+        total = sum(g[0] + g[1] for g in groups) + fallback[0] + fallback[1]
+        assert total == 50
+
+
+class TestMajority:
+    def test_taken_majority(self):
+        assert majority((1, 5)) is True
+
+    def test_not_taken_majority(self):
+        assert majority((5, 1)) is False
+
+    def test_tie_uses_default(self):
+        assert majority((3, 3), default=True) is True
+        assert majority((3, 3), default=False) is False

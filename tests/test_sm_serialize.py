@@ -1,0 +1,86 @@
+"""Machine serialisation tests."""
+
+import pytest
+
+from repro.ir import BranchSite
+from repro.profiling import PatternTable
+from repro.statemachines import (
+    CorrelatedMachine,
+    JointLoopMachine,
+    JointState,
+    MachineFormatError,
+    MachineState,
+    PredictionMachine,
+    best_intra_machine,
+    machine_from_json,
+    machine_to_json,
+)
+
+
+def alternator_machine() -> PredictionMachine:
+    table = PatternTable(9)
+    history = 0
+    for index in range(300):
+        bit = index % 2
+        table.add(history, bit)
+        history = ((history << 1) | bit) & 0x1FF
+    return best_intra_machine(table, 2).machine
+
+
+def test_prediction_machine_roundtrip():
+    machine = alternator_machine()
+    loaded = machine_from_json(machine_to_json(machine))
+    assert loaded == machine
+    outcomes = [i % 2 == 0 for i in range(50)]
+    assert loaded.simulate(outcomes) == machine.simulate(outcomes)
+
+
+def test_correlated_machine_roundtrip():
+    machine = CorrelatedMachine(
+        paths=((0b1, 1), (0b10, 2)),
+        predictions=(True, False),
+        fallback=True,
+    )
+    loaded = machine_from_json(machine_to_json(machine))
+    assert loaded == machine
+    for history in range(16):
+        assert loaded.predict(history) == machine.predict(history)
+
+
+def test_joint_machine_roundtrip():
+    a, b = BranchSite("f", "a"), BranchSite("f", "b")
+    machine = JointLoopMachine(
+        (a, b),
+        (
+            JointState("0", ((a, True), (b, False)), 0, 1, (0, 1)),
+            JointState("1", ((a, False), (b, True)), 0, 1, (1, 1)),
+        ),
+        initial=0,
+    )
+    loaded = machine_from_json(machine_to_json(machine))
+    assert loaded == machine
+    events = [(a, True), (b, False), (a, False), (b, True)] * 5
+    assert loaded.simulate(events) == machine.simulate(events)
+
+
+def test_bad_json_rejected():
+    with pytest.raises(MachineFormatError):
+        machine_from_json("{not json")
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(MachineFormatError):
+        machine_from_json('{"type": "quantum"}')
+
+
+def test_missing_fields_rejected():
+    with pytest.raises(MachineFormatError):
+        machine_from_json('{"type": "prediction", "states": [{}]}')
+
+
+def test_pattern_none_roundtrips():
+    machine = PredictionMachine(
+        (MachineState("*", True, 0, 0, None),), 0, "profile"
+    )
+    loaded = machine_from_json(machine_to_json(machine))
+    assert loaded.states[0].pattern is None

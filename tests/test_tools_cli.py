@@ -1,0 +1,121 @@
+"""Toolkit CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.tools import main
+
+from conftest import ALTERNATING_LOOP
+
+
+@pytest.fixture
+def ir_file(tmp_path):
+    path = tmp_path / "prog.ir"
+    path.write_text(ALTERNATING_LOOP)
+    return str(path)
+
+
+def test_validate(ir_file, capsys):
+    assert main(["validate", ir_file]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_validate_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.ir"
+    bad.write_text("func main() {\nentry:\n  jump ghost\n}")
+    with pytest.raises(Exception):
+        main(["validate", str(bad)])
+
+
+def test_run(ir_file, capsys):
+    assert main(["run", ir_file, "--args", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "result: 15" in out  # 5*1 + 5*2
+
+
+def test_trace(ir_file, tmp_path, capsys):
+    out_path = tmp_path / "prog.trace"
+    assert main(["trace", ir_file, "--args", "10", "-o", str(out_path)]) == 0
+    assert out_path.exists()
+    from repro.profiling import load_trace
+
+    trace = load_trace(str(out_path))
+    assert len(trace) == 21
+
+
+def test_analyze(ir_file, capsys):
+    assert main(["analyze", ir_file, "--args", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "main:body" in out
+    assert "intra-loop" in out
+    assert "loop-exit" in out
+
+
+def test_optimize(ir_file, tmp_path, capsys):
+    out_path = tmp_path / "opt.ir"
+    assert main(
+        ["optimize", ir_file, "--args", "100", "-o", str(out_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "improving main:body" in out
+    assert "misprediction" in out
+    # The emitted program must parse, validate and behave identically.
+    from repro.interp import run_program
+    from repro.ir import parse_program, validate_program
+
+    program = parse_program(out_path.read_text())
+    validate_program(program)
+    assert run_program(program, [100]).value == 150
+    # Prediction annotations survive the round trip (they are syntax).
+    predictions = [
+        block.branch.predict
+        for block in program.main_function()
+        if block.branch is not None
+    ]
+    assert all(p is not None for p in predictions)
+
+
+def test_machines(ir_file, capsys):
+    assert main(
+        ["machines", ir_file, "--args", "100", "--branch", "main:body"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "intra-loop" in out
+    assert "states" in out
+
+
+def test_machines_unknown_branch(ir_file, capsys):
+    assert main(
+        ["machines", ir_file, "--args", "100", "--branch", "main:nope"]
+    ) == 1
+
+
+def test_profile_command(ir_file, tmp_path, capsys):
+    out_path = tmp_path / "run.profile"
+    assert main(["profile", ir_file, "--args", "50", "-o", str(out_path)]) == 0
+    assert out_path.exists()
+    from repro.profiling import load_profile
+
+    profile = load_profile(str(out_path))
+    assert profile.events == 101
+
+
+def test_optimize_from_saved_profile(ir_file, tmp_path, capsys):
+    profile_path = tmp_path / "run.profile"
+    assert main(["profile", ir_file, "--args", "100", "-o", str(profile_path)]) == 0
+    out_path = tmp_path / "opt.ir"
+    assert main(
+        [
+            "optimize", ir_file, "--args", "100",
+            "--profile", str(profile_path), "-o", str(out_path),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "using saved profile" in out
+    assert "improving main:body" in out
+
+
+def test_machines_dot(ir_file, capsys):
+    assert main(
+        ["machines", ir_file, "--args", "100", "--branch", "main:body", "--dot"]
+    ) == 0
+    assert "digraph" in capsys.readouterr().out

@@ -1,0 +1,100 @@
+"""Workload tests: validity, determinism, and branch-behaviour shape."""
+
+import pytest
+
+from repro.cfg import BranchClass, classify_branches
+from repro.interp import run_program
+from repro.ir import validate_program
+from repro.predictors import LoopCorrelationPredictor, ProfilePredictor, evaluate
+from repro.profiling import ProfileData, trace_program
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    WORKLOADS,
+    get_program,
+    get_trace,
+    get_workload,
+    reference_global_lcg,
+)
+from repro.workloads.common import add_global_lcg
+from repro.ir import ProgramBuilder
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+class TestEveryWorkload:
+    def test_program_valid(self, name):
+        validate_program(get_workload(name).build())
+
+    def test_deterministic(self, name):
+        workload = get_workload(name)
+        args, input_values = workload.default_args(1)
+        first = run_program(workload.build(), args, input_values)
+        second = run_program(workload.build(), args, input_values)
+        assert first.value == second.value
+        assert first.output == second.output
+
+    def test_trace_scale(self, name):
+        trace = get_trace(name, 1)
+        # Scale 1 targets roughly 10k branches; allow a broad band.
+        assert 2_000 <= len(trace) <= 60_000
+
+    def test_has_loops_and_branches(self, name):
+        program = get_program(name)
+        infos = classify_branches(program)
+        kinds = {info.kind for info in infos.values()}
+        assert BranchClass.LOOP_EXIT in kinds
+
+    def test_profile_beats_coin_flip(self, name):
+        trace = get_trace(name, 1)
+        profile = ProfileData.from_trace(trace)
+        result = evaluate(ProfilePredictor(profile), trace)
+        assert result.misprediction_rate < 0.5
+
+
+class TestSuiteShape:
+    """The paper's qualitative cross-benchmark findings must hold."""
+
+    def test_loop_correlation_beats_profile_overall(self):
+        total_profile = total_combined = total_events = 0
+        for name in BENCHMARK_NAMES:
+            trace = get_trace(name, 1)
+            profile = ProfileData.from_trace(trace)
+            total_profile += evaluate(ProfilePredictor(profile), trace).mispredictions
+            total_combined += evaluate(
+                LoopCorrelationPredictor(profile), trace
+            ).mispredictions
+            total_events += len(trace)
+        # "the misprediction rate can almost be halved"
+        assert total_combined < 0.75 * total_profile
+
+    def test_doduc_is_most_predictable(self):
+        rates = {}
+        for name in BENCHMARK_NAMES:
+            trace = get_trace(name, 1)
+            profile = ProfileData.from_trace(trace)
+            rates[name] = evaluate(ProfilePredictor(profile), trace).misprediction_rate
+        assert rates["doduc"] == min(rates.values())
+
+    def test_seed_offset_changes_trace(self):
+        base = get_trace("compress", 1)
+        other = get_trace("compress", 1, seed_offset=999)
+        assert list(base.events()) != list(other.events())
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("quake")
+
+
+class TestGlobalLcg:
+    def test_reference_matches_ir(self):
+        pb = ProgramBuilder()
+        add_global_lcg(pb)
+        fb = pb.function("main", ["seed"])
+        fb.call("gseed", ["seed"], void=True)
+        for _ in range(5):
+            value = fb.call("grand", [])
+            fb.output(value)
+        fb.ret(0)
+        program = pb.build()
+        result = run_program(program, [12345])
+        host = reference_global_lcg(12345)
+        assert result.output == [host() for _ in range(5)]
