@@ -1,0 +1,52 @@
+"""Times the run-artifact layer: cold single-pass collection versus a
+warm disk-cache load.
+
+Run:  pytest benchmarks/bench_artifacts.py --benchmark-only -s
+
+The cold number is the one instrumented interpreter pass that now
+serves trace, path tables and step count together (previously three
+separate passes); the warm number is a pure ``KBT1`` + envelope decode.
+"""
+
+from repro.workloads.artifacts import (
+    cache_stats,
+    clear_memory_cache,
+    get_artifacts,
+    reset_cache_stats,
+)
+
+
+def _cold(name, scale):
+    clear_memory_cache()
+    import repro.workloads.artifacts as store
+
+    store.clear_disk_cache()
+    return get_artifacts(name, scale)
+
+
+def _warm(name, scale):
+    clear_memory_cache()
+    return get_artifacts(name, scale)
+
+
+def test_artifacts_cold(benchmark, bench_scale):
+    reset_cache_stats()
+    artifacts = benchmark.pedantic(
+        _cold, args=("compress", bench_scale), rounds=3, iterations=1
+    )
+    assert len(artifacts.trace) > 0
+    stats = cache_stats()
+    benchmark.extra_info["interpreter_runs"] = stats.interpreter_runs
+    benchmark.extra_info["events"] = len(artifacts.trace)
+
+
+def test_artifacts_warm(benchmark, bench_scale):
+    get_artifacts("compress", bench_scale)  # ensure the disk entry exists
+    reset_cache_stats()
+    artifacts = benchmark.pedantic(
+        _warm, args=("compress", bench_scale), rounds=3, iterations=1
+    )
+    stats = cache_stats()
+    assert stats.interpreter_runs == 0
+    benchmark.extra_info["hits"] = stats.hits
+    benchmark.extra_info["events"] = len(artifacts.trace)

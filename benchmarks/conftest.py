@@ -5,7 +5,22 @@ workload); the default keeps a full `pytest benchmarks/` run around a
 minute of pure Python.
 """
 
+import os
+
 import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Benchmark timings must start from a cold artifact cache: point
+    the disk cache at a fresh session-temporary directory."""
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 def pytest_addoption(parser):

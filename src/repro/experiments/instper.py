@@ -18,7 +18,7 @@ from ..predictors import (
     evaluate,
     two_level_4k,
 )
-from ..workloads import BENCHMARK_NAMES, get_profile, get_run_steps, get_trace
+from ..workloads import BENCHMARK_NAMES, get_artifacts, get_profile
 from .report import Table
 
 
@@ -37,9 +37,10 @@ def run(scale: int = 1, names: Optional[List[str]] = None) -> Table:
     for label, make in rows.items():
         values: List[float] = []
         for name in names:
-            trace = get_trace(name, scale)
+            artifacts = get_artifacts(name, scale)
+            trace = artifacts.trace
+            steps = artifacts.steps
             profile = get_profile(name, scale)
-            steps = get_run_steps(name, scale)
             result = evaluate(make(profile), trace)
             values.append(
                 steps / result.mispredictions

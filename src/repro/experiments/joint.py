@@ -24,7 +24,7 @@ from ..statemachines import (
     best_joint_machine,
     best_loop_exit_machine,
 )
-from ..workloads import BENCHMARK_NAMES, get_profile, get_program, get_trace
+from ..workloads import BENCHMARK_NAMES, get_artifacts, get_profile, get_program
 from .report import Table, pct
 
 
@@ -43,7 +43,7 @@ def run(
     indep_size, joint_size = [], []
     for name in names:
         program = get_program(name)
-        trace = get_trace(name, scale)
+        trace = get_artifacts(name, scale).trace
         profile = get_profile(name, scale)
         infos = classify_branches(program)
         membership = loop_membership(program)

@@ -21,7 +21,7 @@ from ..predictors import (
     evaluate,
     two_level_4k,
 )
-from ..workloads import BENCHMARK_NAMES, get_profile, get_program, get_trace
+from ..workloads import BENCHMARK_NAMES, get_artifacts, get_profile, get_program
 from .report import Table, pct
 
 ROWS = (
@@ -47,7 +47,7 @@ def run(scale: int = 1, names: Optional[List[str]] = None) -> Table:
     per_row = {row: [] for row in ROWS}
     statics, executed, improved = [], [], []
     for name in names:
-        trace = get_trace(name, scale)
+        trace = get_artifacts(name, scale).trace
         profile = get_profile(name, scale)
         loop_corr = LoopCorrelationPredictor(profile)
         predictors = {

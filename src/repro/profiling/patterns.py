@@ -200,12 +200,18 @@ class ProfileData:
 
     def fill_rate(self, bits: int, sites: Optional[Iterable[BranchSite]] = None) -> float:
         """Table 2's metric: fraction of the 2**bits local pattern-table
-        entries of the executed branches that are actually used."""
+        entries of the chosen branches that are actually used.
+
+        *sites* may include branches that never executed (e.g. a caller
+        passing ``program.branch_sites()``); those have no table and
+        count as zero used entries.
+        """
         chosen = list(sites) if sites is not None else list(self.local)
         if not chosen:
             return 0.0
         used = 0
         for site in chosen:
-            table = self.local[site].marginalize(bits)
-            used += len(table.counts)
+            table = self.local.get(site)
+            if table is not None:
+                used += len(table.marginalize(bits).counts)
         return used / (len(chosen) * (1 << bits))

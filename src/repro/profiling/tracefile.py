@@ -130,17 +130,32 @@ def load_trace(source: Union[str, BinaryIO]) -> Trace:
 
     trace = Trace()
     if site_blob:
-        for line in site_blob.decode().split("\n"):
+        try:
+            lines = site_blob.decode().split("\n")
+        except UnicodeDecodeError as error:
+            raise TraceFormatError(f"corrupt site table: {error}") from None
+        for line in lines:
             function, _, block = line.partition(":")
             trace.site_id(BranchSite(function, block))
     if len(trace.sites) != site_count:
         raise TraceFormatError("site table length mismatch")
-    ids = _read_varints(zlib.decompress(id_blob), event_count)
+    try:
+        ids = _read_varints(zlib.decompress(id_blob), event_count)
+    except zlib.error as error:
+        raise TraceFormatError(f"corrupt site-id stream: {error}") from None
     for sid in ids:
         if sid >= site_count:
             raise TraceFormatError(f"event references unknown site {sid}")
     trace.site_ids.extend(ids)
-    trace.directions.extend(_unpack_bits(zlib.decompress(dir_blob), event_count))
+    try:
+        directions = _unpack_bits(zlib.decompress(dir_blob), event_count)
+    except zlib.error as error:
+        raise TraceFormatError(f"corrupt direction stream: {error}") from None
+    except IndexError:
+        raise TraceFormatError(
+            f"direction stream shorter than {event_count} events"
+        ) from None
+    trace.directions.extend(directions)
     return trace
 
 

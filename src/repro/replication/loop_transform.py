@@ -87,10 +87,15 @@ def replicate_loop_branch(
     size_before = function.size()
     site = BranchSite(function.name, branch_labels[0])
 
+    # Loop.body is a set; iterate it in the function's block-layout
+    # order so copy creation (and hence the replicated program's block
+    # layout) is independent of hash randomisation.
+    body_order = [label for label in function.blocks if label in loop.body]
+
     # Fresh labels for every (state, loop block) pair.
     labels: Dict[Tuple[int, str], str] = {}
     for state_index, state in enumerate(machine.states):
-        for label in loop.body:
+        for label in body_order:
             fresh = function.fresh_label(f"{label}@{state.name}.{state_index}")
             labels[(state_index, label)] = fresh
             # Reserve the label immediately so fresh_label stays unique.
@@ -102,7 +107,7 @@ def replicate_loop_branch(
         def in_state(target: str, _state: int = state_index) -> str:
             return labels.get((_state, target), target)
 
-        for label in loop.body:
+        for label in body_order:
             original = function.block(label)
             copy = original.copy(labels[(state_index, label)])
             if label in improved:

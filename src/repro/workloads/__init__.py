@@ -10,6 +10,15 @@ from . import (
     prolog,
     scheduler,
 )
+from .artifacts import (
+    RunArtifacts,
+    cache_stats,
+    clear_disk_cache,
+    clear_memory_cache,
+    generate_artifacts,
+    get_artifacts,
+    reset_cache_stats,
+)
 from .benchmarks import (
     BENCHMARK_NAMES,
     WORKLOADS,
@@ -30,15 +39,22 @@ from .generators import random_program
 
 __all__ = [
     "BENCHMARK_NAMES",
+    "RunArtifacts",
     "WORKLOADS",
     "Workload",
     "add_global_lcg",
     "add_lcg",
+    "cache_stats",
+    "clear_disk_cache",
+    "clear_memory_cache",
+    "generate_artifacts",
+    "get_artifacts",
     "get_profile",
     "get_program",
     "get_run_steps",
     "get_trace",
     "get_workload",
+    "reset_cache_stats",
     "random_program",
     "reference_global_lcg",
     "reference_lcg",

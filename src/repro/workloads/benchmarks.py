@@ -4,8 +4,10 @@ Each entry mirrors one program of the paper's suite (Section 3).  The
 stand-ins generate real branch traces through the interpreter; DESIGN.md
 documents why each is a behavioural substitute for the original.
 
-``get_trace`` memoises traces per (name, scale) — trace generation is
-by far the most expensive step of the experiment pipeline.
+``get_trace``/``get_profile``/``get_run_steps`` all derive from the
+**run artifacts** of :mod:`repro.workloads.artifacts` — a single
+instrumented interpreter pass per (name, scale, seed_offset), memoised
+in memory and persisted to the on-disk artifact cache.
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..ir import Program
-from ..profiling import ProfileData, Trace, collect_path_tables, trace_program
+from ..profiling import ProfileData, Trace
 from . import (
     abalone,
     c_compiler,
@@ -36,6 +38,30 @@ class Workload:
     description: str
     build: Callable[[], Program]
     default_args: Callable[[int], Tuple[Sequence[int], Sequence[int]]]
+    #: index into the argument tuple of the workload's RNG seed — the
+    #: parameter the cross-dataset experiments perturb.  Declared
+    #: explicitly so seed offsetting never silently lands on a
+    #: size/iteration argument.
+    seed_arg: int
+
+    def seeded_args(
+        self, scale: int = 1, seed_offset: int = 0
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """``default_args(scale)`` with *seed_offset* applied to the
+        declared seed parameter."""
+        args, input_values = self.default_args(scale)
+        args = tuple(args)
+        if seed_offset:
+            if not (-len(args) <= self.seed_arg < len(args)):
+                raise IndexError(
+                    f"workload {self.name!r} declares seed_arg={self.seed_arg} "
+                    f"but takes only {len(args)} arguments"
+                )
+            index = self.seed_arg % len(args)
+            args = (
+                args[:index] + (args[index] + seed_offset,) + args[index + 1 :]
+            )
+        return args, tuple(input_values)
 
 
 #: The paper's benchmark suite, in its presentation order.
@@ -47,48 +73,56 @@ WORKLOADS: Dict[str, Workload] = {
             "a board game employing alpha-beta search",
             abalone.build,
             abalone.default_args,
+            seed_arg=1,
         ),
         Workload(
             "c-compiler",
             "the lcc compiler front end of Fraser & Hanson",
             c_compiler.build,
             c_compiler.default_args,
+            seed_arg=1,
         ),
         Workload(
             "compress",
             "a file compression utility (SPEC)",
             compress.build,
             compress.default_args,
+            seed_arg=1,
         ),
         Workload(
             "ghostview",
             "an X postscript previewer",
             ghostview.build,
             ghostview.default_args,
+            seed_arg=1,
         ),
         Workload(
             "predict",
             "our profiling and trace tool",
             predict.build,
             predict.default_args,
+            seed_arg=1,
         ),
         Workload(
             "prolog",
             "the miniVIP Prolog interpreter",
             prolog.build,
             prolog.default_args,
+            seed_arg=1,
         ),
         Workload(
             "scheduler",
             "an instruction scheduler",
             scheduler.build,
             scheduler.default_args,
+            seed_arg=1,
         ),
         Workload(
             "doduc",
             "hydrocode simulation (floating point) (SPEC)",
             doduc.build,
             doduc.default_args,
+            seed_arg=1,
         ),
     )
 }
@@ -111,33 +145,24 @@ def get_program(name: str) -> Program:
     return get_workload(name).build()
 
 
-@functools.lru_cache(maxsize=32)
 def get_trace(name: str, scale: int = 1, seed_offset: int = 0) -> Trace:
     """Trace of one run of *name* at *scale* (≈ scale × 10k branches).
 
-    ``seed_offset`` perturbs the workload seed — used by the
-    cross-dataset experiments to produce a *different* run of the same
-    program.
+    ``seed_offset`` perturbs the workload's declared seed argument —
+    used by the cross-dataset experiments to produce a *different* run
+    of the same program.
     """
-    workload = get_workload(name)
-    args, input_values = workload.default_args(scale)
-    if seed_offset:
-        args = tuple(args[:-1]) + (args[-1] + seed_offset,)
-    trace, _ = trace_program(get_program(name), args, input_values)
-    return trace
+    from .artifacts import DEFAULT_HISTORY_BITS, get_artifacts
+
+    return get_artifacts(name, scale, seed_offset, DEFAULT_HISTORY_BITS).trace
 
 
-@functools.lru_cache(maxsize=32)
 def get_run_steps(name: str, scale: int = 1, seed_offset: int = 0) -> int:
     """Executed instruction count of the reference run (used by the
     Fisher/Freudenberger instructions-per-misprediction metric)."""
-    from ..interp import run_program
+    from .artifacts import DEFAULT_HISTORY_BITS, get_artifacts
 
-    workload = get_workload(name)
-    args, input_values = workload.default_args(scale)
-    if seed_offset:
-        args = tuple(args[:-1]) + (args[-1] + seed_offset,)
-    return run_program(get_program(name), args, input_values).steps
+    return get_artifacts(name, scale, seed_offset, DEFAULT_HISTORY_BITS).steps
 
 
 @functools.lru_cache(maxsize=32)
@@ -145,15 +170,10 @@ def get_profile(
     name: str, scale: int = 1, seed_offset: int = 0, local_bits: int = 9, global_bits: int = 8
 ) -> ProfileData:
     """Cached profile data for a workload trace, with frame-local path
-    tables attached (an extra instrumented run)."""
-    profile = ProfileData.from_trace(
-        get_trace(name, scale, seed_offset), local_bits, global_bits
-    )
-    workload = get_workload(name)
-    args, input_values = workload.default_args(scale)
-    if seed_offset:
-        args = tuple(args[:-1]) + (args[-1] + seed_offset,)
-    profile.attach_path_tables(
-        collect_path_tables(get_program(name), args, input_values, global_bits)
-    )
+    tables attached — all derived from the same single-pass artifacts."""
+    from .artifacts import get_artifacts
+
+    artifacts = get_artifacts(name, scale, seed_offset, global_bits)
+    profile = ProfileData.from_trace(artifacts.trace, local_bits, global_bits)
+    profile.attach_path_tables(artifacts.path_tables)
     return profile

@@ -2,9 +2,24 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.ir import parse_program
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Point the artifact disk cache at a session-temporary directory so
+    tests never litter the working tree (and stay warm within a run)."""
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 #: A loop with an alternating intra-loop branch — the paper's Figure 1
 #: motivating example.

@@ -1,0 +1,190 @@
+"""Run-artifact layer tests: single-pass collection, the on-disk cache,
+and the process-parallel fan-out."""
+
+import os
+
+import pytest
+
+from repro.interp import run_program
+from repro.profiling import collect_path_tables, trace_program, trace_to_bytes
+from repro.workloads import (
+    artifacts as artifact_store,
+    get_profile,
+    get_program,
+    get_run_steps,
+    get_trace,
+    get_workload,
+)
+from repro.workloads.artifacts import (
+    cache_stats,
+    clear_memory_cache,
+    generate_artifacts,
+    get_artifacts,
+    reset_cache_stats,
+)
+
+NAME = "compress"
+
+
+@pytest.fixture
+def fresh_cache(tmp_path, monkeypatch):
+    """A private, empty disk cache and a cleared in-memory memo."""
+    directory = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(directory))
+    clear_memory_cache()
+    reset_cache_stats()
+    yield directory
+    clear_memory_cache()
+    reset_cache_stats()
+
+
+class TestSinglePass:
+    def test_one_interpreter_run_serves_all_three_products(self, fresh_cache):
+        get_trace(NAME, 1)
+        get_profile(NAME, 1)
+        get_run_steps(NAME, 1)
+        stats = cache_stats()
+        assert stats.interpreter_runs == 1
+        assert stats.misses == 1
+
+    def test_distinct_keys_each_run_once(self, fresh_cache):
+        get_trace(NAME, 1)
+        get_trace(NAME, 1, seed_offset=7)
+        get_trace(NAME, 2)
+        assert cache_stats().interpreter_runs == 3
+
+    def test_matches_legacy_three_pass_collection(self, fresh_cache):
+        artifacts = get_artifacts(NAME, 1)
+        workload = get_workload(NAME)
+        args, input_values = workload.default_args(1)
+        program = get_program(NAME)
+        legacy_trace, _ = trace_program(program, args, input_values)
+        assert list(artifacts.trace.events()) == list(legacy_trace.events())
+        assert artifacts.trace.sites == legacy_trace.sites
+        assert artifacts.steps == run_program(program, args, input_values).steps
+        legacy_tables = collect_path_tables(program, args, input_values, 8)
+        assert set(artifacts.path_tables) == set(legacy_tables)
+        for site, table in legacy_tables.items():
+            assert artifacts.path_tables[site].counts == table.counts
+
+    def test_profile_reuses_artifact_path_tables(self, fresh_cache):
+        profile = get_profile(NAME, 1)
+        assert profile.path_tables is not None
+        assert profile.path_tables is get_artifacts(NAME, 1).path_tables
+
+
+class TestDiskCache:
+    def test_warm_process_performs_zero_interpreter_runs(self, fresh_cache):
+        get_trace(NAME, 1)
+        cold = get_artifacts(NAME, 1)
+        # Simulate a fresh process: drop the in-memory memo only.
+        clear_memory_cache()
+        reset_cache_stats()
+        warm = get_artifacts(NAME, 1)
+        get_profile(NAME, 1)
+        assert get_run_steps(NAME, 1) == cold.steps
+        stats = cache_stats()
+        assert stats.interpreter_runs == 0
+        assert stats.hits == 1 and stats.misses == 0
+        assert list(warm.trace.events()) == list(cold.trace.events())
+        assert {s: t.counts for s, t in warm.path_tables.items()} == {
+            s: t.counts for s, t in cold.path_tables.items()
+        }
+
+    def test_miss_then_hit_counters(self, fresh_cache):
+        get_artifacts(NAME, 1)
+        assert cache_stats().misses == 1
+        clear_memory_cache()
+        get_artifacts(NAME, 1)
+        assert cache_stats().hits == 1
+
+    def test_entries_written_atomically_named_with_version(self, fresh_cache):
+        get_artifacts(NAME, 1)
+        entries = sorted(os.listdir(fresh_cache))
+        version = artifact_store.FORMAT_VERSION
+        assert entries == [
+            f"{NAME}-s1-o0-h8-v{version}.aux",
+            f"{NAME}-s1-o0-h8-v{version}.trace",
+        ]
+
+    def test_version_stamp_invalidates(self, fresh_cache, monkeypatch):
+        get_artifacts(NAME, 1)
+        clear_memory_cache()
+        reset_cache_stats()
+        monkeypatch.setattr(artifact_store, "FORMAT_VERSION", 99)
+        get_artifacts(NAME, 1)
+        stats = cache_stats()
+        assert stats.hits == 0
+        assert stats.interpreter_runs == 1
+
+    def test_stale_envelope_version_rejected(self, fresh_cache, monkeypatch):
+        # Files written under an old FORMAT_VERSION but renamed to the
+        # current stem must be rejected by the payload stamp.
+        monkeypatch.setattr(artifact_store, "FORMAT_VERSION", 0)
+        get_artifacts(NAME, 1)
+        old = {name: (fresh_cache / name).read_bytes() for name in os.listdir(fresh_cache)}
+        monkeypatch.setattr(artifact_store, "FORMAT_VERSION", 1)
+        for name, payload in old.items():
+            (fresh_cache / name.replace("-v0.", "-v1.")).write_bytes(payload)
+        clear_memory_cache()
+        reset_cache_stats()
+        get_artifacts(NAME, 1)
+        assert cache_stats().interpreter_runs == 1
+
+    @pytest.mark.parametrize("suffix", [".trace", ".aux"])
+    def test_corrupt_entry_falls_back_to_recompute(self, fresh_cache, suffix):
+        cold = get_artifacts(NAME, 1)
+        for entry in os.listdir(fresh_cache):
+            if entry.endswith(suffix):
+                path = fresh_cache / entry
+                path.write_bytes(b"garbage" + path.read_bytes()[:10])
+        clear_memory_cache()
+        reset_cache_stats()
+        recomputed = get_artifacts(NAME, 1)
+        stats = cache_stats()
+        assert stats.interpreter_runs == 1 and stats.hits == 0
+        assert list(recomputed.trace.events()) == list(cold.trace.events())
+        assert recomputed.steps == cold.steps
+
+    def test_disabled_cache_still_computes(self, fresh_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        assert artifact_store.cache_dir() is None
+        trace = get_trace(NAME, 1)
+        assert len(trace) > 0
+        assert artifact_store.disk_cache_entries() == []
+
+    def test_clear_disk_cache(self, fresh_cache):
+        get_artifacts(NAME, 1)
+        assert artifact_store.clear_disk_cache() == 2
+        assert artifact_store.disk_cache_entries() == []
+
+
+class TestParallelFanOut:
+    def test_parallel_generation_matches_serial(self, fresh_cache, tmp_path, monkeypatch):
+        serial_bytes = {}
+        for name in (NAME, "ghostview"):
+            artifacts = get_artifacts(name, 1)
+            serial_bytes[name] = (trace_to_bytes(artifacts.trace), artifacts.steps)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel-cache"))
+        clear_memory_cache()
+        reset_cache_stats()
+        timings = generate_artifacts([(NAME, 1, 0), ("ghostview", 1, 0)], jobs=2)
+        assert len(timings) == 2
+        # The parent must serve everything from the worker-filled cache.
+        assert cache_stats().interpreter_runs == 0
+        for name, (blob, steps) in serial_bytes.items():
+            artifacts = get_artifacts(name, 1)
+            assert trace_to_bytes(artifacts.trace) == blob
+            assert artifacts.steps == steps
+
+    def test_generate_skips_cached_specs(self, fresh_cache):
+        get_artifacts(NAME, 1)
+        assert generate_artifacts([(NAME, 1, 0)], jobs=4) == []
+
+    def test_serial_fallback_without_disk_cache(self, fresh_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        clear_memory_cache()
+        reset_cache_stats()
+        timings = generate_artifacts([(NAME, 1, 0)], jobs=8)
+        assert len(timings) == 1
+        assert cache_stats().interpreter_runs == 1

@@ -147,3 +147,29 @@ class TestProfileData:
         profile = ProfileData.from_trace(trace)
         assert BranchSite("f", "ghost") not in profile.totals
         assert BranchSite("f", "real") in profile.local
+
+
+class TestFillRateNeverExecutedSites:
+    def test_missing_sites_count_as_zero_used(self):
+        profile = ProfileData.from_trace(alternating_trace(64))
+        executed = BranchSite("f", "b")
+        dead = BranchSite("f", "never_taken")
+        solo = profile.fill_rate(1, sites=[executed])
+        # A caller passing every static site (e.g. program.branch_sites())
+        # must not blow up on branches that never executed — they dilute
+        # the fill rate instead.
+        diluted = profile.fill_rate(1, sites=[executed, dead])
+        assert diluted == pytest.approx(solo / 2)
+
+    def test_all_dead_sites_is_zero(self):
+        profile = ProfileData.from_trace(alternating_trace(16))
+        assert profile.fill_rate(3, sites=[BranchSite("g", "x")]) == 0.0
+
+    def test_fill_rate_over_program_branch_sites(self):
+        # End to end: the exact caller shape the bug report names.
+        from repro.workloads import get_profile, get_program
+
+        profile = get_profile("compress", 1)
+        sites = get_program("compress").branch_sites()
+        rate = profile.fill_rate(4, sites=sites)
+        assert 0.0 < rate <= 1.0

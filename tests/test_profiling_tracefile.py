@@ -84,3 +84,68 @@ def test_sites_with_unusual_labels_roundtrip():
     trace.record(BranchSite("main", "join~2"), False)
     loaded = trace_from_bytes(trace_to_bytes(trace))
     assert loaded.sites == trace.sites
+
+
+class TestVarintBoundaries:
+    """Round trips where site ids cross varint byte boundaries."""
+
+    def _many_site_trace(self, site_count: int) -> Trace:
+        trace = Trace()
+        # Touch the highest ids first so late ids are exercised even if
+        # an implementation truncated the site table.
+        for index in (site_count - 1, site_count // 2, 0):
+            trace.record(BranchSite("f", f"b{index}"), index % 2 == 0)
+        for index in range(site_count):
+            trace.record(BranchSite("f", f"b{index}"), index % 3 == 0)
+        return trace
+
+    def test_two_byte_varint_ids(self):
+        # ids >= 2**7 need two varint bytes.
+        trace = self._many_site_trace((1 << 7) + 5)
+        loaded = trace_from_bytes(trace_to_bytes(trace))
+        assert loaded.sites == trace.sites
+        assert list(loaded.events()) == list(trace.events())
+
+    def test_three_byte_varint_ids(self):
+        # ids >= 2**14 need three varint bytes.
+        trace = self._many_site_trace((1 << 14) + 3)
+        loaded = trace_from_bytes(trace_to_bytes(trace))
+        assert loaded.sites == trace.sites
+        assert list(loaded.events()) == list(trace.events())
+
+    def test_empty_trace_has_no_events_or_sites(self):
+        loaded = trace_from_bytes(trace_to_bytes(Trace()))
+        assert len(loaded) == 0
+        assert loaded.sites == []
+
+    def test_truncated_varint_stream_rejected(self):
+        trace = self._many_site_trace((1 << 7) + 5)
+        blob = bytearray(trace_to_bytes(trace))
+        # Lie about the event count so varint decoding runs dry.
+        import struct
+
+        site_count, event_count, site_len, id_len, dir_len = struct.unpack(
+            "<QQIII", bytes(blob[4 : 4 + struct.calcsize("<QQIII")])
+        )
+        blob[4 : 4 + struct.calcsize("<QQIII")] = struct.pack(
+            "<QQIII", site_count, event_count + 50, site_len, id_len, dir_len
+        )
+        with pytest.raises(TraceFormatError):
+            trace_from_bytes(bytes(blob))
+
+    def test_garbage_compressed_payload_rejected(self):
+        trace = self._many_site_trace(10)
+        blob = trace_to_bytes(trace)
+        import struct
+
+        header = 4 + struct.calcsize("<QQIII")
+        site_count, event_count, site_len, id_len, dir_len = struct.unpack(
+            "<QQIII", blob[4:header]
+        )
+        corrupted = (
+            blob[: header + site_len]
+            + b"\x00" * id_len
+            + blob[header + site_len + id_len :]
+        )
+        with pytest.raises(TraceFormatError):
+            trace_from_bytes(corrupted)

@@ -98,3 +98,32 @@ class TestGlobalLcg:
         result = run_program(program, [12345])
         host = reference_global_lcg(12345)
         assert result.output == [host() for _ in range(5)]
+
+
+class TestSeedOffsets:
+    """Cross-dataset runs must really perturb every benchmark's seed."""
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_seed_offset_changes_every_benchmark_trace(self, name):
+        base = get_trace(name, 1)
+        other = get_trace(name, 1, seed_offset=12345)
+        assert list(base.events()) != list(other.events())
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_seeded_args_only_moves_declared_seed(self, name):
+        workload = get_workload(name)
+        plain, _ = workload.seeded_args(1)
+        offset, _ = workload.seeded_args(1, 1000)
+        assert plain == tuple(workload.default_args(1)[0])
+        diffs = [i for i, (a, b) in enumerate(zip(plain, offset)) if a != b]
+        assert diffs == [workload.seed_arg]
+        assert offset[workload.seed_arg] == plain[workload.seed_arg] + 1000
+
+    def test_seed_arg_out_of_range_rejected(self):
+        from repro.workloads import Workload
+
+        bad = Workload(
+            "bad", "", lambda: None, lambda scale: ((1, 2), ()), seed_arg=5
+        )
+        with pytest.raises(IndexError):
+            bad.seeded_args(1, 7)
