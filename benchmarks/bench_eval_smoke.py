@@ -1,0 +1,154 @@
+"""Bench smoke: single-pass engine vs legacy per-predictor evaluation.
+
+Standalone script (not a pytest-benchmark suite) so CI can run it as a
+gate: it times table1's eight-strategy predictor set per benchmark the
+legacy way (one `evaluate` call — one trace scan — per predictor)
+against the single-pass engine (`evaluate_many`), verifies both produce
+identical results, and writes the wall-clocks, events/sec and speedup
+to a JSON report.  Exits non-zero when the speedup falls below the
+threshold.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_eval_smoke.py \
+        --output BENCH_eval.json [--names a,b] [--scale 1] \
+        [--repeats 3] [--min-speedup 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.predictors import (
+    CorrelationPredictor,
+    LastDirection,
+    LoopCorrelationPredictor,
+    LoopPredictor,
+    ProfilePredictor,
+    SaturatingCounter,
+    evaluate,
+    evaluate_many,
+    two_level_4k,
+)
+from repro.workloads import BENCHMARK_NAMES, get_artifacts, get_profile
+
+
+def predictor_set(profile):
+    """Table 1's eight strategies (see repro.experiments.table1)."""
+    return [
+        LastDirection(),
+        SaturatingCounter(2),
+        two_level_4k(),
+        ProfilePredictor(profile),
+        CorrelationPredictor(profile, 1),
+        LoopPredictor(profile, 1),
+        LoopPredictor(profile, 9),
+        LoopCorrelationPredictor(profile),
+    ]
+
+
+def results_equal(a, b) -> bool:
+    return (
+        a.events == b.events
+        and a.mispredictions == b.mispredictions
+        and a.per_site == b.per_site
+    )
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--names", default=None, help="comma-separated benchmarks")
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=3, help="best-of timing")
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--output", default="BENCH_eval.json")
+    args = parser.parse_args(argv)
+    names = (
+        [n for n in args.names.split(",") if n] if args.names else BENCHMARK_NAMES
+    )
+
+    # Warm every artifact outside the timed region.
+    profiles = {name: get_profile(name, args.scale) for name in names}
+    traces = {name: get_artifacts(name, args.scale).trace for name in names}
+    events = sum(len(traces[name]) for name in names)
+    n_predictors = len(predictor_set(profiles[names[0]]))
+
+    legacy_seconds = single_pass_seconds = float("inf")
+    mismatches: List[str] = []
+    for _ in range(args.repeats):
+        started = time.perf_counter()
+        legacy: Dict[str, list] = {
+            name: [
+                evaluate(p, traces[name]) for p in predictor_set(profiles[name])
+            ]
+            for name in names
+        }
+        legacy_seconds = min(legacy_seconds, time.perf_counter() - started)
+
+        started = time.perf_counter()
+        single: Dict[str, list] = {
+            name: evaluate_many(predictor_set(profiles[name]), traces[name])
+            for name in names
+        }
+        single_pass_seconds = min(
+            single_pass_seconds, time.perf_counter() - started
+        )
+
+        mismatches = [
+            f"{name}/{a.predictor}"
+            for name in names
+            for a, b in zip(legacy[name], single[name])
+            if not results_equal(a, b)
+        ]
+        if mismatches:
+            break
+
+    speedup = legacy_seconds / single_pass_seconds
+    report = {
+        "benchmarks": list(names),
+        "scale": args.scale,
+        "predictors": n_predictors,
+        "events_per_benchmark_pass": events,
+        "legacy": {
+            "seconds": legacy_seconds,
+            "trace_scans": len(names) * n_predictors,
+            "events_per_second": events * n_predictors / legacy_seconds,
+        },
+        "single_pass": {
+            "seconds": single_pass_seconds,
+            "trace_scans": len(names),
+            "events_per_second": events * n_predictors / single_pass_seconds,
+        },
+        "speedup": speedup,
+        "min_speedup": args.min_speedup,
+        "results_identical": not mismatches,
+        "mismatches": mismatches,
+    }
+    with open(args.output, "w") as stream:
+        json.dump(report, stream, indent=2)
+        stream.write("\n")
+    print(
+        f"legacy {legacy_seconds:.3f}s vs single-pass {single_pass_seconds:.3f}s "
+        f"({speedup:.2f}x, {events} events x {n_predictors} predictors) "
+        f"-> {args.output}"
+    )
+
+    if mismatches:
+        print(f"FAIL: results differ: {', '.join(mismatches)}", file=sys.stderr)
+        return 1
+    if speedup < args.min_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below required "
+            f"{args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,9 @@
-"""Experiment harness: one module per table/figure of the paper."""
+"""Experiment harness: one module per table/figure of the paper.
+
+Importing this package imports every experiment module, and each module
+registers its CLI target(s) in :mod:`repro.experiments.registry` — the
+single source of truth the CLI, docs and tests enumerate.
+"""
 
 from . import (
     ablation,
@@ -18,22 +23,38 @@ from . import (
     table4,
     table5,
 )
-from .report import Table, pct
+from .registry import (
+    Experiment,
+    all_experiments,
+    evaluate_rows,
+    experiment_names,
+    get_experiment,
+    register,
+)
+from .report import Table, pct, tables_to_csv, tables_to_json
 
 __all__ = [
+    "Experiment",
     "Table",
     "ablation",
     "alignment",
+    "all_experiments",
     "costfn",
     "crossdata",
+    "evaluate_rows",
+    "experiment_names",
     "figures",
+    "get_experiment",
     "instper",
     "joint",
+    "pct",
+    "register",
     "scheduling",
     "statics",
+    "tables_to_csv",
+    "tables_to_json",
     "tracelen",
     "twolevel_zoo",
-    "pct",
     "table1",
     "table2",
     "table3",

@@ -16,6 +16,7 @@ from ..cfg import BranchClass, classify_branches
 from ..replication import ReplicationPlanner, apply_replication
 from ..statemachines import best_intra_machine, greedy_intra_machine
 from ..workloads import BENCHMARK_NAMES, get_profile, get_program
+from .registry import register
 from .report import Table, pct
 
 
@@ -102,6 +103,18 @@ def run_pruning(
     table.add_row("pruned size", pruned_row)
     table.add_row("instructions saved", saved_row)
     return table
+
+
+register(
+    "ablation-search",
+    run_search,
+    "exhaustive suffix-trie search vs greedy leaf splitting",
+)
+register(
+    "ablation-pruning",
+    run_pruning,
+    "code saved by unreachable-copy removal after replication",
+)
 
 
 def _removed_size(original_function, removed_labels: List[str]) -> int:

@@ -30,6 +30,7 @@ from ..layout import (
 )
 from ..replication import ReplicationPlanner, apply_replication
 from ..workloads import BENCHMARK_NAMES, get_profile, get_program, get_workload
+from .registry import register
 from .report import Table
 
 
@@ -98,3 +99,6 @@ def run(
             ],
         )
     return table
+
+
+register("alignment", run, "branch alignment and loop rotation after replication")

@@ -3,15 +3,23 @@
 Usage::
 
     python -m repro.experiments table1 [--scale N] [--names a,b,...]
+    python -m repro.experiments table1 --format json
     python -m repro.experiments figures [--csv-dir results/]
-    python -m repro.experiments all [--jobs N] [--timings]
+    python -m repro.experiments all [--jobs N] [--timings] [--format csv]
     python -m repro.experiments cache [stats|clear]
+
+Targets come from the experiment registry
+(:mod:`repro.experiments.registry`); every one flows through a single
+output stage selected by ``--format``: ``text`` (the paper-style tables,
+byte-identical to previous releases), ``json`` (title/columns/rows/
+cells/raw data per table) or ``csv``.
 
 Benchmark artifact generation (the expensive interpreter passes) is
 fanned out across ``--jobs`` worker processes that fill the shared
 on-disk artifact cache before any table renders; a warm cache makes
 every target a pure replay.  ``--timings`` reports per-stage wall-clock
-times and cache hit/miss counters on stderr, keeping stdout
+times, evaluation-engine throughput (events/sec over the single-pass
+scans) and cache hit/miss counters on stderr, keeping stdout
 byte-comparable between runs.
 """
 
@@ -23,44 +31,19 @@ import sys
 import time
 from typing import List, Optional
 
+from ..predictors import engine_stats
 from ..workloads import BENCHMARK_NAMES, artifacts as artifact_store
 from ..workloads.artifacts import cache_stats, generate_artifacts
-from . import (
-    ablation,
-    alignment,
-    costfn,
-    crossdata,
-    figures,
-    instper,
-    joint,
-    scheduling,
-    statics,
-    tracelen,
-    twolevel_zoo,
-    table1,
-    table2,
-    table3,
-    table4,
-    table5,
-)
+from . import crossdata
+from .registry import all_experiments, get_experiment
+from .report import Table, tables_to_csv, tables_to_json
 
+#: Backwards-compatible view of the single-table targets
+#: (``name -> runner(scale, names)``), derived from the registry.
 SIMPLE = {
-    "table1": table1.run,
-    "table2": table2.run,
-    "table3": table3.run,
-    "table4": table4.run,
-    "table5": table5.run,
-    "crossdata": crossdata.run,
-    "ablation-search": ablation.run_search,
-    "ablation-pruning": ablation.run_pruning,
-    "alignment": alignment.run,
-    "joint": joint.run,
-    "instper": instper.run,
-    "statics": statics.run,
-    "scheduling": scheduling.run,
-    "tracelen": tracelen.run,
-    "twolevel-zoo": twolevel_zoo.run,
-    "costfn": lambda scale=1, names=None: costfn.run(scale=scale, names=names),
+    name: experiment.runner
+    for name, experiment in all_experiments().items()
+    if not experiment.multi
 }
 
 
@@ -106,6 +89,18 @@ def _prewarm_specs(targets: List[str], names: List[str], scale: int):
     return specs
 
 
+def _all_targets() -> List[str]:
+    """Every registered target: single-table first, multi-table last.
+
+    Matches the historical ``all`` ordering (the simple tables sorted,
+    then ``figures``), so text output stays byte-identical.
+    """
+    experiments = all_experiments()
+    return sorted(n for n in experiments if not experiments[n].multi) + sorted(
+        n for n in experiments if experiments[n].multi
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -113,7 +108,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(SIMPLE) + ["figures", "all", "cache"],
+        choices=sorted(all_experiments()) + ["all", "cache"],
         help="which experiment to run (or 'cache' to manage the artifact cache)",
     )
     parser.add_argument(
@@ -135,6 +130,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="comma-separated benchmark subset",
     )
     parser.add_argument(
+        "--format",
+        choices=["text", "json", "csv"],
+        default="text",
+        help="output format for the rendered tables (default: text)",
+    )
+    parser.add_argument(
         "--csv-dir",
         type=str,
         default=None,
@@ -151,7 +152,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--timings",
         action="store_true",
-        help="report per-stage wall-clock timings and cache counters on stderr",
+        help="report per-stage wall-clock timings, engine throughput and "
+        "cache counters on stderr",
     )
     args = parser.parse_args(argv)
 
@@ -171,9 +173,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if jobs < 1:
         parser.error("--jobs must be >= 1")
 
-    targets = (
-        sorted(SIMPLE) + ["figures"] if args.experiment == "all" else [args.experiment]
-    )
+    targets = _all_targets() if args.experiment == "all" else [args.experiment]
 
     def note(message: str) -> None:
         if args.timings:
@@ -185,16 +185,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     note(f"[timings] artifact prewarm: {time.perf_counter() - started:.2f}s (jobs={jobs})")
 
+    # Single output stage: text streams per target (byte-identical to the
+    # historical layout); json/csv collect every table and emit one
+    # document at the end.
+    collected: List[Table] = []
     for target in targets:
         target_started = time.perf_counter()
-        if target == "figures":
-            for table in figures.run(args.scale, names, csv_dir=args.csv_dir).values():
+        engine_before = engine_stats().snapshot()
+        experiment = get_experiment(target)
+        kwargs = {"csv_dir": args.csv_dir} if target == "figures" else {}
+        tables = experiment.tables(args.scale, names, **kwargs)
+        if args.format == "text":
+            for table in tables:
                 print(table.render())
                 print()
         else:
-            print(SIMPLE[target](args.scale, names).render())
-            print()
-        note(f"[timings] {target}: {time.perf_counter() - target_started:.2f}s")
+            collected.extend(tables)
+        elapsed = time.perf_counter() - target_started
+        engine_after = engine_stats()
+        events = engine_after.events - engine_before.events
+        if events:
+            scans = engine_after.scans - engine_before.scans
+            seconds = engine_after.seconds - engine_before.seconds
+            rate = events / seconds if seconds else float("inf")
+            note(
+                f"[timings] {target}: {elapsed:.2f}s "
+                f"(engine: {events} events, {scans} scan(s), {rate:,.0f} events/s)"
+            )
+        else:
+            note(f"[timings] {target}: {elapsed:.2f}s")
+
+    if args.format == "json" and collected:
+        print(tables_to_json(collected))
+    elif args.format == "csv" and collected:
+        print(tables_to_csv(collected), end="")
 
     stats = cache_stats()
     note(
@@ -202,6 +226,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{stats.interpreter_runs} interpreter run(s) "
         f"({stats.interpreter_seconds:.2f}s interp, {stats.load_seconds:.2f}s load)"
     )
+    engine = engine_stats()
+    if engine.events:
+        rate = engine.events / engine.seconds if engine.seconds else float("inf")
+        note(
+            f"[timings] engine: {engine.events} event(s) in {engine.scans} "
+            f"single-pass scan(s), {engine.online_predictors} online + "
+            f"{engine.closed_form_predictors} closed-form result(s), "
+            f"{rate:,.0f} events/s"
+        )
     return 0
 
 

@@ -15,6 +15,7 @@ from typing import List, Optional
 from ..icache import CacheConfig, CostModel, evaluate_cost
 from ..replication import ReplicationPlanner, apply_replication, tradeoff_curve
 from ..workloads import get_profile, get_program, get_workload
+from .registry import register
 from .report import Table
 
 
@@ -70,3 +71,17 @@ def run(
             ],
         )
     return table
+
+
+def _run_experiment(
+    scale: int = 1, names: Optional[List[str]] = None, **kwargs
+) -> Table:
+    """Registry adapter: ``run`` takes a single benchmark name first."""
+    return run(scale=scale, names=names, **kwargs)
+
+
+register(
+    "costfn",
+    _run_experiment,
+    "cycle-cost sweep along one benchmark's trade-off curve",
+)

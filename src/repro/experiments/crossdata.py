@@ -7,15 +7,20 @@ with a different seed, for both plain profile prediction and the
 loop–correlation strategy.  The paper conjectures that "code replicated
 programs are more sensitive to different data sets than the original
 program" — the ratio rows let us check that.
+
+The table-driven strategies are scored by the shared single-pass
+driver: one scan of the same-data trace and one of the cross-data trace
+per benchmark cover both strategies (profile in closed form).
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from ..predictors import LoopCorrelationPredictor, ProfilePredictor, evaluate
+from ..predictors import LoopCorrelationPredictor, ProfilePredictor
 from ..replication import ReplicationPlanner, apply_replication, measure_annotated
 from ..workloads import BENCHMARK_NAMES, get_profile, get_program, get_trace, get_workload
+from .registry import evaluate_rows, register
 from .report import Table, pct
 
 
@@ -35,32 +40,33 @@ def run(
         "(misprediction % / ratio to same-data)",
         list(names),
     )
+
+    def predictors_for(name: str):
+        train_profile = get_profile(name, scale)
+        return [
+            ("profile", ProfilePredictor(train_profile)),
+            ("loop-corr", LoopCorrelationPredictor(train_profile)),
+        ]
+
+    same_rows = evaluate_rows(
+        names, predictors_for, lambda name: get_trace(name, scale)
+    )
+    cross_rows = evaluate_rows(
+        names, predictors_for, lambda name: get_trace(name, scale, seed_offset)
+    )
+
     rows = {
-        "profile (same data)": [],
-        "profile (cross data)": [],
-        "loop-corr (same data)": [],
-        "loop-corr (cross data)": [],
+        "profile (same data)": same_rows["profile"],
+        "profile (cross data)": cross_rows["profile"],
+        "loop-corr (same data)": same_rows["loop-corr"],
+        "loop-corr (cross data)": cross_rows["loop-corr"],
         "replicated (same data)": [],
         "replicated (cross data)": [],
     }
     for name in names:
-        train_profile = get_profile(name, scale)
-        same = get_trace(name, scale)
-        other = get_trace(name, scale, seed_offset)
-        rows["profile (same data)"].append(
-            evaluate(ProfilePredictor(train_profile), same).misprediction_rate
-        )
-        rows["profile (cross data)"].append(
-            evaluate(ProfilePredictor(train_profile), other).misprediction_rate
-        )
-        rows["loop-corr (same data)"].append(
-            evaluate(LoopCorrelationPredictor(train_profile), same).misprediction_rate
-        )
-        rows["loop-corr (cross data)"].append(
-            evaluate(LoopCorrelationPredictor(train_profile), other).misprediction_rate
-        )
         # End to end: the REPLICATED program, trained on run A, measured
         # on run A's and run B's inputs — the paper's actual conjecture.
+        train_profile = get_profile(name, scale)
         program = get_program(name)
         workload = get_workload(name)
         args_same, input_values = workload.seeded_args(scale)
@@ -90,3 +96,10 @@ def run(
             [f"{r:.2f}x" if r != float("inf") else "inf" for r in ratios],
         )
     return table
+
+
+register(
+    "crossdata",
+    run,
+    "train on run A, evaluate on run B: dataset-shift sensitivity",
+)

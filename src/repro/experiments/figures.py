@@ -17,6 +17,7 @@ import os
 from typing import Dict, List, Optional
 
 from ..replication import TradeoffPoint, tradeoff_curve
+from .registry import register
 from .report import Table, pct
 from .table5 import make_planner
 
@@ -82,3 +83,11 @@ def run(
                         f"{point.size_factor:.6f},{point.misprediction_rate:.6f}\n"
                     )
     return tables
+
+
+register(
+    "figures",
+    run,
+    "figures 6-13: misprediction vs code size trade-off curves",
+    multi=True,
+)

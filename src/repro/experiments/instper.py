@@ -15,11 +15,13 @@ from ..predictors import (
     LoopCorrelationPredictor,
     ProfilePredictor,
     SaturatingCounter,
-    evaluate,
     two_level_4k,
 )
 from ..workloads import BENCHMARK_NAMES, get_artifacts, get_profile
+from .registry import evaluate_rows, register
 from .report import Table
+
+ROWS = ("2 bit counter", "two level 4K bit", "profile", "loop-correlation")
 
 
 def run(scale: int = 1, names: Optional[List[str]] = None) -> Table:
@@ -28,28 +30,41 @@ def run(scale: int = 1, names: Optional[List[str]] = None) -> Table:
         "Instructions per mispredicted branch (higher is better)",
         list(names),
     )
-    rows = {
-        "2 bit counter": lambda profile: SaturatingCounter(2),
-        "two level 4K bit": lambda profile: two_level_4k(),
-        "profile": ProfilePredictor,
-        "loop-correlation": LoopCorrelationPredictor,
-    }
-    for label, make in rows.items():
-        values: List[float] = []
-        for name in names:
-            artifacts = get_artifacts(name, scale)
-            trace = artifacts.trace
-            steps = artifacts.steps
-            profile = get_profile(name, scale)
-            result = evaluate(make(profile), trace)
-            values.append(
-                steps / result.mispredictions
-                if result.mispredictions
-                else float("inf")
-            )
+
+    def predictors_for(name: str):
+        profile = get_profile(name, scale)
+        return [
+            ("2 bit counter", SaturatingCounter(2)),
+            ("two level 4K bit", two_level_4k()),
+            ("profile", ProfilePredictor(profile)),
+            ("loop-correlation", LoopCorrelationPredictor(profile)),
+        ]
+
+    def instructions_per_misprediction(result, name):
+        steps = get_artifacts(name, scale).steps
+        return (
+            steps / result.mispredictions
+            if result.mispredictions
+            else float("inf")
+        )
+
+    rows = evaluate_rows(
+        names,
+        predictors_for,
+        lambda name: get_artifacts(name, scale).trace,
+        metric=instructions_per_misprediction,
+    )
+    for label in ROWS:
         table.add_row(
             label,
-            values,
-            [f"{v:.0f}" if v != float("inf") else "inf" for v in values],
+            rows[label],
+            [f"{v:.0f}" if v != float("inf") else "inf" for v in rows[label]],
         )
     return table
+
+
+register(
+    "instper",
+    run,
+    "Fisher/Freudenberger instructions per mispredicted branch",
+)

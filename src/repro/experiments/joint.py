@@ -25,6 +25,7 @@ from ..statemachines import (
     best_loop_exit_machine,
 )
 from ..workloads import BENCHMARK_NAMES, get_artifacts, get_profile, get_program
+from .registry import register
 from .report import Table, pct
 
 
@@ -106,3 +107,6 @@ def run(
         "joint loop multiplier", joint_size, [f"{v:.1f}x" for v in joint_size]
     )
     return table
+
+
+register("joint", run, "joint vs independent machines per loop")

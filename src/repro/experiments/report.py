@@ -1,19 +1,42 @@
-"""Text-table rendering for experiment results.
+"""Table rendering for experiment results: text, JSON and CSV.
 
-Every experiment returns a :class:`Table`; the CLI prints them in the
+Every experiment returns a :class:`Table`; the CLI routes them through
+one output stage (``--format text|json|csv``).  Text output keeps the
 layout of the paper's tables (benchmarks as columns, strategies as
-rows).
+rows); JSON and CSV expose the same grid to programmatic consumers.
 """
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+#: ``formatter(value) -> cell text`` for one row (or a whole table).
+CellFormatter = Callable[[Any], str]
 
 
 def pct(value: float, digits: int = 2) -> str:
     """Render a 0..1 fraction as a percentage."""
     return f"{100 * value:.{digits}f}"
+
+
+def default_cell(value: Any) -> str:
+    """The implicit cell formatter: exact text for ints and strings.
+
+    Floats have no self-evident rendering (percentage? ratio? how many
+    digits?), so they must come with an explicit ``formatted`` row or a
+    ``formatter`` — a bare float here is a call-site bug.
+    """
+    if isinstance(value, float):
+        raise TypeError(
+            "float cells need an explicit formatter (pass formatted=[...] "
+            "or formatter=... to add_row, or set Table.formatter); "
+            f"got {value!r}"
+        )
+    return str(value)
 
 
 @dataclass
@@ -26,18 +49,37 @@ class Table:
     cells: Dict[str, List[str]] = field(default_factory=dict)
     #: raw (unformatted) values for programmatic consumers
     data: Dict[str, List[Any]] = field(default_factory=dict)
+    #: table-wide default cell formatter (overridden per row)
+    formatter: Optional[CellFormatter] = None
 
-    def add_row(self, label: str, values: Sequence[Any], formatted: Optional[Sequence[str]] = None) -> None:
+    def add_row(
+        self,
+        label: str,
+        values: Sequence[Any],
+        formatted: Optional[Sequence[str]] = None,
+        formatter: Optional[CellFormatter] = None,
+    ) -> None:
+        """Append a row.
+
+        Cell text comes from, in order of precedence: *formatted* (one
+        string per value), *formatter* (applied per value), the table's
+        :attr:`formatter`, or :func:`default_cell` — which renders ints
+        and strings only and rejects bare floats.
+        """
         if len(values) != len(self.columns):
             raise ValueError(
                 f"row {label!r} has {len(values)} cells, expected {len(self.columns)}"
             )
+        if formatted is not None and len(formatted) != len(values):
+            raise ValueError(
+                f"row {label!r} has {len(formatted)} formatted cells "
+                f"for {len(values)} values"
+            )
         self.rows.append(label)
         self.data[label] = list(values)
         if formatted is None:
-            formatted = [
-                pct(v) if isinstance(v, float) else str(v) for v in values
-            ]
+            fmt = formatter or self.formatter or default_cell
+            formatted = [fmt(v) for v in values]
         self.cells[label] = list(formatted)
 
     def render(self) -> str:
@@ -62,5 +104,40 @@ class Table:
             lines.append(f"{row.ljust(label_width)}  {cells}")
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-shaped view: title, columns, rows, cells, raw data."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": list(self.rows),
+            "cells": {row: list(self.cells[row]) for row in self.rows},
+            "data": {row: list(self.data[row]) for row in self.rows},
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_csv(self) -> str:
+        """CSV with a leading title row, then a header row, then cells."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(["table", self.title])
+        writer.writerow([""] + list(self.columns))
+        for row in self.rows:
+            writer.writerow([row] + list(self.cells[row]))
+        return buffer.getvalue()
+
     def __str__(self) -> str:
         return self.render()
+
+
+def tables_to_json(tables: Sequence[Table], indent: int = 2) -> str:
+    """One table renders as an object; several as an array."""
+    if len(tables) == 1:
+        return tables[0].to_json(indent)
+    return json.dumps([table.to_dict() for table in tables], indent=indent)
+
+
+def tables_to_csv(tables: Sequence[Table]) -> str:
+    """Tables as consecutive CSV blocks separated by blank lines."""
+    return "\n".join(table.to_csv() for table in tables)

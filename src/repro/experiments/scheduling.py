@@ -25,6 +25,7 @@ from ..ir import Program
 from ..replication import ReplicationPlanner, apply_replication
 from ..scheduling import estimate_program_cycles
 from ..workloads import BENCHMARK_NAMES, get_profile, get_program, get_workload
+from .registry import register
 from .report import Table
 
 
@@ -95,3 +96,6 @@ def run(
         [f"{v:.3f}x" for v in replicated_speedups],
     )
     return table
+
+
+register("scheduling", run, "speculative superblock scheduling speedups")

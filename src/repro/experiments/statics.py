@@ -4,6 +4,9 @@ Smith's simple heuristics and the Ball/Larus heuristic suite, evaluated
 on the same traces as Table 1.  The paper's framing: Ball/Larus reach
 about twice the misprediction rate of profile-based prediction; this
 table lets us check that ordering on our workloads.
+
+Every strategy here is order-independent, so the whole table is scored
+in closed form from per-site taken counts — no trace replay at all.
 """
 
 from __future__ import annotations
@@ -15,11 +18,13 @@ from ..predictors import (
     ProfilePredictor,
     backward_taken,
     ball_larus,
-    evaluate,
     opcode_heuristic,
 )
 from ..workloads import BENCHMARK_NAMES, get_profile, get_program, get_trace
+from .registry import evaluate_rows, register
 from .report import Table, pct
+
+ROWS = ("always taken", "backward taken", "opcode", "ball-larus", "profile")
 
 
 def run(scale: int = 1, names: Optional[List[str]] = None) -> Table:
@@ -28,32 +33,25 @@ def run(scale: int = 1, names: Optional[List[str]] = None) -> Table:
         "Static branch prediction (misprediction %, vs profile)",
         list(names),
     )
-    rows = {
-        "always taken": lambda program: AlwaysTaken(),
-        "backward taken": backward_taken,
-        "opcode": opcode_heuristic,
-        "ball-larus": ball_larus,
-    }
-    results = {}
-    for label, make in rows.items():
-        values = []
-        for name in names:
-            program = get_program(name)
-            trace = get_trace(name, scale)
-            values.append(evaluate(make(program), trace).misprediction_rate)
-        results[label] = values
-        table.add_row(label, values, [pct(v) for v in values])
-    profile_values = []
-    for name in names:
-        trace = get_trace(name, scale)
-        profile = get_profile(name, scale)
-        profile_values.append(
-            evaluate(ProfilePredictor(profile), trace).misprediction_rate
-        )
-    table.add_row("profile", profile_values, [pct(v) for v in profile_values])
+
+    def predictors_for(name: str):
+        program = get_program(name)
+        return [
+            ("always taken", AlwaysTaken()),
+            ("backward taken", backward_taken(program)),
+            ("opcode", opcode_heuristic(program)),
+            ("ball-larus", ball_larus(program)),
+            ("profile", ProfilePredictor(get_profile(name, scale))),
+        ]
+
+    rows = evaluate_rows(
+        names, predictors_for, lambda name: get_trace(name, scale)
+    )
+    for label in ROWS:
+        table.add_row(label, rows[label], [pct(v) for v in rows[label]])
     ratios = [
         b / p if p else float("inf")
-        for b, p in zip(results["ball-larus"], profile_values)
+        for b, p in zip(rows["ball-larus"], rows["profile"])
     ]
     table.add_row(
         "ball-larus / profile",
@@ -61,3 +59,10 @@ def run(scale: int = 1, names: Optional[List[str]] = None) -> Table:
         [f"{r:.2f}x" if r != float("inf") else "inf" for r in ratios],
     )
     return table
+
+
+register(
+    "statics",
+    run,
+    "Smith and Ball/Larus static heuristics vs profile prediction",
+)

@@ -5,11 +5,15 @@ dynamic: last-direction, 2-bit counter, two-level 4K-bit;
 semi-static: profile, 1-bit correlation, 1-bit loop, 9-bit loop,
 loop–correlation — plus the three bookkeeping rows: static branches,
 executed branches and branches improved by loop–correlation.
+
+All eight strategies are scored in a single scan of each benchmark's
+trace (the profile row in closed form) via the shared
+:func:`~repro.experiments.registry.evaluate_rows` driver.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..predictors import (
     CorrelationPredictor,
@@ -18,10 +22,10 @@ from ..predictors import (
     LoopPredictor,
     ProfilePredictor,
     SaturatingCounter,
-    evaluate,
     two_level_4k,
 )
 from ..workloads import BENCHMARK_NAMES, get_artifacts, get_profile, get_program
+from .registry import evaluate_rows, register
 from .report import Table, pct
 
 ROWS = (
@@ -44,31 +48,40 @@ def run(scale: int = 1, names: Optional[List[str]] = None) -> Table:
         "strategies in percent",
         list(names),
     )
-    per_row = {row: [] for row in ROWS}
-    statics, executed, improved = [], [], []
-    for name in names:
-        trace = get_artifacts(name, scale).trace
+    counts: Dict[str, Tuple[int, int, int]] = {}
+
+    def predictors_for(name: str):
         profile = get_profile(name, scale)
         loop_corr = LoopCorrelationPredictor(profile)
-        predictors = {
-            "last direction": LastDirection(),
-            "2 bit counter": SaturatingCounter(2),
-            "two level 4K bit": two_level_4k(),
-            "profile": ProfilePredictor(profile),
-            "1 bit correlation": CorrelationPredictor(profile, 1),
-            "1 bit loop": LoopPredictor(profile, 1),
-            "9 bit loop": LoopPredictor(profile, 9),
-            "loop-correlation": loop_corr,
-        }
-        for row in ROWS:
-            result = evaluate(predictors[row], trace)
-            per_row[row].append(result.misprediction_rate)
-        statics.append(len(get_program(name).branch_sites()))
-        executed.append(len(profile.totals))
-        improved.append(len(loop_corr.improved_sites(profile)))
+        counts[name] = (
+            len(get_program(name).branch_sites()),
+            len(profile.totals),
+            len(loop_corr.improved_sites(profile)),
+        )
+        return [
+            ("last direction", LastDirection()),
+            ("2 bit counter", SaturatingCounter(2)),
+            ("two level 4K bit", two_level_4k()),
+            ("profile", ProfilePredictor(profile)),
+            ("1 bit correlation", CorrelationPredictor(profile, 1)),
+            ("1 bit loop", LoopPredictor(profile, 1)),
+            ("9 bit loop", LoopPredictor(profile, 9)),
+            ("loop-correlation", loop_corr),
+        ]
+
+    per_row = evaluate_rows(
+        names, predictors_for, lambda name: get_artifacts(name, scale).trace
+    )
     for row in ROWS:
         table.add_row(row, per_row[row], [pct(v) for v in per_row[row]])
-    table.add_row("static branches", statics)
-    table.add_row("executed branches", executed)
-    table.add_row("improved branches", improved)
+    table.add_row("static branches", [counts[name][0] for name in names])
+    table.add_row("executed branches", [counts[name][1] for name in names])
+    table.add_row("improved branches", [counts[name][2] for name in names])
     return table
+
+
+register(
+    "table1",
+    run,
+    "misprediction rates of the paper's eight baseline strategies",
+)

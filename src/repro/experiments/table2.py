@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..workloads import BENCHMARK_NAMES, get_profile
+from .registry import register
 from .report import Table, pct
 
 
@@ -23,3 +24,6 @@ def run(scale: int = 1, names: Optional[List[str]] = None, max_bits: int = 9) ->
         values = [profiles[name].fill_rate(bits) for name in names]
         table.add_row(f"{bits} bit history", values, [pct(v) for v in values])
     return table
+
+
+register("table2", run, "fill rate of the per-branch local history pattern tables")

@@ -14,6 +14,7 @@ from typing import List, Optional
 from ..cfg import BranchClass, classify_branches
 from ..statemachines import best_intra_machine, best_loop_exit_machine
 from ..workloads import BENCHMARK_NAMES, get_profile, get_program
+from .registry import register
 from .report import Table, pct
 
 
@@ -102,3 +103,6 @@ def run(
                 [pct(v) for v in machine_row],
             )
     return table
+
+
+register("table3", run, "loop/exit branches: full history vs state machines")

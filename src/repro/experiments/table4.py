@@ -14,6 +14,7 @@ from typing import List, Optional
 from ..cfg import classify_branches
 from ..statemachines import correlated_machine_options
 from ..workloads import BENCHMARK_NAMES, get_profile, get_program
+from .registry import register
 from .report import Table, pct
 
 
@@ -63,3 +64,6 @@ def run(
             row.append((total - correct) / total if total else 0.0)
         table.add_row(f"{n_states} states", row, [pct(v) for v in row])
     return table
+
+
+register("table4", run, "correlated branches: global history vs path machines")

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional
 
 from ..replication import ReplicationPlanner
 from ..workloads import BENCHMARK_NAMES, get_profile, get_program
+from .registry import register
 from .report import Table, pct
 
 
@@ -44,3 +45,6 @@ def run(
         ]
         table.add_row(f"{n_states} states", row, [pct(v) for v in row])
     return table
+
+
+register("table5", run, "best achievable misprediction rates, ignoring code size")

@@ -11,10 +11,14 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, List
 
 from ..ir import BranchSite
 from ..profiling import Trace
+
+#: A fused predict+observe step: ``step(site_id, direction) -> mispredicted``
+#: with ``direction`` the trace's 0/1 outcome.
+Stepper = Callable[[int, int], bool]
 
 
 class Predictor(abc.ABC):
@@ -22,6 +26,12 @@ class Predictor(abc.ABC):
 
     #: Human-readable strategy name (used in reports).
     name: str = "predictor"
+
+    #: True when :meth:`predict` depends only on the site — no run-time
+    #: state, no history, no sensitivity to event order.  The evaluation
+    #: engine scores such predictors in closed form from per-site taken
+    #: counts (O(sites)) instead of replaying the trace (O(events)).
+    order_independent: bool = False
 
     def reset(self) -> None:
         """Clear run-time state before an evaluation pass."""
@@ -32,6 +42,33 @@ class Predictor(abc.ABC):
 
     def update(self, site: BranchSite, taken: bool) -> None:
         """Observe the actual outcome (after :meth:`predict`)."""
+
+    def make_stepper(self, sites: List[BranchSite]) -> Stepper:
+        """A fused per-event kernel for the evaluation engine.
+
+        *sites* is the trace's interned site table; the returned
+        ``step(site_id, direction) -> mispredicted`` is equivalent to
+        ``predict(sites[site_id]) is not bool(direction)`` followed by
+        ``update(sites[site_id], bool(direction))``.  Subclasses
+        override this to share work between the two halves (one state
+        lookup instead of two) and to replace per-event ``BranchSite``
+        hashing with precomputed per-site-id arrays; the contract is
+        exact *result* equivalence with the ``predict``/``update``
+        pair.  Call :meth:`reset` first; the stepper may keep its state
+        in the closure, so the predictor must be reset again (and a
+        fresh stepper made) before any reuse.
+        """
+        predict = self.predict
+        update = self.update
+
+        def step(sid: int, direction: int) -> bool:
+            site = sites[sid]
+            outcome = direction == 1
+            wrong = predict(site) is not outcome
+            update(site, outcome)
+            return wrong
+
+        return step
 
 
 @dataclass
@@ -63,12 +100,6 @@ class EvaluationResult:
     @property
     def accuracy(self) -> float:
         return 1.0 - self.misprediction_rate
-
-    @property
-    def instructions_per_misprediction(self) -> Optional[float]:
-        """Not computable without instruction counts; see
-        :func:`repro.predictors.evaluate.instructions_per_misprediction`."""
-        return None
 
     def __str__(self) -> str:
         return (

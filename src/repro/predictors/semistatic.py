@@ -36,6 +36,7 @@ class ProfilePredictor(Predictor):
     """Per-branch most-frequent direction from the training profile."""
 
     name = "profile"
+    order_independent = True
 
     def __init__(self, profile: ProfileData, default: bool = True) -> None:
         self.default = default
@@ -85,6 +86,27 @@ class CorrelationPredictor(Predictor):
     def update(self, site: BranchSite, taken: bool) -> None:
         self._history = ((self._history << 1) | (1 if taken else 0)) & self._mask
 
+    def make_stepper(self, sites):
+        tables = [self._tables.get(site) for site in sites]
+        bias = [self._bias.get(site) for site in sites]
+        default = self.default
+        mask = self._mask
+        history = self._history
+
+        def step(sid: int, direction: int) -> bool:
+            nonlocal history
+            table = tables[sid]
+            if table is None:
+                guess = default
+            else:
+                guess = table.get(history)
+                if guess is None:
+                    guess = bias[sid]
+            history = ((history << 1) | direction) & mask
+            return guess != direction
+
+        return step
+
 
 class LoopPredictor(Predictor):
     """k-bit *local* (per-branch) history, frozen majority predictions."""
@@ -123,6 +145,26 @@ class LoopPredictor(Predictor):
     def update(self, site: BranchSite, taken: bool) -> None:
         history = self._histories.get(site, 0)
         self._histories[site] = ((history << 1) | (1 if taken else 0)) & self._mask
+
+    def make_stepper(self, sites):
+        tables = [self._tables.get(site) for site in sites]
+        bias = [self._bias.get(site) for site in sites]
+        histories = [0] * len(sites)
+        default = self.default
+        mask = self._mask
+
+        def step(sid: int, direction: int) -> bool:
+            history = histories[sid]
+            histories[sid] = ((history << 1) | direction) & mask
+            table = tables[sid]
+            if table is None:
+                return default != direction
+            guess = table.get(history)
+            if guess is None:
+                guess = bias[sid]
+            return guess != direction
+
+        return step
 
 
 class LoopCorrelationPredictor(Predictor):
@@ -171,6 +213,27 @@ class LoopCorrelationPredictor(Predictor):
     def update(self, site: BranchSite, taken: bool) -> None:
         self.correlation.update(site, taken)
         self.loop.update(site, taken)
+
+    def make_stepper(self, sites):
+        # Both sub-predictors update their histories on every event (the
+        # sequential semantics), but only the chosen one's guess counts.
+        selectors = {"loop": 0, "correlation": 1}
+        chosen = [selectors.get(self.choice.get(site), 2) for site in sites]
+        default = self.default
+        corr_step = self.correlation.make_stepper(sites)
+        loop_step = self.loop.make_stepper(sites)
+
+        def step(sid: int, direction: int) -> bool:
+            corr_wrong = corr_step(sid, direction)
+            loop_wrong = loop_step(sid, direction)
+            choice = chosen[sid]
+            if choice == 0:
+                return loop_wrong
+            if choice == 1:
+                return corr_wrong
+            return default != direction
+
+        return step
 
     def improved_sites(self, profile: ProfileData) -> Dict[BranchSite, int]:
         """Sites where the chosen strategy beats plain profile on the

@@ -18,6 +18,8 @@ from .base import Predictor
 class FixedMapPredictor(Predictor):
     """Predicts from a precomputed per-site direction map."""
 
+    order_independent = True
+
     def __init__(
         self,
         name: str,
@@ -36,6 +38,7 @@ class AlwaysTaken(Predictor):
     """Smith: predict that all branches will be taken."""
 
     name = "always-taken"
+    order_independent = True
 
     def predict(self, site: BranchSite) -> bool:
         return True
@@ -45,6 +48,7 @@ class AlwaysNotTaken(Predictor):
     """Predict that no branch is taken (baseline)."""
 
     name = "always-not-taken"
+    order_independent = True
 
     def predict(self, site: BranchSite) -> bool:
         return False

@@ -29,9 +29,14 @@ class TestReport:
 
     def test_table_render(self):
         table = Table("T", ["a", "b"])
-        table.add_row("row", [0.5, 1])
+        table.add_row("row", [0.5, 1], formatter=lambda v: pct(v) if isinstance(v, float) else str(v))
         text = table.render()
         assert "T" in text and "row" in text and "50.00" in text
+
+    def test_bare_float_rejected(self):
+        table = Table("T", ["a"])
+        with pytest.raises(TypeError):
+            table.add_row("row", [0.5])
 
     def test_row_length_checked(self):
         table = Table("T", ["a", "b"])

@@ -1,0 +1,156 @@
+"""Single-pass engine tests: `evaluate_many` ≡ sequential `evaluate`.
+
+The property test drives every predictor family — static heuristics,
+dynamic counters, all nine Yeh/Patt two-level variants and the
+semi-static table strategies — over random traces and requires exact
+result identity (events, mispredictions, per-site breakdown *and* site
+ordering) between the fused single-pass engine and the sequential
+reference implementation, for both the stepper path and the closed-form
+fast path.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.ir import BranchSite
+from repro.predictors import (
+    AlwaysNotTaken,
+    AlwaysTaken,
+    CorrelationPredictor,
+    FixedMapPredictor,
+    LastDirection,
+    LoopCorrelationPredictor,
+    LoopPredictor,
+    ProfilePredictor,
+    SaturatingCounter,
+    all_yeh_patt_variants,
+    engine_stats,
+    evaluate,
+    evaluate_many,
+    reset_engine_stats,
+)
+from repro.profiling import ProfileData, Trace
+
+SITES = [BranchSite("f", f"b{i}") for i in range(6)]
+
+events_strategy = st.lists(
+    st.tuples(st.integers(0, len(SITES) - 1), st.booleans()), max_size=200
+)
+
+
+def build_trace(events):
+    trace = Trace()
+    for index, taken in events:
+        trace.record(SITES[index], taken)
+    return trace
+
+
+def predictor_families(trace):
+    """One representative per predictor family, online and closed-form."""
+    profile = ProfileData.from_trace(trace)
+    predictors = [
+        AlwaysTaken(),
+        AlwaysNotTaken(),
+        FixedMapPredictor(
+            "alternating", {site: bool(i % 2) for i, site in enumerate(SITES)}
+        ),
+        LastDirection(),
+        SaturatingCounter(1),
+        SaturatingCounter(2),
+        ProfilePredictor(profile),
+        CorrelationPredictor(profile, 1),
+        CorrelationPredictor(profile, 2),
+        LoopPredictor(profile, 1),
+        LoopPredictor(profile, 3),
+        LoopCorrelationPredictor(profile),
+    ]
+    predictors.extend(all_yeh_patt_variants(3).values())
+    return predictors
+
+
+def assert_results_identical(actual, expected):
+    assert actual.predictor == expected.predictor
+    assert actual.events == expected.events
+    assert actual.mispredictions == expected.mispredictions
+    assert list(actual.per_site) == list(expected.per_site)
+    assert actual.per_site == expected.per_site
+
+
+@given(events_strategy)
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_evaluate_many_matches_sequential(events):
+    trace = build_trace(events)
+    predictors = predictor_families(trace)
+    expected = [evaluate(predictor, trace) for predictor in predictors]
+    actual = evaluate_many(predictors, trace)
+    assert len(actual) == len(expected)
+    for act, exp in zip(actual, expected):
+        assert_results_identical(act, exp)
+
+
+@given(events_strategy)
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_evaluate_many_is_repeatable(events):
+    # Fresh steppers per pass: a second pass over the same predictors
+    # must not be polluted by the first pass's state.
+    trace = build_trace(events)
+    predictors = predictor_families(trace)
+    first = evaluate_many(predictors, trace)
+    second = evaluate_many(predictors, trace)
+    for a, b in zip(first, second):
+        assert_results_identical(a, b)
+
+
+def small_trace():
+    trace = Trace()
+    for taken in (True, True, False, True):
+        trace.record(SITES[0], taken)
+    for taken in (False, False):
+        trace.record(SITES[1], taken)
+    return trace
+
+
+def test_closed_form_set_does_not_scan():
+    # All-order-independent predictor sets are scored from per-site
+    # counts alone; the trace is never replayed.
+    reset_engine_stats()
+    results = evaluate_many([AlwaysTaken(), AlwaysNotTaken()], small_trace())
+    stats = engine_stats()
+    assert stats.scans == 0
+    assert stats.closed_form_predictors == 2
+    assert stats.online_predictors == 0
+    assert results[0].mispredictions == 3  # not-taken events
+    assert results[1].mispredictions == 3  # taken events
+
+
+def test_mixed_set_scans_once():
+    reset_engine_stats()
+    evaluate_many(
+        [AlwaysTaken(), LastDirection(), SaturatingCounter(2)], small_trace()
+    )
+    stats = engine_stats()
+    assert stats.scans == 1
+    assert stats.events == 6
+    assert stats.online_predictors == 2
+    assert stats.closed_form_predictors == 1
+    assert stats.seconds > 0.0
+
+
+def test_empty_predictor_set():
+    assert evaluate_many([], small_trace()) == []
+
+
+def test_empty_trace():
+    results = evaluate_many([AlwaysTaken(), LastDirection()], Trace())
+    for result in results:
+        assert result.events == 0
+        assert result.mispredictions == 0
+        assert result.per_site == {}
+
+
+def test_stats_snapshot_is_independent():
+    reset_engine_stats()
+    before = engine_stats().snapshot()
+    evaluate_many([LastDirection()], small_trace())
+    assert before.scans == 0
+    assert engine_stats().scans == 1
