@@ -21,12 +21,12 @@ def _cold(name, scale):
     import repro.workloads.artifacts as store
 
     store.clear_disk_cache()
-    return get_artifacts(name, scale)
+    return get_artifacts(name, scale=scale)
 
 
 def _warm(name, scale):
     clear_memory_cache()
-    return get_artifacts(name, scale)
+    return get_artifacts(name, scale=scale)
 
 
 def test_artifacts_cold(benchmark, bench_scale):
@@ -41,7 +41,7 @@ def test_artifacts_cold(benchmark, bench_scale):
 
 
 def test_artifacts_warm(benchmark, bench_scale):
-    get_artifacts("compress", bench_scale)  # ensure the disk entry exists
+    get_artifacts("compress", scale=bench_scale)  # ensure the disk entry exists
     reset_cache_stats()
     artifacts = benchmark.pedantic(
         _warm, args=("compress", bench_scale), rounds=3, iterations=1

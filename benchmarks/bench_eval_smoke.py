@@ -8,11 +8,18 @@ identical results, and writes the wall-clocks, events/sec and speedup
 to a JSON report.  Exits non-zero when the speedup falls below the
 threshold.
 
+It also gates the observability layer: the single-pass region is timed
+once with span recording disabled (the default) and once enabled, and
+the run fails when the obs-disabled hot path is more than
+``--max-obs-overhead`` slower than the enabled measurement implies.
+(The enabled run is a superset of the disabled run's work, so the
+enabled/disabled ratio bounds the instrumentation cost from above.)
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_eval_smoke.py \
         --output BENCH_eval.json [--names a,b] [--scale 1] \
-        [--repeats 3] [--min-speedup 2.0]
+        [--repeats 3] [--min-speedup 2.0] [--max-obs-overhead 0.05]
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ import sys
 import time
 from typing import Dict, List
 
+from repro.obs import OBS
 from repro.predictors import (
     CorrelationPredictor,
     LastDirection,
@@ -65,6 +73,13 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--scale", type=int, default=1)
     parser.add_argument("--repeats", type=int, default=3, help="best-of timing")
     parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=0.05,
+        help="maximum allowed fractional slowdown of the engine hot path "
+        "with span recording enabled (bounds the obs-disabled overhead)",
+    )
     parser.add_argument("--output", default="BENCH_eval.json")
     args = parser.parse_args(argv)
     names = (
@@ -73,7 +88,7 @@ def main(argv: List[str] = None) -> int:
 
     # Warm every artifact outside the timed region.
     profiles = {name: get_profile(name, args.scale) for name in names}
-    traces = {name: get_artifacts(name, args.scale).trace for name in names}
+    traces = {name: get_artifacts(name, scale=args.scale).trace for name in names}
     events = sum(len(traces[name]) for name in names)
     n_predictors = len(predictor_set(profiles[names[0]]))
 
@@ -107,6 +122,21 @@ def main(argv: List[str] = None) -> int:
         if mismatches:
             break
 
+    # Obs gate: re-time the single-pass region with span recording on.
+    obs_enabled_seconds = float("inf")
+    OBS.enable()
+    try:
+        for _ in range(args.repeats):
+            started = time.perf_counter()
+            for name in names:
+                evaluate_many(predictor_set(profiles[name]), traces[name])
+            obs_enabled_seconds = min(
+                obs_enabled_seconds, time.perf_counter() - started
+            )
+    finally:
+        OBS.disable()
+    obs_overhead = obs_enabled_seconds / single_pass_seconds - 1.0
+
     speedup = legacy_seconds / single_pass_seconds
     report = {
         "benchmarks": list(names),
@@ -125,6 +155,11 @@ def main(argv: List[str] = None) -> int:
         },
         "speedup": speedup,
         "min_speedup": args.min_speedup,
+        "obs": {
+            "enabled_seconds": obs_enabled_seconds,
+            "overhead": obs_overhead,
+            "max_overhead": args.max_obs_overhead,
+        },
         "results_identical": not mismatches,
         "mismatches": mismatches,
     }
@@ -133,8 +168,8 @@ def main(argv: List[str] = None) -> int:
         stream.write("\n")
     print(
         f"legacy {legacy_seconds:.3f}s vs single-pass {single_pass_seconds:.3f}s "
-        f"({speedup:.2f}x, {events} events x {n_predictors} predictors) "
-        f"-> {args.output}"
+        f"({speedup:.2f}x, {events} events x {n_predictors} predictors); "
+        f"obs overhead {obs_overhead:+.1%} -> {args.output}"
     )
 
     if mismatches:
@@ -144,6 +179,13 @@ def main(argv: List[str] = None) -> int:
         print(
             f"FAIL: speedup {speedup:.2f}x below required "
             f"{args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if obs_overhead > args.max_obs_overhead:
+        print(
+            f"FAIL: obs overhead {obs_overhead:.1%} above allowed "
+            f"{args.max_obs_overhead:.1%}",
             file=sys.stderr,
         )
         return 1

@@ -25,6 +25,7 @@ from . import (
 )
 from .registry import (
     Experiment,
+    RunContext,
     all_experiments,
     evaluate_rows,
     experiment_names,
@@ -35,6 +36,7 @@ from .report import Table, pct, tables_to_csv, tables_to_json
 
 __all__ = [
     "Experiment",
+    "RunContext",
     "Table",
     "ablation",
     "alignment",

@@ -17,10 +17,15 @@ cells/raw data per table) or ``csv``.
 Benchmark artifact generation (the expensive interpreter passes) is
 fanned out across ``--jobs`` worker processes that fill the shared
 on-disk artifact cache before any table renders; a warm cache makes
-every target a pure replay.  ``--timings`` reports per-stage wall-clock
-times, evaluation-engine throughput (events/sec over the single-pass
-scans) and cache hit/miss counters on stderr, keeping stdout
-byte-comparable between runs.
+every target a pure replay.
+
+Observability: ``--timings`` and ``--trace-out`` enable span recording
+on the process observer (:mod:`repro.obs`).  ``--timings`` prints the
+observer's stage summary — span aggregates, engine throughput, cache
+counters — on stderr *after* all table output, so stdout stays
+machine-parseable under ``--format json|csv``; ``--trace-out FILE``
+writes the whole run as Chrome ``trace_event`` JSON, loadable in
+``chrome://tracing`` or https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
@@ -31,11 +36,12 @@ import sys
 import time
 from typing import List, Optional
 
+from ..obs import OBS, summary_lines, write_chrome_trace
 from ..predictors import engine_stats
 from ..workloads import BENCHMARK_NAMES, artifacts as artifact_store
 from ..workloads.artifacts import cache_stats, generate_artifacts
 from . import crossdata
-from .registry import all_experiments, get_experiment
+from .registry import RunContext, all_experiments, get_experiment
 from .report import Table, tables_to_csv, tables_to_json
 
 #: Backwards-compatible view of the single-table targets
@@ -152,8 +158,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--timings",
         action="store_true",
-        help="report per-stage wall-clock timings, engine throughput and "
-        "cache counters on stderr",
+        help="report the observability summary (per-stage wall-clock "
+        "timings, engine throughput, cache counters) on stderr after "
+        "all table output",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the run's spans and counters as Chrome trace_event "
+        "JSON to FILE (chrome://tracing / Perfetto)",
     )
     args = parser.parse_args(argv)
 
@@ -175,66 +190,86 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     targets = _all_targets() if args.experiment == "all" else [args.experiment]
 
-    def note(message: str) -> None:
-        if args.timings:
-            print(message, file=sys.stderr)
+    # Span recording is opt-in: without --timings/--trace-out the
+    # observer only keeps its (cheap, always-on) counters and the run's
+    # stdout/stderr match previous releases byte for byte.
+    if args.timings or args.trace_out:
+        OBS.enable()
 
-    started = time.perf_counter()
-    generate_artifacts(
-        _prewarm_specs(targets, names or BENCHMARK_NAMES, args.scale), jobs=jobs
-    )
-    note(f"[timings] artifact prewarm: {time.perf_counter() - started:.2f}s (jobs={jobs})")
+    with OBS.span("artifacts.prewarm", jobs=jobs, scale=args.scale):
+        generate_artifacts(
+            _prewarm_specs(targets, names or BENCHMARK_NAMES, args.scale),
+            jobs=jobs,
+        )
 
     # Single output stage: text streams per target (byte-identical to the
     # historical layout); json/csv collect every table and emit one
     # document at the end.
     collected: List[Table] = []
     for target in targets:
-        target_started = time.perf_counter()
-        engine_before = engine_stats().snapshot()
         experiment = get_experiment(target)
-        kwargs = {"csv_dir": args.csv_dir} if target == "figures" else {}
-        tables = experiment.tables(args.scale, names, **kwargs)
+        ctx = RunContext(
+            scale=args.scale,
+            names=tuple(names) if names is not None else None,
+            jobs=jobs,
+            output=args.format,
+            obs=OBS,
+            trace_out=args.trace_out,
+            options={"csv_dir": args.csv_dir} if target == "figures" else {},
+        )
+        with OBS.span(
+            f"experiment:{target}", scale=args.scale, format=args.format
+        ) as span:
+            engine_before = engine_stats()
+            started = time.perf_counter()
+            tables = experiment.tables(ctx)
+            elapsed = time.perf_counter() - started
+            engine_after = engine_stats()
+            span.set(
+                seconds=round(elapsed, 6),
+                tables=len(tables),
+                engine_events=engine_after.events - engine_before.events,
+                engine_scans=engine_after.scans - engine_before.scans,
+            )
         if args.format == "text":
             for table in tables:
                 print(table.render())
                 print()
         else:
             collected.extend(tables)
-        elapsed = time.perf_counter() - target_started
-        engine_after = engine_stats()
-        events = engine_after.events - engine_before.events
-        if events:
-            scans = engine_after.scans - engine_before.scans
-            seconds = engine_after.seconds - engine_before.seconds
-            rate = events / seconds if seconds else float("inf")
-            note(
-                f"[timings] {target}: {elapsed:.2f}s "
-                f"(engine: {events} events, {scans} scan(s), {rate:,.0f} events/s)"
-            )
-        else:
-            note(f"[timings] {target}: {elapsed:.2f}s")
 
     if args.format == "json" and collected:
         print(tables_to_json(collected))
     elif args.format == "csv" and collected:
         print(tables_to_csv(collected), end="")
 
-    stats = cache_stats()
-    note(
-        f"[timings] cache: {stats.hits} hit(s), {stats.misses} miss(es), "
-        f"{stats.interpreter_runs} interpreter run(s) "
-        f"({stats.interpreter_seconds:.2f}s interp, {stats.load_seconds:.2f}s load)"
-    )
-    engine = engine_stats()
-    if engine.events:
-        rate = engine.events / engine.seconds if engine.seconds else float("inf")
-        note(
-            f"[timings] engine: {engine.events} event(s) in {engine.scans} "
-            f"single-pass scan(s), {engine.online_predictors} online + "
-            f"{engine.closed_form_predictors} closed-form result(s), "
-            f"{rate:,.0f} events/s"
+    # Telemetry is emitted only after every table has been written, so
+    # stdout stays machine-parseable and stderr never interleaves with
+    # partially rendered output.
+    snapshot = OBS.snapshot()
+    if args.trace_out:
+        write_chrome_trace(args.trace_out, snapshot)
+    if args.timings:
+        engine = engine_stats()
+        stats = cache_stats()
+        for line in summary_lines(snapshot):
+            print(line, file=sys.stderr)
+        print(
+            f"[timings] cache: {stats.hits} hit(s), {stats.misses} miss(es), "
+            f"{stats.interpreter_runs} interpreter run(s) "
+            f"({stats.interpreter_seconds:.2f}s interp, "
+            f"{stats.load_seconds:.2f}s load)",
+            file=sys.stderr,
         )
+        if engine.events:
+            rate = engine.events / engine.seconds if engine.seconds else float("inf")
+            print(
+                f"[timings] engine: {engine.events} event(s) in {engine.scans} "
+                f"single-pass scan(s), {engine.online_predictors} online + "
+                f"{engine.closed_form_predictors} closed-form result(s), "
+                f"{rate:,.0f} events/s",
+                file=sys.stderr,
+            )
     return 0
 
 

@@ -41,7 +41,7 @@ def run(scale: int = 1, names: Optional[List[str]] = None) -> Table:
         ]
 
     def instructions_per_misprediction(result, name):
-        steps = get_artifacts(name, scale).steps
+        steps = get_artifacts(name, scale=scale).steps
         return (
             steps / result.mispredictions
             if result.mispredictions
@@ -51,7 +51,7 @@ def run(scale: int = 1, names: Optional[List[str]] = None) -> Table:
     rows = evaluate_rows(
         names,
         predictors_for,
-        lambda name: get_artifacts(name, scale).trace,
+        lambda name: get_artifacts(name, scale=scale).trace,
         metric=instructions_per_misprediction,
     )
     for label in ROWS:

@@ -44,7 +44,7 @@ def run(
     indep_size, joint_size = [], []
     for name in names:
         program = get_program(name)
-        trace = get_artifacts(name, scale).trace
+        trace = get_artifacts(name, scale=scale).trace
         profile = get_profile(name, scale)
         infos = classify_branches(program)
         membership = loop_membership(program)

@@ -1,10 +1,19 @@
 """The experiment registry and the shared evaluation driver.
 
 Every CLI target is an :class:`Experiment`: a name, a description and a
-``run(scale, names) -> Table`` callable.  Modules register themselves
-at import time (importing :mod:`repro.experiments` populates the
-registry), so the CLI, the docs and the tests all enumerate one source
-of truth instead of hand-maintained dicts.
+runner callable.  Modules register themselves at import time (importing
+:mod:`repro.experiments` populates the registry), so the CLI, the docs
+and the tests all enumerate one source of truth instead of
+hand-maintained dicts.
+
+Experiments execute against a :class:`RunContext` — one frozen value
+object carrying every cross-cutting knob (scale, benchmark subset,
+worker processes, observer handle, output format, trace export path,
+per-target options) — so adding a knob no longer requires threading a
+new positional parameter through every runner signature.  The previous
+positional contract, ``Experiment.run(scale, names, **kwargs)``, is
+kept as a thin shim that emits :class:`DeprecationWarning` and builds a
+context.
 
 The predictor-comparison tables (table1, the two-level zoo, statics,
 instper, crossdata, tracelen) also share one driver,
@@ -15,9 +24,21 @@ hand-rolled benchmark × predictor loops that each re-scan the trace.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from ..obs import Observer, default_observer
 from ..predictors import EvaluationResult, Predictor, evaluate_many
 from ..profiling import Trace
 from .report import Table
@@ -31,12 +52,55 @@ Metric = Callable[[EvaluationResult, str], Any]
 
 
 @dataclass(frozen=True)
+class RunContext:
+    """Everything one experiment execution needs, in one value object.
+
+    The context replaces the positional ``run(scale, names, **kwargs)``
+    contract: cross-cutting knobs (worker processes, the observer that
+    collects spans/counters, the output format, the trace export path)
+    travel together, and per-target options ride in ``options`` instead
+    of forcing every runner signature to grow.
+    """
+
+    scale: int = 1
+    #: benchmark subset, or None for the full suite
+    names: Optional[Tuple[str, ...]] = None
+    #: worker processes for artifact generation
+    jobs: int = 1
+    #: output format the caller will render ("text", "json" or "csv")
+    output: str = "text"
+    #: observer collecting this run's spans and counters
+    obs: Observer = field(default_factory=default_observer)
+    #: Chrome trace_event export path (None = no export)
+    trace_out: Optional[str] = None
+    #: per-target options (e.g. ``max_states``, ``csv_dir``)
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.names is not None and not isinstance(self.names, tuple):
+            object.__setattr__(self, "names", tuple(self.names))
+
+    @property
+    def names_list(self) -> Optional[List[str]]:
+        """The benchmark subset in the shape legacy runners expect."""
+        return list(self.names) if self.names is not None else None
+
+    def with_options(self, **options: Any) -> "RunContext":
+        """A copy with *options* merged over the existing ones."""
+        merged = dict(self.options)
+        merged.update(options)
+        return replace(self, options=merged)
+
+
+@dataclass(frozen=True)
 class Experiment:
     """One registered CLI target.
 
     ``runner(scale, names, **kwargs)`` returns the experiment's
     :class:`~repro.experiments.report.Table` (or, for multi-table
     targets such as ``figures``, a dict of tables — see ``multi``).
+    Runners registered with ``takes_context=True`` are called as
+    ``runner(ctx)`` with the :class:`RunContext` instead.
     """
 
     name: str
@@ -44,15 +108,53 @@ class Experiment:
     description: str = ""
     #: True when the runner returns ``{key: Table}`` instead of one Table.
     multi: bool = False
+    #: True when the runner accepts a RunContext directly.
+    takes_context: bool = False
+
+    def execute(self, ctx: RunContext):
+        """Run this experiment against *ctx* and return its raw result."""
+        if self.takes_context:
+            return self.runner(ctx)
+        return self.runner(ctx.scale, ctx.names_list, **dict(ctx.options))
 
     def run(self, scale: int = 1, names: Optional[List[str]] = None, **kwargs):
-        return self.runner(scale, names, **kwargs)
+        """Deprecated positional entry point; use :meth:`execute`."""
+        warnings.warn(
+            "Experiment.run(scale, names, ...) is deprecated; build a "
+            "RunContext and call Experiment.execute(ctx)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.execute(
+            RunContext(
+                scale=scale,
+                names=tuple(names) if names is not None else None,
+                options=kwargs,
+            )
+        )
 
     def tables(
-        self, scale: int = 1, names: Optional[List[str]] = None, **kwargs
+        self,
+        ctx: Union[RunContext, int] = 1,
+        names: Optional[List[str]] = None,
+        **kwargs,
     ) -> List[Table]:
-        """Run and normalise the result to a list of tables."""
-        result = self.run(scale, names, **kwargs)
+        """Run and normalise the result to a list of tables.
+
+        Accepts a :class:`RunContext` (the redesigned API) or the
+        legacy positional ``(scale, names, **kwargs)`` shape.
+        """
+        if not isinstance(ctx, RunContext):
+            ctx = RunContext(
+                scale=ctx,
+                names=tuple(names) if names is not None else None,
+                options=kwargs,
+            )
+        elif names is not None or kwargs:
+            raise TypeError(
+                "pass benchmark names and options inside the RunContext"
+            )
+        result = self.execute(ctx)
         if self.multi:
             return list(result.values())
         return [result]
@@ -66,9 +168,10 @@ def register(
     runner: Callable[..., Any],
     description: str = "",
     multi: bool = False,
+    takes_context: bool = False,
 ) -> Experiment:
     """Register *runner* as the experiment *name* (idempotent by name)."""
-    experiment = Experiment(name, runner, description, multi)
+    experiment = Experiment(name, runner, description, multi, takes_context)
     _REGISTRY[name] = experiment
     return experiment
 

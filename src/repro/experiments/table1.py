@@ -70,7 +70,7 @@ def run(scale: int = 1, names: Optional[List[str]] = None) -> Table:
         ]
 
     per_row = evaluate_rows(
-        names, predictors_for, lambda name: get_artifacts(name, scale).trace
+        names, predictors_for, lambda name: get_artifacts(name, scale=scale).trace
     )
     for row in ROWS:
         table.add_row(row, per_row[row], [pct(v) for v in per_row[row]])

@@ -15,6 +15,7 @@ from typing import Dict, Sequence, Tuple
 
 from ..interp import Machine
 from ..ir import Program
+from ..obs import OBS
 
 
 @dataclass(frozen=True)
@@ -115,7 +116,16 @@ def simulate_icache(
         start, end = addresses[(function_name, label)]
         touch(start, end)
 
-    machine = Machine(program, input_values, max_steps, on_block=on_block)
-    machine.run(*args)
+    # The per-touch path stays uninstrumented; totals are reported once
+    # after the run from the cache's own counters.
+    with OBS.span(
+        "icache.simulate", lines=config.lines, line_words=config.line_words
+    ) as span:
+        machine = Machine(program, input_values, max_steps, on_block=on_block)
+        machine.run(*args)
+        span.set(accesses=cache.accesses, misses=cache.misses)
+    OBS.add("icache.simulations")
+    OBS.add("icache.accesses", cache.accesses)
+    OBS.add("icache.misses", cache.misses)
     program_words = program.size()
     return CacheResult(config, cache.accesses, cache.misses, program_words)

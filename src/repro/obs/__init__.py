@@ -1,0 +1,45 @@
+"""Pipeline-wide observability: spans, counters/gauges, trace export.
+
+Instrumented modules report to the process-wide default observer::
+
+    from ..obs import OBS
+
+    OBS.add("artifacts.cache.hits")
+    with OBS.span("workload.run", benchmark=name, scale=scale):
+        ...
+
+Span recording is opt-in (``OBS.enable()``, or the experiment CLI's
+``--timings`` / ``--trace-out`` flags); counters are always live.  See
+:mod:`repro.obs.core` for the model and :mod:`repro.obs.export` for the
+human-readable summary, JSON and Chrome ``trace_event`` exporters.
+"""
+
+from .core import (
+    NULL_SPAN,
+    OBS,
+    Observer,
+    ObsSnapshot,
+    SpanRecord,
+    default_observer,
+)
+from .export import (
+    chrome_trace,
+    snapshot_to_dict,
+    snapshot_to_json,
+    summary_lines,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "OBS",
+    "Observer",
+    "ObsSnapshot",
+    "SpanRecord",
+    "chrome_trace",
+    "default_observer",
+    "snapshot_to_dict",
+    "snapshot_to_json",
+    "summary_lines",
+    "write_chrome_trace",
+]

@@ -1,0 +1,255 @@
+"""The observer: hierarchical timed spans plus named counters/gauges.
+
+One :class:`Observer` per process holds everything the pipeline reports
+about itself:
+
+* **spans** — timed, nestable regions opened with
+  :meth:`Observer.span` as a context manager.  Nesting is tracked per
+  thread (a thread-local stack), finished spans are appended to a
+  process-wide list, and each record carries its pid/tid so records
+  merged from worker processes stay distinguishable.  Span *recording*
+  is off by default; a disabled observer hands out a shared no-op span
+  so instrumented code pays only one method call.
+* **counters and gauges** — named numeric cells with a uniform
+  ``add``/``set_gauge``/``counters``/``reset`` API.  Counters are
+  always live (they subsume the pre-obs ``CacheStats``/``EngineStats``
+  bookkeeping, which callers expect to work without opting in) and are
+  cheap: one lock acquisition per *call site*, never per trace event.
+
+Names are dotted paths, ``<subsystem>.<detail>`` (``artifacts.cache.hits``,
+``engine.events``, ``sm.intra.candidates``); ``reset(prefix=...)`` and
+the exporters group on those dots.  Worker processes report their
+observer's :meth:`snapshot` back to the parent, which folds it in with
+:meth:`merge` — counters under a namespace prefix so per-process
+semantics survive, spans verbatim (``perf_counter`` is system-wide
+monotonic on the platforms we target, so timestamps stay comparable).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: a named, attributed slice of wall-clock time."""
+
+    name: str
+    start: float  #: raw ``perf_counter`` seconds (exporters normalise)
+    duration: float  #: seconds
+    depth: int  #: nesting depth within its thread (0 = top level)
+    pid: int
+    tid: int
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class ObsSnapshot:
+    """A point-in-time copy of an observer's counters and spans."""
+
+    counters: Dict[str, Number]
+    spans: List[SpanRecord]
+
+
+class _NullSpan:
+    """The shared no-op span handed out while recording is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span; use as a context manager (exception-safe)."""
+
+    __slots__ = ("_observer", "name", "attrs", "_start", "_depth")
+
+    def __init__(self, observer: "Observer", name: str, attrs: Dict[str, Any]):
+        self._observer = observer
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+        self._depth = 0
+
+    def set(self, **attrs) -> "_Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        stack = self._observer._stack()
+        self._depth = len(stack)
+        stack.append(self)
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = perf_counter() - self._start
+        stack = self._observer._stack()
+        # Pop *this* span even if an intervening frame misbehaved, so
+        # one leak cannot corrupt every later depth.
+        if self in stack:
+            del stack[stack.index(self) :]
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._observer._finish(self.name, self._start, duration, self._depth, self.attrs)
+        return False
+
+
+class Observer:
+    """Process-local spans, counters and gauges (see module docstring)."""
+
+    def __init__(self, record_spans: bool = False) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Number] = {}
+        self._spans: List[SpanRecord] = []
+        self._record_spans = record_spans
+        self._local = threading.local()
+
+    # -- span recording ------------------------------------------------------
+
+    @property
+    def recording(self) -> bool:
+        """Whether spans are currently being recorded."""
+        return self._record_spans
+
+    def enable(self) -> None:
+        """Start recording spans (counters are always live)."""
+        self._record_spans = True
+
+    def disable(self) -> None:
+        self._record_spans = False
+
+    def _stack(self) -> List[_Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs: Any):
+        """Open a timed span; use as a context manager.
+
+        Attributes identify the work (``benchmark="doduc"``,
+        ``scale=2``); more can be attached mid-flight with
+        :meth:`_Span.set`.  While recording is disabled this returns
+        the shared no-op span.
+        """
+        if not self._record_spans:
+            return NULL_SPAN
+        return _Span(self, name, dict(attrs))
+
+    def _finish(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        depth: int,
+        attrs: Dict[str, Any],
+    ) -> None:
+        record = SpanRecord(
+            name, start, duration, depth, os.getpid(), threading.get_ident(), attrs
+        )
+        with self._lock:
+            self._spans.append(record)
+
+    def spans(self) -> List[SpanRecord]:
+        """A copy of the finished spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    # -- counters and gauges -------------------------------------------------
+
+    def add(self, name: str, value: Number = 1) -> None:
+        """Increment counter *name* (creating it at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        """Set gauge *name* to *value* (last write wins)."""
+        with self._lock:
+            self._counters[name] = value
+
+    def counter(self, name: str, default: Number = 0) -> Number:
+        with self._lock:
+            return self._counters.get(name, default)
+
+    def counters(self, prefix: str = "") -> Dict[str, Number]:
+        """A snapshot copy of the counters (optionally prefix-filtered)."""
+        with self._lock:
+            return {
+                name: value
+                for name, value in self._counters.items()
+                if name.startswith(prefix)
+            }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self, prefix: Optional[str] = None) -> None:
+        """Clear state.
+
+        With *prefix*, only counters under that prefix are dropped and
+        spans are kept — the isolation the per-subsystem
+        ``reset_*_stats()`` shims rely on.  Without, everything goes.
+        """
+        with self._lock:
+            if prefix is None:
+                self._counters.clear()
+                self._spans.clear()
+            else:
+                for name in [n for n in self._counters if n.startswith(prefix)]:
+                    del self._counters[name]
+
+    def snapshot(self) -> ObsSnapshot:
+        """Counters and spans, copied atomically."""
+        with self._lock:
+            return ObsSnapshot(dict(self._counters), list(self._spans))
+
+    def merge(
+        self,
+        counters: Mapping[str, Number],
+        spans: Iterable[SpanRecord] = (),
+        counter_prefix: str = "",
+    ) -> None:
+        """Fold another observer's snapshot in (worker processes).
+
+        *counter_prefix* namespaces the merged counters (e.g.
+        ``"workers."``) so the receiving process's own per-process
+        counters — and the ``cache_stats()``-style views built on them —
+        keep their meaning.  Spans merge verbatim only while this
+        observer is recording.
+        """
+        with self._lock:
+            for name, value in counters.items():
+                key = counter_prefix + name
+                self._counters[key] = self._counters.get(key, 0) + value
+            if self._record_spans:
+                self._spans.extend(spans)
+
+
+#: The process-wide default observer every instrumented module reports to.
+OBS = Observer()
+
+
+def default_observer() -> Observer:
+    """The process-wide observer (one per process; workers get their own)."""
+    return OBS

@@ -1,0 +1,152 @@
+"""Exporters for observer snapshots.
+
+Three views of the same :class:`~repro.obs.core.ObsSnapshot`:
+
+* :func:`summary_lines` — the human-readable stage summary the CLI
+  prints on stderr under ``--timings`` (span aggregates by name, then
+  every counter grouped by subsystem);
+* :func:`snapshot_to_dict` / JSON — the machine-readable equivalent;
+* :func:`chrome_trace` — Chrome ``trace_event`` format, loadable in
+  ``chrome://tracing`` or https://ui.perfetto.dev: spans as complete
+  (``"ph": "X"``) events with their attributes as ``args``, counters as
+  counter (``"ph": "C"``) events stamped at the end of the trace.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from .core import ObsSnapshot
+
+#: Schema marker for the JSON/Chrome exports.
+TRACE_METADATA = {"producer": "repro.obs"}
+
+
+def _aggregate_spans(snapshot: ObsSnapshot) -> List[Tuple[str, int, float]]:
+    """``(name, call count, total seconds)`` per span name, first-seen order."""
+    order: List[str] = []
+    totals: Dict[str, List[float]] = {}
+    for span in snapshot.spans:
+        if span.name not in totals:
+            totals[span.name] = [0, 0.0]
+            order.append(span.name)
+        entry = totals[span.name]
+        entry[0] += 1
+        entry[1] += span.duration
+    return [(name, int(totals[name][0]), totals[name][1]) for name in order]
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def summary_lines(snapshot: ObsSnapshot, prefix: str = "[timings]") -> List[str]:
+    """The stage summary: span aggregates, then counters by subsystem."""
+    lines: List[str] = []
+    aggregates = _aggregate_spans(snapshot)
+    if aggregates:
+        lines.append(f"{prefix} spans (name, calls, total seconds):")
+        width = max(len(name) for name, _, _ in aggregates)
+        for name, count, seconds in aggregates:
+            lines.append(f"{prefix}   {name.ljust(width)}  {count:>6}x  {seconds:8.3f}s")
+    if snapshot.counters:
+        lines.append(f"{prefix} counters:")
+        width = max(len(name) for name in snapshot.counters)
+        previous_group = None
+        for name in sorted(snapshot.counters):
+            group = name.split(".", 1)[0]
+            if previous_group is not None and group != previous_group:
+                lines.append(f"{prefix}   --")
+            previous_group = group
+            lines.append(
+                f"{prefix}   {name.ljust(width)}  "
+                f"{_format_value(snapshot.counters[name])}"
+            )
+    if not lines:
+        lines.append(f"{prefix} (no spans or counters recorded)")
+    return lines
+
+
+def snapshot_to_dict(snapshot: ObsSnapshot) -> Dict[str, Any]:
+    """JSON-shaped view: counters plus one object per span."""
+    return {
+        "metadata": dict(TRACE_METADATA),
+        "counters": dict(snapshot.counters),
+        "spans": [
+            {
+                "name": span.name,
+                "start": span.start,
+                "duration": span.duration,
+                "depth": span.depth,
+                "pid": span.pid,
+                "tid": span.tid,
+                "attrs": dict(span.attrs),
+            }
+            for span in snapshot.spans
+        ],
+    }
+
+
+def snapshot_to_json(snapshot: ObsSnapshot, indent: int = 2) -> str:
+    return json.dumps(snapshot_to_dict(snapshot), indent=indent, default=str)
+
+
+def chrome_trace(snapshot: ObsSnapshot) -> Dict[str, Any]:
+    """The snapshot as a Chrome ``trace_event`` document.
+
+    Timestamps are microseconds relative to the earliest span; counter
+    events are stamped once, after the last span, with their final
+    values.
+    """
+    events: List[Dict[str, Any]] = []
+    epoch = min((span.start for span in snapshot.spans), default=0.0)
+    end_ts = 0
+    for span in snapshot.spans:
+        ts = int((span.start - epoch) * 1_000_000)
+        dur = max(int(span.duration * 1_000_000), 1)
+        end_ts = max(end_ts, ts + dur)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": ts,
+                "dur": dur,
+                "pid": span.pid,
+                "tid": span.tid,
+                "args": {key: _jsonable(value) for key, value in span.attrs.items()},
+            }
+        )
+    for name, value in sorted(snapshot.counters.items()):
+        events.append(
+            {
+                "name": name,
+                "cat": name.split(".", 1)[0],
+                "ph": "C",
+                "ts": end_ts,
+                "pid": 0,
+                "tid": 0,
+                "args": {"value": value},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": dict(TRACE_METADATA),
+    }
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_chrome_trace(path: str, snapshot: ObsSnapshot) -> None:
+    """Serialise :func:`chrome_trace` to *path*."""
+    with open(path, "w") as stream:
+        json.dump(chrome_trace(snapshot), stream, indent=1)
+        stream.write("\n")

@@ -22,16 +22,22 @@ Stepper = Callable[[int, int], bool]
 
 
 class Predictor(abc.ABC):
-    """A branch-direction predictor evaluated against a trace."""
+    """A branch-direction predictor evaluated against a trace.
 
-    #: Human-readable strategy name (used in reports).
-    name: str = "predictor"
+    Every concrete predictor passes its human-readable strategy name
+    (used in reports) to ``super().__init__``; ``name`` is always an
+    instance attribute fixed at construction time, never a mutated
+    class attribute.
+    """
 
     #: True when :meth:`predict` depends only on the site — no run-time
     #: state, no history, no sensitivity to event order.  The evaluation
     #: engine scores such predictors in closed form from per-site taken
     #: counts (O(sites)) instead of replaying the trace (O(events)).
     order_independent: bool = False
+
+    def __init__(self, name: str) -> None:
+        self.name = name
 
     def reset(self) -> None:
         """Clear run-time state before an evaluation pass."""

@@ -22,9 +22,8 @@ from .base import Predictor
 class LastDirection(Predictor):
     """Predict the direction taken on the previous execution."""
 
-    name = "last-direction"
-
     def __init__(self, initial: bool = True) -> None:
+        super().__init__("last-direction")
         self.initial = initial
         self._last: Dict[BranchSite, bool] = {}
 
@@ -57,12 +56,12 @@ class SaturatingCounter(Predictor):
     def __init__(self, bits: int = 2) -> None:
         if bits < 1:
             raise ValueError("counter needs at least one bit")
+        super().__init__(f"{bits}-bit-counter")
         self.bits = bits
         self.max = (1 << bits) - 1
         self.threshold = 1 << (bits - 1)
         # Start weakly taken, the conventional initialisation.
         self.initial = self.threshold
-        self.name = f"{bits}-bit-counter"
         self._counters: Dict[BranchSite, int] = {}
 
     def reset(self) -> None:

@@ -24,9 +24,13 @@ Three mechanisms make the shared scan fast:
   generated (and cached) per N, so the hot loop has no tuple unpacking
   or inner ``for``.
 
-The engine keeps process-wide counters (scans, events, wall-clock) so
-the CLI's ``--timings`` can report events/sec per stage; results are
-exactly those of the sequential reference implementation.
+The engine reports process-wide counters (``engine.*``: scans, events,
+wall-clock) and an ``engine.evaluate_many`` span per call to the
+:mod:`repro.obs` observer, so the CLI's ``--timings`` and
+``--trace-out`` can show events/sec per stage; results are exactly
+those of the sequential reference implementation.  The per-event hot
+loop itself carries **no** instrumentation — counters are bumped once
+per call.
 """
 
 from __future__ import annotations
@@ -39,13 +43,20 @@ from time import perf_counter
 from typing import Callable, Dict, List, Sequence
 
 from ..ir import BranchSite
+from ..obs import OBS
 from ..profiling import Trace
 from .base import EvaluationResult, Predictor, SiteStats
 
 
 @dataclass
 class EngineStats:
-    """Process-wide evaluation counters (see :func:`engine_stats`)."""
+    """Process-wide evaluation counters (see :func:`engine_stats`).
+
+    Since the obs layer landed this is a *view* over the process
+    observer's ``engine.*`` counters, kept for callers of the original
+    API; new code should read :func:`repro.obs.default_observer`
+    directly.
+    """
 
     scans: int = 0
     events: int = 0
@@ -63,17 +74,21 @@ class EngineStats:
         )
 
 
-_STATS = EngineStats()
-
-
 def engine_stats() -> EngineStats:
-    """The live counter object for this process."""
-    return _STATS
+    """This process's evaluation counters, as a fresh snapshot."""
+    counters = OBS.counters("engine.")
+    return EngineStats(
+        scans=int(counters.get("engine.scans", 0)),
+        events=int(counters.get("engine.events", 0)),
+        online_predictors=int(counters.get("engine.online_predictors", 0)),
+        closed_form_predictors=int(counters.get("engine.closed_form_predictors", 0)),
+        seconds=float(counters.get("engine.seconds", 0.0)),
+    )
 
 
 def reset_engine_stats() -> None:
-    global _STATS
-    _STATS = EngineStats()
+    """Reset the ``engine.*`` counters (other subsystems untouched)."""
+    OBS.reset(prefix="engine.")
 
 
 @lru_cache(maxsize=64)
@@ -108,62 +123,69 @@ def evaluate_many(
     """
     predictors = list(predictors)
     started = perf_counter()
-    sites = trace.sites
+    with OBS.span("engine.evaluate_many", predictors=len(predictors)) as span:
+        sites = trace.sites
 
-    # Shared per-site bookkeeping, aggregated at C speed.
-    executions = Counter(trace.site_ids)
-    taken = Counter(compress(trace.site_ids, trace.directions))
+        # Shared per-site bookkeeping, aggregated at C speed.
+        executions = Counter(trace.site_ids)
+        taken = Counter(compress(trace.site_ids, trace.directions))
 
-    # Online predictors step through the shared scan; order-independent
-    # ones are scored from the counts alone.
-    online: List[int] = []
-    wrongs: List[List[int]] = []
-    flat: List = []
-    for index, predictor in enumerate(predictors):
-        if not predictor.order_independent:
-            predictor.reset()
-            wrong = [0] * len(sites)
-            online.append(index)
-            wrongs.append(wrong)
-            flat.append(predictor.make_stepper(sites))
-            flat.append(wrong)
+        # Online predictors step through the shared scan; order-independent
+        # ones are scored from the counts alone.
+        online: List[int] = []
+        wrongs: List[List[int]] = []
+        flat: List = []
+        for index, predictor in enumerate(predictors):
+            if not predictor.order_independent:
+                predictor.reset()
+                wrong = [0] * len(sites)
+                online.append(index)
+                wrongs.append(wrong)
+                flat.append(predictor.make_stepper(sites))
+                flat.append(wrong)
 
-    if online:
-        _scan_fn(len(online))(trace.events(), *flat)
+        if online:
+            _scan_fn(len(online))(trace.events(), *flat)
 
-    events = len(trace)
-    results: List[EvaluationResult] = [None] * len(predictors)  # type: ignore[list-item]
+        events = len(trace)
+        results: List[EvaluationResult] = [None] * len(predictors)  # type: ignore[list-item]
 
-    for index, wrong in zip(online, wrongs):
-        per_site: Dict[BranchSite, SiteStats] = {
-            sites[sid]: SiteStats(count, wrong[sid])
-            for sid, count in executions.items()
-        }
-        results[index] = EvaluationResult(
-            predictors[index].name, events, sum(wrong), per_site
-        )
-
-    # Closed-form fast path: O(sites) per order-independent predictor.
-    for index, predictor in enumerate(predictors):
-        if predictor.order_independent:
-            predictor.reset()
-            predict = predictor.predict
-            per_site = {}
-            mispredictions = 0
-            for sid, count in executions.items():
-                taken_here = taken[sid]
-                wrong_here = (
-                    count - taken_here if predict(sites[sid]) else taken_here
-                )
-                mispredictions += wrong_here
-                per_site[sites[sid]] = SiteStats(count, wrong_here)
+        for index, wrong in zip(online, wrongs):
+            per_site: Dict[BranchSite, SiteStats] = {
+                sites[sid]: SiteStats(count, wrong[sid])
+                for sid, count in executions.items()
+            }
             results[index] = EvaluationResult(
-                predictor.name, events, mispredictions, per_site
+                predictors[index].name, events, sum(wrong), per_site
             )
 
-    _STATS.scans += 1 if online else 0
-    _STATS.events += events
-    _STATS.online_predictors += len(online)
-    _STATS.closed_form_predictors += len(predictors) - len(online)
-    _STATS.seconds += perf_counter() - started
+        # Closed-form fast path: O(sites) per order-independent predictor.
+        for index, predictor in enumerate(predictors):
+            if predictor.order_independent:
+                predictor.reset()
+                predict = predictor.predict
+                per_site = {}
+                mispredictions = 0
+                for sid, count in executions.items():
+                    taken_here = taken[sid]
+                    wrong_here = (
+                        count - taken_here if predict(sites[sid]) else taken_here
+                    )
+                    mispredictions += wrong_here
+                    per_site[sites[sid]] = SiteStats(count, wrong_here)
+                results[index] = EvaluationResult(
+                    predictor.name, events, mispredictions, per_site
+                )
+
+        span.set(
+            events=events,
+            online=len(online),
+            closed_form=len(predictors) - len(online),
+        )
+
+    OBS.add("engine.scans", 1 if online else 0)
+    OBS.add("engine.events", events)
+    OBS.add("engine.online_predictors", len(online))
+    OBS.add("engine.closed_form_predictors", len(predictors) - len(online))
+    OBS.add("engine.seconds", perf_counter() - started)
     return results

@@ -35,10 +35,10 @@ def _majority_map(counts: Dict[int, list]) -> Dict[int, bool]:
 class ProfilePredictor(Predictor):
     """Per-branch most-frequent direction from the training profile."""
 
-    name = "profile"
     order_independent = True
 
     def __init__(self, profile: ProfileData, default: bool = True) -> None:
+        super().__init__("profile")
         self.default = default
         self._bias: Dict[BranchSite, bool] = {
             site: counts[1] >= counts[0] for site, counts in profile.totals.items()
@@ -58,9 +58,9 @@ class CorrelationPredictor(Predictor):
                 f"profile holds {profile.global_bits} global history bits, "
                 f"requested {bits}"
             )
+        super().__init__(f"{bits}-bit-correlation")
         self.bits = bits
         self.default = default
-        self.name = f"{bits}-bit-correlation"
         self._mask = (1 << bits) - 1
         self._tables: Dict[BranchSite, Dict[int, bool]] = {}
         self._bias: Dict[BranchSite, bool] = {}
@@ -117,9 +117,9 @@ class LoopPredictor(Predictor):
                 f"profile holds {profile.local_bits} local history bits, "
                 f"requested {bits}"
             )
+        super().__init__(f"{bits}-bit-loop")
         self.bits = bits
         self.default = default
-        self.name = f"{bits}-bit-loop"
         self._mask = (1 << bits) - 1
         self._tables: Dict[BranchSite, Dict[int, bool]] = {}
         self._bias: Dict[BranchSite, bool] = {}
@@ -182,7 +182,7 @@ class LoopCorrelationPredictor(Predictor):
         loop_bits: int = 9,
         default: bool = True,
     ) -> None:
-        self.name = "loop-correlation"
+        super().__init__("loop-correlation")
         self.default = default
         self.correlation = CorrelationPredictor(profile, correlation_bits, default)
         self.loop = LoopPredictor(profile, loop_bits, default)

@@ -26,7 +26,7 @@ class FixedMapPredictor(Predictor):
         predictions: Dict[BranchSite, bool],
         default: bool = True,
     ) -> None:
-        self.name = name
+        super().__init__(name)
         self.predictions = predictions
         self.default = default
 
@@ -37,8 +37,10 @@ class FixedMapPredictor(Predictor):
 class AlwaysTaken(Predictor):
     """Smith: predict that all branches will be taken."""
 
-    name = "always-taken"
     order_independent = True
+
+    def __init__(self) -> None:
+        super().__init__("always-taken")
 
     def predict(self, site: BranchSite) -> bool:
         return True
@@ -47,8 +49,10 @@ class AlwaysTaken(Predictor):
 class AlwaysNotTaken(Predictor):
     """Predict that no branch is taken (baseline)."""
 
-    name = "always-not-taken"
     order_independent = True
+
+    def __init__(self) -> None:
+        super().__init__("always-not-taken")
 
     def predict(self, site: BranchSite) -> bool:
         return False

@@ -17,7 +17,7 @@ shared pattern table of 2-bit counters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..ir import BranchSite
 from .base import Predictor
@@ -72,11 +72,13 @@ class TwoLevelConfig:
 class TwoLevelPredictor(Predictor):
     """A configurable two-level adaptive predictor."""
 
-    def __init__(self, config: TwoLevelConfig) -> None:
-        self.config = config
-        self.name = (
-            f"two-level-{config.yeh_patt_name}-{config.history_bits}bit"
+    def __init__(self, config: TwoLevelConfig, name: Optional[str] = None) -> None:
+        super().__init__(
+            name
+            if name is not None
+            else f"two-level-{config.yeh_patt_name}-{config.history_bits}bit"
         )
+        self.config = config
         self._mask = (1 << config.history_bits) - 1
         self._threshold = 1 << (config.counter_bits - 1)
         self._max = (1 << config.counter_bits) - 1
@@ -167,16 +169,15 @@ class TwoLevelPredictor(Predictor):
 
 def two_level_4k(history_bits: int = 9) -> TwoLevelPredictor:
     """The paper's dynamic reference point ("two level 4K bit")."""
-    predictor = TwoLevelPredictor(
+    return TwoLevelPredictor(
         TwoLevelConfig(
             history_scope="set",
             pattern_scope="global",
             history_bits=history_bits,
             history_sets=1024,
-        )
+        ),
+        name="two-level-4k",
     )
-    predictor.name = "two-level-4k"
-    return predictor
 
 
 def all_yeh_patt_variants(history_bits: int = 6) -> Dict[str, TwoLevelPredictor]:

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..cfg import BranchClass, BranchInfo, classify_branches
 from ..ir import BranchSite, Program
+from ..obs import OBS
 from ..profiling import ProfileData
 from ..statemachines import (
     CorrelatedMachine,
@@ -99,18 +100,27 @@ class ReplicationPlanner:
         self.max_states = max_states
         self.infos = classify_branches(program)
         self.plans: Dict[BranchSite, BranchPlan] = {}
-        for site, counts in profile.totals.items():
-            info = self.infos.get(site)
-            if info is None:
-                continue  # branch exists in the trace but not the program
-            plan = BranchPlan(
-                site=site,
-                info=info,
-                executions=counts[0] + counts[1],
-                profile_correct=max(counts),
-            )
-            self._fill_options(plan, max_correlated_candidates)
-            self.plans[site] = plan
+        self._options_considered = 0
+        with OBS.span(
+            "replication.plan", branches=len(profile.totals)
+        ) as span:
+            for site, counts in profile.totals.items():
+                info = self.infos.get(site)
+                if info is None:
+                    continue  # branch exists in the trace but not the program
+                plan = BranchPlan(
+                    site=site,
+                    info=info,
+                    executions=counts[0] + counts[1],
+                    profile_correct=max(counts),
+                )
+                self._fill_options(plan, max_correlated_candidates)
+                self.plans[site] = plan
+            options = sum(len(plan.options) for plan in self.plans.values())
+            span.set(planned=len(self.plans), options=options)
+        OBS.add("replication.plans")
+        OBS.add("replication.options_considered", self._options_considered)
+        OBS.add("replication.options_kept", options)
 
     # -- plan construction ---------------------------------------------------
 
@@ -169,6 +179,7 @@ class ReplicationPlanner:
                 scored = ScoredMachine(minimized, scored.correct, scored.total)
                 extra = (minimized.n_states - 1) * plan.loop_size
                 candidates.append((scored, extra))
+            self._options_considered += len(candidates)
             best: Optional[Tuple[ScoredMachine, int]] = None
             for candidate in candidates:
                 if best is None or candidate[0].correct > best[0].correct:

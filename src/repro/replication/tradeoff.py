@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..ir import BranchSite
+from ..obs import OBS
 from .planner import BranchPlan, ReplicationPlanner
 
 
@@ -105,39 +106,54 @@ def tradeoff_curve(
         )
 
     points = [make_point()]
-    while True:
-        best_ratio = 0.0
-        best: Optional[Tuple[BranchPlan, int, int, int]] = None
-        for plan in state.plans:
-            index = state.choice[plan.site]
-            base_correct = (
-                plan.profile_correct
-                if index < 0
-                else max(plan.profile_correct, plan.options[index].correct)
+    candidates_weighed = 0
+    with OBS.span(
+        "replication.tradeoff", branches=len(state.plans)
+    ) as span:
+        while True:
+            best_ratio = 0.0
+            best: Optional[Tuple[BranchPlan, int, int, int]] = None
+            for plan in state.plans:
+                index = state.choice[plan.site]
+                base_correct = (
+                    plan.profile_correct
+                    if index < 0
+                    else max(plan.profile_correct, plan.options[index].correct)
+                )
+                for next_index in range(index + 1, len(plan.options)):
+                    option = plan.options[next_index]
+                    gain = option.correct - base_correct
+                    if gain <= 0:
+                        continue
+                    candidates_weighed += 1
+                    state.choice[plan.site] = next_index
+                    delta = state.size() - size
+                    state.choice[plan.site] = index
+                    ratio = gain / max(delta, 1)
+                    if ratio > best_ratio:
+                        best_ratio = ratio
+                        best = (plan, next_index, gain, delta)
+                    break  # options strictly improve; consider the next one only
+            if best is None:
+                break
+            plan, next_index, gain, delta = best
+            if (
+                max_size_factor is not None
+                and size + delta > state.base_size * max_size_factor
+            ):
+                break
+            state.choice[plan.site] = next_index
+            size += delta
+            correct += gain
+            points.append(
+                make_point((plan.site, plan.options[next_index].n_states))
             )
-            for next_index in range(index + 1, len(plan.options)):
-                option = plan.options[next_index]
-                gain = option.correct - base_correct
-                if gain <= 0:
-                    continue
-                state.choice[plan.site] = next_index
-                delta = state.size() - size
-                state.choice[plan.site] = index
-                ratio = gain / max(delta, 1)
-                if ratio > best_ratio:
-                    best_ratio = ratio
-                    best = (plan, next_index, gain, delta)
-                break  # options strictly improve; consider the next one only
-        if best is None:
-            break
-        plan, next_index, gain, delta = best
-        if (
-            max_size_factor is not None
-            and size + delta > state.base_size * max_size_factor
-        ):
-            break
-        state.choice[plan.site] = next_index
-        size += delta
-        correct += gain
-        points.append(make_point((plan.site, plan.options[next_index].n_states)))
+        span.set(upgrades=len(points) - 1, candidates=candidates_weighed)
+    OBS.add("tradeoff.curves")
+    OBS.add("tradeoff.upgrades", len(points) - 1)
+    OBS.add("tradeoff.candidates", candidates_weighed)
+    OBS.set_gauge(
+        "tradeoff.size_factor",
+        size / state.base_size if state.base_size else 1.0,
+    )
     return points

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ..obs import OBS
 from ..profiling import PatternTable
 from .machine import Pattern, ScoredMachine, pattern_str
 from .scoring import longest_match_groups, majority, node_counts
@@ -112,21 +113,35 @@ def best_correlated_machine(
 
     chosen: List[Pattern] = []
     best_correct, predictions, fallback = _score_paths(table, chosen, default)
-    while len(chosen) < max_states - 1:
-        best_gain = 0
-        best_pattern: Optional[Pattern] = None
-        for pattern in candidates:
-            if pattern in chosen:
-                continue
-            correct, _, _ = _score_paths(table, chosen + [pattern], default)
-            gain = correct - best_correct
-            if gain > best_gain:
-                best_gain = gain
-                best_pattern = pattern
-        if best_pattern is None:
-            break
-        chosen.append(best_pattern)
-        best_correct, predictions, fallback = _score_paths(table, chosen, default)
+    rounds = 0
+    scored = 0
+    with OBS.span("sm.search.correlated", max_states=max_states) as span:
+        while len(chosen) < max_states - 1:
+            rounds += 1
+            best_gain = 0
+            best_pattern: Optional[Pattern] = None
+            for pattern in candidates:
+                if pattern in chosen:
+                    continue
+                scored += 1
+                correct, _, _ = _score_paths(table, chosen + [pattern], default)
+                gain = correct - best_correct
+                if gain > best_gain:
+                    best_gain = gain
+                    best_pattern = pattern
+            if best_pattern is None:
+                break
+            chosen.append(best_pattern)
+            best_correct, predictions, fallback = _score_paths(
+                table, chosen, default
+            )
+        span.set(candidates=scored, rounds=rounds, paths=len(chosen))
+    OBS.add("sm.correlated.searches")
+    OBS.add("sm.correlated.candidates", scored)
+    OBS.add("sm.correlated.rounds", rounds)
+    OBS.add("sm.correlated.paths", len(chosen))
+    if total:
+        OBS.set_gauge("sm.correlated.best_score", best_correct / total)
     machine = CorrelatedMachine(tuple(chosen), tuple(predictions), fallback)
     return ScoredMachine(machine, best_correct, total)
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..obs import OBS
 from ..profiling import PatternTable
 from .machine import (
     MachineState,
@@ -73,14 +74,31 @@ def best_intra_machine(
     best_machine = single_state_machine(default, "intra-loop")
     best_correct = max(nodes.get((0, 0), (0, 0)))
     sizes = [max_states] if exact_states else range(2, max_states + 1)
-    for n_states in sizes:
-        if n_states == 1:
-            continue
-        for info in valid_shapes(n_states, table.bits, require_connected):
-            correct = partition_score(nodes, info.leaves)
-            if correct > best_correct:
-                best_correct = correct
-                best_machine = machine_from_shape(info, nodes, "intra-loop", default)
+    # Search telemetry is aggregated locally and reported once per call
+    # — the inner loop enumerates thousands of shapes and must stay
+    # free of per-candidate observer traffic.
+    candidates = 0
+    improvements = 0
+    with OBS.span("sm.search.intra", max_states=max_states) as span:
+        for n_states in sizes:
+            if n_states == 1:
+                continue
+            for info in valid_shapes(n_states, table.bits, require_connected):
+                candidates += 1
+                correct = partition_score(nodes, info.leaves)
+                if correct > best_correct:
+                    improvements += 1
+                    best_correct = correct
+                    best_machine = machine_from_shape(
+                        info, nodes, "intra-loop", default
+                    )
+        span.set(candidates=candidates, improvements=improvements)
+    OBS.add("sm.intra.searches")
+    OBS.add("sm.intra.candidates", candidates)
+    OBS.add("sm.intra.pruned", candidates - improvements)
+    OBS.add("sm.intra.improvements", improvements)
+    if total:
+        OBS.set_gauge("sm.intra.best_score", best_correct / total)
     return ScoredMachine(best_machine, best_correct, total)
 
 

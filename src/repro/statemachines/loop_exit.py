@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..obs import OBS
 from ..profiling import PatternTable
 from .machine import (
     MachineState,
@@ -168,12 +169,26 @@ def best_loop_exit_machine(
     """Best chain or parity machine with at most *max_states* states."""
     nodes = node_counts(table)
     best: Optional[ScoredMachine] = None
-    for n_states in range(1, min(max_states, table.bits + 1) + 1):
-        candidates = [comb_machine(table, n_states, exit_on_taken, nodes)]
-        if n_states >= 3:
-            candidates.append(parity_machine(table, n_states, exit_on_taken, nodes))
-        for scored in candidates:
-            if best is None or scored.correct > best.correct:
-                best = scored
+    considered = 0
+    improvements = 0
+    with OBS.span("sm.search.loop_exit", max_states=max_states) as span:
+        for n_states in range(1, min(max_states, table.bits + 1) + 1):
+            candidates = [comb_machine(table, n_states, exit_on_taken, nodes)]
+            if n_states >= 3:
+                candidates.append(
+                    parity_machine(table, n_states, exit_on_taken, nodes)
+                )
+            for scored in candidates:
+                considered += 1
+                if best is None or scored.correct > best.correct:
+                    improvements += 1
+                    best = scored
+        span.set(candidates=considered, improvements=improvements)
     assert best is not None
+    OBS.add("sm.loop_exit.searches")
+    OBS.add("sm.loop_exit.candidates", considered)
+    OBS.add("sm.loop_exit.pruned", considered - improvements)
+    OBS.add("sm.loop_exit.improvements", improvements)
+    if best.total:
+        OBS.set_gauge("sm.loop_exit.best_score", best.correct / best.total)
     return best

@@ -37,11 +37,13 @@ import json
 import os
 import tempfile
 import time
+import warnings
 import zlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..ir import BranchSite
+from ..obs import OBS, SpanRecord
 from ..profiling import PatternTable, Trace
 from ..profiling.tracefile import (
     TraceFormatError,
@@ -85,7 +87,13 @@ class RunArtifacts:
 
 @dataclass
 class CacheStats:
-    """Counters for the current process (see :func:`cache_stats`)."""
+    """Counters for the current process (see :func:`cache_stats`).
+
+    Since the obs layer landed this is a *view* over the process
+    observer's ``artifacts.*`` counters, kept for callers of the
+    original API; new code should read
+    :func:`repro.obs.default_observer` directly.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -105,17 +113,32 @@ class CacheStats:
         )
 
 
-STATS = CacheStats()
+#: obs counter names backing the :class:`CacheStats` view.
+_COUNTER_PREFIX = "artifacts."
 
 
 def cache_stats() -> CacheStats:
-    """A snapshot of this process's artifact-cache counters."""
-    return STATS.snapshot()
+    """A snapshot of this process's artifact-cache counters.
+
+    A thin wrapper over the ``artifacts.*`` counters of the process
+    observer (worker-process counters merge under ``workers.`` and are
+    intentionally excluded — this view is per-process, as it always
+    was).
+    """
+    counters = OBS.counters(_COUNTER_PREFIX)
+    return CacheStats(
+        hits=int(counters.get("artifacts.cache.hits", 0)),
+        misses=int(counters.get("artifacts.cache.misses", 0)),
+        stores=int(counters.get("artifacts.cache.stores", 0)),
+        interpreter_runs=int(counters.get("artifacts.interpreter.runs", 0)),
+        interpreter_seconds=float(counters.get("artifacts.interpreter.seconds", 0.0)),
+        load_seconds=float(counters.get("artifacts.cache.load_seconds", 0.0)),
+    )
 
 
 def reset_cache_stats() -> None:
-    global STATS
-    STATS = CacheStats()
+    """Reset the ``artifacts.*`` counters (other subsystems untouched)."""
+    OBS.reset(prefix=_COUNTER_PREFIX)
 
 
 def cache_dir() -> Optional[str]:
@@ -167,9 +190,14 @@ def _collect(
         track_history_bits=history_bits,
     )
     started = time.perf_counter()
-    result = machine.run(*args)
-    STATS.interpreter_runs += 1
-    STATS.interpreter_seconds += time.perf_counter() - started
+    with OBS.span(
+        "workload.run", benchmark=name, scale=scale, seed_offset=seed_offset
+    ) as span:
+        result = machine.run(*args)
+        span.set(steps=result.steps, events=len(trace))
+    OBS.add("artifacts.interpreter.runs")
+    OBS.add("artifacts.interpreter.seconds", time.perf_counter() - started)
+    OBS.add("artifacts.trace_events", len(trace))
     return RunArtifacts(
         name, scale, seed_offset, history_bits, trace, tables, result.steps
     )
@@ -219,11 +247,16 @@ def _load_entry(
     """Load a cached entry; ``None`` on miss or any malformed content."""
     trace_path, aux_path = _entry_paths(directory, name, scale, seed_offset, history_bits)
     started = time.perf_counter()
+    bytes_read = 0
     try:
         with open(trace_path, "rb") as stream:
-            trace = trace_from_bytes(stream.read())
+            payload = stream.read()
+        bytes_read += len(payload)
+        trace = trace_from_bytes(payload)
         with open(aux_path, "rb") as stream:
-            document = _aux_from_bytes(stream.read())
+            payload = stream.read()
+        bytes_read += len(payload)
+        document = _aux_from_bytes(payload)
         if (
             document.get("name") != name
             or document.get("scale") != scale
@@ -254,7 +287,8 @@ def _load_entry(
     ):
         return None
     finally:
-        STATS.load_seconds += time.perf_counter() - started
+        OBS.add("artifacts.cache.load_seconds", time.perf_counter() - started)
+    OBS.add("artifacts.cache.bytes_read", bytes_read)
     return RunArtifacts(name, scale, seed_offset, history_bits, trace, tables, steps)
 
 
@@ -282,11 +316,14 @@ def _store_entry(directory: str, artifacts: RunArtifacts) -> None:
     )
     try:
         os.makedirs(directory, exist_ok=True)
-        _atomic_write(directory, trace_path, trace_to_bytes(artifacts.trace))
-        _atomic_write(directory, aux_path, _aux_to_bytes(artifacts))
+        trace_payload = trace_to_bytes(artifacts.trace)
+        aux_payload = _aux_to_bytes(artifacts)
+        _atomic_write(directory, trace_path, trace_payload)
+        _atomic_write(directory, aux_path, aux_payload)
     except OSError:
         return  # persistence is best-effort; the computed value still flows
-    STATS.stores += 1
+    OBS.add("artifacts.cache.stores")
+    OBS.add("artifacts.cache.bytes_written", len(trace_payload) + len(aux_payload))
 
 
 # -- the public API ----------------------------------------------------------
@@ -294,19 +331,50 @@ def _store_entry(directory: str, artifacts: RunArtifacts) -> None:
 
 def get_artifacts(
     name: str,
-    scale: int = 1,
-    seed_offset: int = 0,
-    history_bits: int = DEFAULT_HISTORY_BITS,
+    *args: int,
+    scale: Optional[int] = None,
+    seed_offset: Optional[int] = None,
+    history_bits: Optional[int] = None,
 ) -> RunArtifacts:
     """The run artifacts of one (workload, scale, seed_offset) triple.
+
+    ``scale``, ``seed_offset`` and ``history_bits`` are keyword-only;
+    passing them positionally still works for one release but emits a
+    :class:`DeprecationWarning`.
 
     Checks the disk cache first; on a miss (or a corrupt/stale entry)
     performs exactly one instrumented interpreter pass and persists the
     result.  The returned bundle is shared — treat it as read-only.
     """
+    if args:
+        if len(args) > 3:
+            raise TypeError(
+                f"get_artifacts() takes at most 4 positional arguments "
+                f"({1 + len(args)} given)"
+            )
+        warnings.warn(
+            "passing scale/seed_offset/history_bits to get_artifacts() "
+            "positionally is deprecated; pass them as keywords",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        resolved = [scale, seed_offset, history_bits]
+        for index, value in enumerate(args):
+            if resolved[index] is not None:
+                keyword = ("scale", "seed_offset", "history_bits")[index]
+                raise TypeError(
+                    f"get_artifacts() got multiple values for argument {keyword!r}"
+                )
+            resolved[index] = value
+        scale, seed_offset, history_bits = resolved
     # Normalise before memoising so calls that spell the defaults out
     # and calls that omit them share one cache entry.
-    return _get_artifacts_cached(name, scale, seed_offset, history_bits)
+    return _get_artifacts_cached(
+        name,
+        1 if scale is None else scale,
+        0 if seed_offset is None else seed_offset,
+        DEFAULT_HISTORY_BITS if history_bits is None else history_bits,
+    )
 
 
 @functools.lru_cache(maxsize=64)
@@ -317,9 +385,9 @@ def _get_artifacts_cached(
     if directory is not None:
         cached = _load_entry(directory, name, scale, seed_offset, history_bits)
         if cached is not None:
-            STATS.hits += 1
+            OBS.add("artifacts.cache.hits")
             return cached
-    STATS.misses += 1
+    OBS.add("artifacts.cache.misses")
     artifacts = _collect(name, scale, seed_offset, history_bits)
     if directory is not None:
         _store_entry(directory, artifacts)
@@ -401,10 +469,28 @@ def _normalize_spec(spec: Sequence) -> Spec:
 
 
 def _generate_one(spec: Spec) -> Tuple[Spec, float]:
-    """Worker: populate the cache for one spec (runs in a subprocess)."""
+    """Populate the cache for one spec in the current process."""
+    name, scale, seed_offset, history_bits = spec
     started = time.perf_counter()
-    get_artifacts(*spec)
+    get_artifacts(
+        name, scale=scale, seed_offset=seed_offset, history_bits=history_bits
+    )
     return spec, time.perf_counter() - started
+
+
+def _generate_one_worker(
+    spec: Spec,
+) -> Tuple[Spec, float, Dict[str, float], List[SpanRecord]]:
+    """Subprocess worker: generate one spec and report its telemetry.
+
+    The worker records spans unconditionally (a handful per run) and
+    ships its whole observer snapshot home, so the parent's trace can
+    show where the parallel prewarm actually spent its time.
+    """
+    OBS.enable()
+    spec, seconds = _generate_one(spec)
+    snapshot = OBS.snapshot()
+    return spec, seconds, snapshot.counters, snapshot.spans
 
 
 def generate_artifacts(
@@ -435,10 +521,16 @@ def generate_artifacts(
     from concurrent.futures import ProcessPoolExecutor
 
     with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-        for spec, seconds in pool.map(_generate_one, pending):
+        for spec, seconds, counters, spans in pool.map(_generate_one_worker, pending):
             timings.append((spec, seconds))
+            # Worker counters merge under ``workers.`` so the parent's
+            # own per-process view (``cache_stats()``) stays untouched;
+            # worker spans land verbatim when the parent is recording.
+            OBS.merge(counters, spans, counter_prefix="workers.")
     # Pull the worker-produced entries into this process's memo so the
     # experiment code that follows never re-runs the interpreter.
-    for spec in normalized:
-        get_artifacts(*spec)
+    for name, scale, seed_offset, history_bits in normalized:
+        get_artifacts(
+            name, scale=scale, seed_offset=seed_offset, history_bits=history_bits
+        )
     return timings

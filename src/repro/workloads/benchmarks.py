@@ -152,17 +152,17 @@ def get_trace(name: str, scale: int = 1, seed_offset: int = 0) -> Trace:
     used by the cross-dataset experiments to produce a *different* run
     of the same program.
     """
-    from .artifacts import DEFAULT_HISTORY_BITS, get_artifacts
+    from .artifacts import get_artifacts
 
-    return get_artifacts(name, scale, seed_offset, DEFAULT_HISTORY_BITS).trace
+    return get_artifacts(name, scale=scale, seed_offset=seed_offset).trace
 
 
 def get_run_steps(name: str, scale: int = 1, seed_offset: int = 0) -> int:
     """Executed instruction count of the reference run (used by the
     Fisher/Freudenberger instructions-per-misprediction metric)."""
-    from .artifacts import DEFAULT_HISTORY_BITS, get_artifacts
+    from .artifacts import get_artifacts
 
-    return get_artifacts(name, scale, seed_offset, DEFAULT_HISTORY_BITS).steps
+    return get_artifacts(name, scale=scale, seed_offset=seed_offset).steps
 
 
 @functools.lru_cache(maxsize=32)
@@ -171,9 +171,17 @@ def get_profile(
 ) -> ProfileData:
     """Cached profile data for a workload trace, with frame-local path
     tables attached — all derived from the same single-pass artifacts."""
+    from ..obs import OBS
     from .artifacts import get_artifacts
 
-    artifacts = get_artifacts(name, scale, seed_offset, global_bits)
-    profile = ProfileData.from_trace(artifacts.trace, local_bits, global_bits)
-    profile.attach_path_tables(artifacts.path_tables)
+    artifacts = get_artifacts(
+        name, scale=scale, seed_offset=seed_offset, history_bits=global_bits
+    )
+    with OBS.span(
+        "profiling.build", benchmark=name, scale=scale, seed_offset=seed_offset
+    ) as span:
+        profile = ProfileData.from_trace(artifacts.trace, local_bits, global_bits)
+        profile.attach_path_tables(artifacts.path_tables)
+        span.set(sites=len(profile.totals))
+    OBS.add("profiling.builds")
     return profile

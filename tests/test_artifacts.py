@@ -54,7 +54,7 @@ class TestSinglePass:
         assert cache_stats().interpreter_runs == 3
 
     def test_matches_legacy_three_pass_collection(self, fresh_cache):
-        artifacts = get_artifacts(NAME, 1)
+        artifacts = get_artifacts(NAME, scale=1)
         workload = get_workload(NAME)
         args, input_values = workload.default_args(1)
         program = get_program(NAME)
@@ -70,17 +70,17 @@ class TestSinglePass:
     def test_profile_reuses_artifact_path_tables(self, fresh_cache):
         profile = get_profile(NAME, 1)
         assert profile.path_tables is not None
-        assert profile.path_tables is get_artifacts(NAME, 1).path_tables
+        assert profile.path_tables is get_artifacts(NAME, scale=1).path_tables
 
 
 class TestDiskCache:
     def test_warm_process_performs_zero_interpreter_runs(self, fresh_cache):
         get_trace(NAME, 1)
-        cold = get_artifacts(NAME, 1)
+        cold = get_artifacts(NAME, scale=1)
         # Simulate a fresh process: drop the in-memory memo only.
         clear_memory_cache()
         reset_cache_stats()
-        warm = get_artifacts(NAME, 1)
+        warm = get_artifacts(NAME, scale=1)
         get_profile(NAME, 1)
         assert get_run_steps(NAME, 1) == cold.steps
         stats = cache_stats()
@@ -92,14 +92,14 @@ class TestDiskCache:
         }
 
     def test_miss_then_hit_counters(self, fresh_cache):
-        get_artifacts(NAME, 1)
+        get_artifacts(NAME, scale=1)
         assert cache_stats().misses == 1
         clear_memory_cache()
-        get_artifacts(NAME, 1)
+        get_artifacts(NAME, scale=1)
         assert cache_stats().hits == 1
 
     def test_entries_written_atomically_named_with_version(self, fresh_cache):
-        get_artifacts(NAME, 1)
+        get_artifacts(NAME, scale=1)
         entries = sorted(os.listdir(fresh_cache))
         version = artifact_store.FORMAT_VERSION
         assert entries == [
@@ -108,11 +108,11 @@ class TestDiskCache:
         ]
 
     def test_version_stamp_invalidates(self, fresh_cache, monkeypatch):
-        get_artifacts(NAME, 1)
+        get_artifacts(NAME, scale=1)
         clear_memory_cache()
         reset_cache_stats()
         monkeypatch.setattr(artifact_store, "FORMAT_VERSION", 99)
-        get_artifacts(NAME, 1)
+        get_artifacts(NAME, scale=1)
         stats = cache_stats()
         assert stats.hits == 0
         assert stats.interpreter_runs == 1
@@ -121,26 +121,26 @@ class TestDiskCache:
         # Files written under an old FORMAT_VERSION but renamed to the
         # current stem must be rejected by the payload stamp.
         monkeypatch.setattr(artifact_store, "FORMAT_VERSION", 0)
-        get_artifacts(NAME, 1)
+        get_artifacts(NAME, scale=1)
         old = {name: (fresh_cache / name).read_bytes() for name in os.listdir(fresh_cache)}
         monkeypatch.setattr(artifact_store, "FORMAT_VERSION", 1)
         for name, payload in old.items():
             (fresh_cache / name.replace("-v0.", "-v1.")).write_bytes(payload)
         clear_memory_cache()
         reset_cache_stats()
-        get_artifacts(NAME, 1)
+        get_artifacts(NAME, scale=1)
         assert cache_stats().interpreter_runs == 1
 
     @pytest.mark.parametrize("suffix", [".trace", ".aux"])
     def test_corrupt_entry_falls_back_to_recompute(self, fresh_cache, suffix):
-        cold = get_artifacts(NAME, 1)
+        cold = get_artifacts(NAME, scale=1)
         for entry in os.listdir(fresh_cache):
             if entry.endswith(suffix):
                 path = fresh_cache / entry
                 path.write_bytes(b"garbage" + path.read_bytes()[:10])
         clear_memory_cache()
         reset_cache_stats()
-        recomputed = get_artifacts(NAME, 1)
+        recomputed = get_artifacts(NAME, scale=1)
         stats = cache_stats()
         assert stats.interpreter_runs == 1 and stats.hits == 0
         assert list(recomputed.trace.events()) == list(cold.trace.events())
@@ -154,7 +154,7 @@ class TestDiskCache:
         assert artifact_store.disk_cache_entries() == []
 
     def test_clear_disk_cache(self, fresh_cache):
-        get_artifacts(NAME, 1)
+        get_artifacts(NAME, scale=1)
         assert artifact_store.clear_disk_cache() == 2
         assert artifact_store.disk_cache_entries() == []
 
@@ -163,7 +163,7 @@ class TestParallelFanOut:
     def test_parallel_generation_matches_serial(self, fresh_cache, tmp_path, monkeypatch):
         serial_bytes = {}
         for name in (NAME, "ghostview"):
-            artifacts = get_artifacts(name, 1)
+            artifacts = get_artifacts(name, scale=1)
             serial_bytes[name] = (trace_to_bytes(artifacts.trace), artifacts.steps)
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel-cache"))
         clear_memory_cache()
@@ -173,12 +173,12 @@ class TestParallelFanOut:
         # The parent must serve everything from the worker-filled cache.
         assert cache_stats().interpreter_runs == 0
         for name, (blob, steps) in serial_bytes.items():
-            artifacts = get_artifacts(name, 1)
+            artifacts = get_artifacts(name, scale=1)
             assert trace_to_bytes(artifacts.trace) == blob
             assert artifacts.steps == steps
 
     def test_generate_skips_cached_specs(self, fresh_cache):
-        get_artifacts(NAME, 1)
+        get_artifacts(NAME, scale=1)
         assert generate_artifacts([(NAME, 1, 0)], jobs=4) == []
 
     def test_serial_fallback_without_disk_cache(self, fresh_cache, monkeypatch):

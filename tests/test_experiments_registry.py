@@ -108,7 +108,7 @@ class TestDataParity:
         result = table1.run(scale=1, names=NAMES)
         for column, name in enumerate(NAMES):
             profile = get_profile(name, 1)
-            trace = get_artifacts(name, 1).trace
+            trace = get_artifacts(name, scale=1).trace
             legacy = {
                 "last direction": LastDirection(),
                 "2 bit counter": SaturatingCounter(2),
@@ -143,7 +143,7 @@ class TestDataParity:
         instper = get_experiment("instper").run(scale=1, names=NAMES)
         for column, name in enumerate(NAMES):
             profile = get_profile(name, 1)
-            artifacts = get_artifacts(name, 1)
+            artifacts = get_artifacts(name, scale=1)
             result = evaluate(LoopCorrelationPredictor(profile), artifacts.trace)
             expected = artifacts.steps / result.mispredictions
             assert instper.data["loop-correlation"][column] == expected

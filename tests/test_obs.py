@@ -1,0 +1,238 @@
+"""Observability core tests: spans, counters, exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    OBS,
+    Observer,
+    SpanRecord,
+    chrome_trace,
+    default_observer,
+    snapshot_to_json,
+    summary_lines,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture
+def obs():
+    """A private recording observer (the process OBS stays untouched)."""
+    observer = Observer()
+    observer.enable()
+    return observer
+
+
+class TestSpans:
+    def test_records_name_duration_and_attrs(self, obs):
+        with obs.span("stage.work", benchmark="compress") as span:
+            span.set(events=42)
+        (record,) = obs.spans()
+        assert record.name == "stage.work"
+        assert record.duration >= 0
+        assert record.attrs == {"benchmark": "compress", "events": 42}
+
+    def test_nesting_depth(self, obs):
+        with obs.span("outer"):
+            with obs.span("middle"):
+                with obs.span("inner"):
+                    pass
+        depths = {record.name: record.depth for record in obs.spans()}
+        assert depths == {"outer": 0, "middle": 1, "inner": 2}
+
+    def test_depth_resets_between_top_level_spans(self, obs):
+        with obs.span("first"):
+            pass
+        with obs.span("second"):
+            pass
+        assert [record.depth for record in obs.spans()] == [0, 0]
+
+    def test_exception_still_records_span_with_error_attr(self, obs):
+        with pytest.raises(ValueError):
+            with obs.span("exploding"):
+                raise ValueError("boom")
+        (record,) = obs.spans()
+        assert record.attrs["error"] == "ValueError"
+
+    def test_exception_does_not_corrupt_later_depths(self, obs):
+        with pytest.raises(RuntimeError):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    raise RuntimeError
+        with obs.span("after"):
+            pass
+        by_name = {record.name: record for record in obs.spans()}
+        assert by_name["after"].depth == 0
+
+    def test_disabled_observer_hands_out_null_span(self):
+        observer = Observer()
+        assert observer.span("anything") is NULL_SPAN
+        with observer.span("anything") as span:
+            span.set(ignored=True)
+        assert observer.spans() == []
+
+    def test_enable_disable_round_trip(self):
+        observer = Observer()
+        assert not observer.recording
+        observer.enable()
+        assert observer.recording
+        with observer.span("seen"):
+            pass
+        observer.disable()
+        with observer.span("unseen"):
+            pass
+        assert [record.name for record in observer.spans()] == ["seen"]
+
+    def test_span_records_pid_and_tid(self, obs):
+        import os
+        import threading
+
+        with obs.span("here"):
+            pass
+        (record,) = obs.spans()
+        assert record.pid == os.getpid()
+        assert record.tid == threading.get_ident()
+
+
+class TestCounters:
+    def test_add_creates_and_increments(self):
+        observer = Observer()
+        observer.add("a.hits")
+        observer.add("a.hits", 4)
+        assert observer.counter("a.hits") == 5
+
+    def test_counters_are_live_without_enable(self):
+        observer = Observer()
+        assert not observer.recording
+        observer.add("a.x")
+        assert observer.counters() == {"a.x": 1}
+
+    def test_gauge_last_write_wins(self):
+        observer = Observer()
+        observer.set_gauge("a.score", 0.25)
+        observer.set_gauge("a.score", 0.75)
+        assert observer.counter("a.score") == 0.75
+
+    def test_prefix_filtered_view(self):
+        observer = Observer()
+        observer.add("a.x")
+        observer.add("b.y")
+        assert observer.counters("a.") == {"a.x": 1}
+
+    def test_reset_prefix_isolates_subsystems(self):
+        observer = Observer()
+        observer.enable()
+        observer.add("engine.events", 10)
+        observer.add("artifacts.cache.hits", 3)
+        with observer.span("kept"):
+            pass
+        observer.reset(prefix="engine.")
+        assert observer.counter("engine.events") == 0
+        assert observer.counter("artifacts.cache.hits") == 3
+        # prefix reset keeps spans (the per-subsystem shims rely on it)
+        assert [record.name for record in observer.spans()] == ["kept"]
+
+    def test_full_reset_clears_everything(self, obs):
+        obs.add("a.x")
+        with obs.span("gone"):
+            pass
+        obs.reset()
+        assert obs.counters() == {}
+        assert obs.spans() == []
+
+    def test_snapshot_is_a_copy(self):
+        observer = Observer()
+        observer.add("a.x")
+        snapshot = observer.snapshot()
+        observer.add("a.x")
+        assert snapshot.counters == {"a.x": 1}
+
+    def test_merge_namespaces_counters(self):
+        observer = Observer()
+        observer.add("artifacts.interpreter.runs")
+        observer.merge(
+            {"artifacts.interpreter.runs": 2}, counter_prefix="workers."
+        )
+        assert observer.counter("artifacts.interpreter.runs") == 1
+        assert observer.counter("workers.artifacts.interpreter.runs") == 2
+
+    def test_merge_spans_only_while_recording(self):
+        observer = Observer()
+        span = SpanRecord("w", 0.0, 1.0, 0, 1, 1, {})
+        observer.merge({}, spans=[span])
+        assert observer.spans() == []
+        observer.enable()
+        observer.merge({}, spans=[span])
+        assert observer.spans() == [span]
+
+    def test_default_observer_is_the_process_singleton(self):
+        assert default_observer() is OBS
+
+
+class TestExporters:
+    def _snapshot(self, obs):
+        with obs.span("stage.one", benchmark="compress"):
+            pass
+        with obs.span("stage.one"):
+            pass
+        with obs.span("stage.two"):
+            pass
+        obs.add("engine.events", 1000)
+        obs.add("artifacts.cache.hits", 2)
+        return obs.snapshot()
+
+    def test_summary_lines_aggregate_spans_and_group_counters(self, obs):
+        lines = summary_lines(self._snapshot(obs))
+        text = "\n".join(lines)
+        assert all(line.startswith("[timings]") for line in lines)
+        assert "stage.one" in text and "2x" in text.replace("     ", " ")
+        assert "engine.events" in text
+        assert "artifacts.cache.hits" in text
+
+    def test_summary_lines_empty_snapshot(self):
+        lines = summary_lines(Observer().snapshot())
+        assert lines == ["[timings] (no spans or counters recorded)"]
+
+    def test_snapshot_to_json_round_trips(self, obs):
+        payload = json.loads(snapshot_to_json(self._snapshot(obs)))
+        assert payload["counters"]["engine.events"] == 1000
+        assert len(payload["spans"]) == 3
+        assert payload["spans"][0]["name"] == "stage.one"
+        assert payload["metadata"]["producer"] == "repro.obs"
+
+    def test_chrome_trace_schema(self, obs):
+        doc = chrome_trace(self._snapshot(obs))
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["metadata"]["producer"] == "repro.obs"
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert len(complete) == 3 and len(counters) == 2
+        for event in complete:
+            assert isinstance(event["ts"], int) and event["ts"] >= 0
+            assert isinstance(event["dur"], int) and event["dur"] >= 1
+            assert event["cat"] == event["name"].split(".", 1)[0]
+        assert complete[0]["args"] == {"benchmark": "compress"}
+        end = max(e["ts"] + e["dur"] for e in complete)
+        for event in counters:
+            assert event["ts"] == end
+            assert "value" in event["args"]
+
+    def test_chrome_trace_timestamps_relative_to_first_span(self, obs):
+        doc = chrome_trace(self._snapshot(obs))
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in complete) == 0
+
+    def test_chrome_trace_stringifies_exotic_attrs(self, obs):
+        with obs.span("stage.odd", site=("main", "loop")):
+            pass
+        doc = chrome_trace(obs.snapshot())
+        (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert event["args"]["site"] == "('main', 'loop')"
+
+    def test_write_chrome_trace(self, obs, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), self._snapshot(obs))
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]

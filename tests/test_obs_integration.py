@@ -1,0 +1,173 @@
+"""Observability wired through the pipeline: CLI parity, trace export,
+worker counter isolation, and the deprecation shims."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.registry import RunContext, get_experiment
+from repro.obs import OBS
+from repro.workloads.artifacts import (
+    cache_stats,
+    clear_memory_cache,
+    generate_artifacts,
+    get_artifacts,
+    reset_cache_stats,
+)
+
+
+@pytest.fixture(autouse=True)
+def quiet_process_observer():
+    """The CLI enables span recording on the process singleton; make
+    sure no test leaks that (or its spans) into the rest of the suite."""
+    yield
+    OBS.disable()
+    OBS.reset()
+
+
+@pytest.fixture
+def fresh_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    clear_memory_cache()
+    reset_cache_stats()
+    yield
+    clear_memory_cache()
+    reset_cache_stats()
+
+
+class TestCliParity:
+    def test_stdout_identical_with_and_without_telemetry(
+        self, fresh_cache, capsys, tmp_path
+    ):
+        assert main(["table1", "--names", "compress", "--jobs", "1"]) == 0
+        plain = capsys.readouterr().out
+        trace = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "table1",
+                    "--names",
+                    "compress",
+                    "--jobs",
+                    "1",
+                    "--timings",
+                    "--trace-out",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        observed = capsys.readouterr()
+        assert observed.out == plain
+        assert "[timings]" in observed.err
+
+    def test_json_stdout_stays_parseable_under_timings(
+        self, fresh_cache, capsys
+    ):
+        assert (
+            main(
+                [
+                    "table1",
+                    "--names",
+                    "compress",
+                    "--jobs",
+                    "1",
+                    "--format",
+                    "json",
+                    "--timings",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["title"].startswith("Table 1")
+        assert "[timings]" in captured.err
+
+    def test_trace_out_writes_chrome_trace_with_pipeline_spans(
+        self, fresh_cache, capsys, tmp_path
+    ):
+        trace = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "table1",
+                    "--names",
+                    "compress",
+                    "--jobs",
+                    "1",
+                    "--trace-out",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        doc = json.loads(trace.read_text())
+        assert doc["metadata"]["producer"] == "repro.obs"
+        spans = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {
+            "artifacts.prewarm",
+            "workload.run",
+            "profiling.build",
+            "engine.evaluate_many",
+            "experiment:table1",
+        } <= spans
+        counters = {e["name"] for e in doc["traceEvents"] if e["ph"] == "C"}
+        assert "engine.events" in counters
+        assert "artifacts.cache.misses" in counters
+
+
+class TestWorkerIsolation:
+    def test_parallel_generation_merges_counters_under_workers(
+        self, fresh_cache
+    ):
+        generate_artifacts(
+            [("compress", 1, 0), ("abalone", 1, 0)], jobs=2
+        )
+        # The interpreter ran only in the worker processes; the parent's
+        # own per-process counters (and cache_stats() built on them)
+        # must not claim that work ...
+        assert cache_stats().interpreter_runs == 0
+        assert OBS.counter("artifacts.interpreter.runs") == 0
+        # ... it lands namespaced instead.
+        assert OBS.counter("workers.artifacts.interpreter.runs") == 2
+        assert OBS.counter("workers.artifacts.cache.stores") == 2
+
+
+class TestDeprecationShims:
+    def test_positional_get_artifacts_warns(self, fresh_cache):
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            positional = get_artifacts("compress", 1)
+        assert positional is get_artifacts("compress", scale=1)
+
+    def test_positional_plus_keyword_duplicate_rejected(self, fresh_cache):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="multiple values"):
+                get_artifacts("compress", 1, scale=1)
+
+    def test_too_many_positionals_rejected(self, fresh_cache):
+        with pytest.raises(TypeError):
+            get_artifacts("compress", 1, 0, 8, 9)
+
+    def test_experiment_run_warns_and_matches_execute(self, fresh_cache):
+        experiment = get_experiment("table1")
+        ctx = RunContext(scale=1, names=("compress",))
+        via_context = experiment.execute(ctx)
+        with pytest.warns(DeprecationWarning, match="RunContext"):
+            legacy = experiment.run(1, ["compress"])
+        assert legacy.render() == via_context.render()
+
+    def test_tables_rejects_context_plus_extras(self, fresh_cache):
+        experiment = get_experiment("table1")
+        ctx = RunContext(scale=1, names=("compress",))
+        with pytest.raises(TypeError, match="inside the RunContext"):
+            experiment.tables(ctx, names=["compress"])
+
+    def test_tables_accepts_legacy_positional_form(self, fresh_cache):
+        experiment = get_experiment("table1")
+        ctx = RunContext(scale=1, names=("compress",))
+        assert [t.render() for t in experiment.tables(1, ["compress"])] == [
+            t.render() for t in experiment.tables(ctx)
+        ]

@@ -55,7 +55,8 @@ def test_predictor_sees_outcomes_in_order():
     observed = []
 
     class Spy(Predictor):
-        name = "spy"
+        def __init__(self):
+            super().__init__("spy")
 
         def predict(self, site):
             return True
@@ -69,9 +70,8 @@ def test_predictor_sees_outcomes_in_order():
 
 def test_predict_called_before_update():
     class Strict(Predictor):
-        name = "strict"
-
         def __init__(self):
+            super().__init__("strict")
             self.pending = False
 
         def predict(self, site):
