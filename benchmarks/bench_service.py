@@ -1,0 +1,187 @@
+"""Bench smoke: prediction-service throughput and coalescing.
+
+Standalone script (not a pytest-benchmark suite) so CI can run it as a
+gate.  It boots an in-process service on an ephemeral port, then runs
+two phases:
+
+1. **Coalesce burst** — N barrier-synchronised clients POST the same
+   ``/artifacts`` request for a key the server has never seen, so all
+   but the leader must ride the single-flight and the coalesce-hit
+   counter provably moves.
+2. **Sustained load** — the stock load generator drives the default
+   endpoint mix for ``--duration`` seconds against the now-warm cache
+   and reports req/s and latency percentiles.
+
+The combined report goes to ``BENCH_service.json`` and the run exits
+non-zero when throughput falls below ``--min-rps``, any 5xx is
+returned, or no request ever coalesced.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --output BENCH_service.json [--clients 6] [--duration 3] \
+        [--min-rps 200] [--benchmark compress]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List
+
+from repro.service import (
+    ServiceClient,
+    ServiceConfig,
+    run_load,
+    shutdown_gracefully,
+    start_background,
+)
+
+#: seed_offset for the burst phase — outside the range any test or the
+#: sustained phase uses, so the server's LRU is guaranteed cold for it.
+BURST_SEED_OFFSET = 7321
+
+
+def _counters(host: str, port: int) -> Dict[str, float]:
+    with ServiceClient(host, port, timeout=5.0) as client:
+        return dict(client.stats().get("counters", {}))
+
+
+def coalesce_burst(
+    host: str, port: int, benchmark: str, clients: int
+) -> dict:
+    """Fire *clients* identical cold-key requests at the same instant."""
+    before = _counters(host, port)
+    barrier = threading.Barrier(clients)
+    statuses: List[int] = []
+    lock = threading.Lock()
+
+    def worker() -> None:
+        with ServiceClient(host, port, timeout=30.0) as client:
+            barrier.wait(timeout=10.0)
+            status, _ = client.request_raw(
+                "POST",
+                "/artifacts",
+                {"name": benchmark, "scale": 1, "seed_offset": BURST_SEED_OFFSET},
+            )
+            with lock:
+                statuses.append(status)
+
+    threads = [
+        threading.Thread(target=worker, name=f"burst-{index}", daemon=True)
+        for index in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    elapsed = time.perf_counter() - started
+    after = _counters(host, port)
+
+    def delta(counter: str) -> float:
+        return after.get(counter, 0) - before.get(counter, 0)
+
+    return {
+        "clients": clients,
+        "seconds": round(elapsed, 3),
+        "statuses": sorted(statuses),
+        "computed": delta("service.cache.artifacts.misses"),
+        "coalesce_hits": delta("service.coalesce.hits"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_service.json")
+    parser.add_argument("--clients", type=int, default=6)
+    parser.add_argument("--duration", type=float, default=3.0)
+    parser.add_argument("--benchmark", default="compress")
+    parser.add_argument(
+        "--min-rps",
+        type=float,
+        default=200.0,
+        help="fail when sustained req/s falls below this floor",
+    )
+    args = parser.parse_args(argv)
+
+    # A private artifact cache dir guarantees the burst key is cold —
+    # its computation takes tens of milliseconds, so every follower has
+    # time to latch onto the leader's flight.
+    cache_root = tempfile.mkdtemp(prefix="bench-service-cache-")
+    os.environ["REPRO_CACHE_DIR"] = cache_root
+
+    server, _ = start_background(ServiceConfig(host="127.0.0.1", port=0))
+    host, port = "127.0.0.1", server.port
+    print(f"service on port {port}; burst phase ({args.clients} clients)...")
+    try:
+        burst = coalesce_burst(host, port, args.benchmark, args.clients)
+        print(
+            f"burst: {len(burst['statuses'])} identical requests -> "
+            f"{burst['computed']:.0f} computation(s), "
+            f"{burst['coalesce_hits']:.0f} coalesce hit(s) "
+            f"in {burst['seconds']}s"
+        )
+        print(f"sustained phase ({args.duration}s)...")
+        sustained = run_load(
+            host,
+            port,
+            clients=args.clients,
+            duration=args.duration,
+            benchmark=args.benchmark,
+        )
+    finally:
+        shutdown_gracefully(server)
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    coalesce_hits = burst["coalesce_hits"] + sustained["server"]["coalesce_hits"]
+    total_requests = len(burst["statuses"]) + sustained["requests"]
+    report = {
+        "benchmark": args.benchmark,
+        "req_per_s": sustained["req_per_s"],
+        "p50_ms": sustained["p50_ms"],
+        "p95_ms": sustained["p95_ms"],
+        "p99_ms": sustained["p99_ms"],
+        "five_xx": sustained["five_xx"]
+        + sum(1 for status in burst["statuses"] if status >= 500),
+        "coalesce_hits": coalesce_hits,
+        "coalesce_hit_rate": round(coalesce_hits / total_requests, 6)
+        if total_requests
+        else 0.0,
+        "min_rps": args.min_rps,
+        "burst": burst,
+        "sustained": sustained,
+    }
+    with open(args.output, "w") as stream:
+        json.dump(report, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print(
+        f"sustained {report['req_per_s']} req/s, p50 {report['p50_ms']}ms, "
+        f"p99 {report['p99_ms']}ms; coalesce hit rate "
+        f"{report['coalesce_hit_rate']} -> {args.output}"
+    )
+
+    if report["five_xx"]:
+        print(f"FAIL: {report['five_xx']} 5xx response(s)", file=sys.stderr)
+        return 1
+    if report["req_per_s"] < args.min_rps:
+        print(
+            f"FAIL: {report['req_per_s']} req/s below required "
+            f"{args.min_rps} req/s",
+            file=sys.stderr,
+        )
+        return 1
+    if not report["coalesce_hits"]:
+        print("FAIL: no request ever coalesced", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -178,9 +178,20 @@ class Observer:
             return list(self._spans)
 
     # -- counters and gauges -------------------------------------------------
+    #
+    # Concurrency contract (relied on by the service daemon, whose
+    # request threads hammer one shared observer): every read-modify-
+    # write of ``_counters`` and every append to ``_spans`` happens
+    # under ``self._lock``, so concurrent ``add``/``set_gauge``/
+    # ``merge``/``snapshot`` calls never lose updates — N threads
+    # adding M each always total exactly N*M
+    # (tests/test_obs.py::TestConcurrency asserts this).  The
+    # ``_record_spans`` flag is read without the lock: it is a single
+    # boolean toggled only at enable/disable time, and the worst a
+    # stale read can do is drop or record one span at the boundary.
 
     def add(self, name: str, value: Number = 1) -> None:
-        """Increment counter *name* (creating it at 0)."""
+        """Increment counter *name* (creating it at 0); thread-safe."""
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + value
 

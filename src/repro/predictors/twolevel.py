@@ -16,6 +16,7 @@ shared pattern table of 2-bit counters.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -23,6 +24,17 @@ from ..ir import BranchSite
 from .base import Predictor
 
 _SCOPES = ("global", "set", "peraddr")
+
+
+def _site_hash(site: BranchSite) -> int:
+    """Deterministic set-index hash for a branch site.
+
+    Builtin ``hash()`` on strings is randomised per process
+    (PYTHONHASHSEED), so using it for set selection would make the
+    aliasing pattern — and hence every reported "set"-scope
+    misprediction rate — vary from run to run.
+    """
+    return zlib.crc32(f"{site.function}:{site.block}".encode())
 
 
 @dataclass(frozen=True)
@@ -94,7 +106,7 @@ class TwoLevelPredictor(Predictor):
         if scope == "global":
             return 0
         if scope == "set":
-            return hash(site) % self.config.history_sets
+            return _site_hash(site) % self.config.history_sets
         return site
 
     def _pattern_key(self, site: BranchSite) -> object:
@@ -102,7 +114,7 @@ class TwoLevelPredictor(Predictor):
         if scope == "global":
             return 0
         if scope == "set":
-            return hash(site) % self.config.pattern_sets
+            return _site_hash(site) % self.config.pattern_sets
         return site
 
     def predict(self, site: BranchSite) -> bool:
@@ -138,7 +150,7 @@ class TwoLevelPredictor(Predictor):
             if scope == "global":
                 return [0] * len(sites), 1
             if scope == "set":
-                return [hash(site) % sets for site in sites], sets
+                return [_site_hash(site) % sets for site in sites], sets
             return list(range(len(sites))), len(sites)
 
         hkeys, n_histories = keys_for(

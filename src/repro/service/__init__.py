@@ -1,0 +1,42 @@
+"""Prediction-as-a-service: a concurrent HTTP daemon over the pipeline.
+
+The serving layer the ROADMAP's north star asks for: artifacts,
+predictor evaluations, machine search and replication plans exposed as
+a JSON HTTP API (see :mod:`repro.service.handlers` for the endpoint
+contract), with an in-process LRU over the on-disk artifact cache,
+single-flight request coalescing, bounded-queue backpressure and
+graceful drain.  ``python -m repro serve`` runs the daemon;
+``python -m repro.service.loadgen`` drives it.
+"""
+
+from .client import ServiceClient, ServiceError
+from .coalesce import ComputeCache, LRUCache, SingleFlight
+from .loadgen import run_load
+from .server import (
+    ServiceServer,
+    make_server,
+    serve,
+    shutdown_gracefully,
+    start_background,
+    wait_until_ready,
+)
+from .state import SERVICE_VERSION, ApiError, ServiceConfig, ServiceState
+
+__all__ = [
+    "ApiError",
+    "ComputeCache",
+    "LRUCache",
+    "SERVICE_VERSION",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+    "ServiceState",
+    "SingleFlight",
+    "make_server",
+    "run_load",
+    "serve",
+    "shutdown_gracefully",
+    "start_background",
+    "wait_until_ready",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.service`` runs the daemon (same as ``repro serve``)."""
+
+import sys
+
+from ..tools import main
+
+sys.exit(main(["serve", *sys.argv[1:]]))

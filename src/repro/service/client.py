@@ -1,0 +1,163 @@
+"""A minimal stdlib client for the prediction service.
+
+One :class:`ServiceClient` wraps one persistent keep-alive connection —
+use one client per thread (the load generator gives each worker its
+own).  Error responses surface as :class:`ServiceError` carrying the
+server's structured code/status; transport failures surface as the
+underlying ``OSError``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Optional, Tuple
+
+
+class ServiceError(Exception):
+    """A structured (non-2xx) response from the service."""
+
+    def __init__(self, status: int, code: str, message: str, details: Optional[dict] = None):
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+        self.details = details or {}
+
+
+class ServiceClient:
+    """Thread-unsafe persistent-connection client (one per thread)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # -- transport -----------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request_raw(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, dict]:
+        """``(status, parsed_body)`` without raising on error statuses.
+
+        Retries once on a stale keep-alive connection (the server may
+        have closed it between requests); real refusals propagate.
+        """
+        payload = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=payload, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            document = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            document = {"raw": raw.decode(errors="replace")}
+        return response.status, document
+
+    def request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        """Like :meth:`request_raw` but raises :class:`ServiceError` on non-2xx."""
+        status, document = self.request_raw(method, path, body)
+        if 200 <= status < 300:
+            return document
+        error = document.get("error", {}) if isinstance(document, dict) else {}
+        raise ServiceError(
+            status,
+            error.get("code", "unknown"),
+            error.get("message", f"HTTP {status}"),
+            error.get("details"),
+        )
+
+    # -- endpoint conveniences -----------------------------------------------
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def benchmarks(self) -> dict:
+        return self.request("GET", "/benchmarks")
+
+    def stats(self) -> dict:
+        return self.request("GET", "/stats")
+
+    def artifacts(self, name: str, scale: int = 1, seed_offset: int = 0) -> dict:
+        return self.request(
+            "POST",
+            "/artifacts",
+            {"name": name, "scale": scale, "seed_offset": seed_offset},
+        )
+
+    def predict(
+        self, name: str, predictor: str, scale: int = 1, seed_offset: int = 0
+    ) -> dict:
+        return self.request(
+            "POST",
+            "/predict",
+            {
+                "name": name,
+                "predictor": predictor,
+                "scale": scale,
+                "seed_offset": seed_offset,
+            },
+        )
+
+    def machine(
+        self,
+        name: str,
+        site: Optional[str] = None,
+        max_states: int = 6,
+        scale: int = 1,
+        seed_offset: int = 0,
+    ) -> dict:
+        body: Dict[str, Any] = {
+            "name": name,
+            "max_states": max_states,
+            "scale": scale,
+            "seed_offset": seed_offset,
+        }
+        if site is not None:
+            body["site"] = site
+        return self.request("POST", "/machine", body)
+
+    def plan(
+        self,
+        name: str,
+        max_states: int = 6,
+        max_size_factor: Optional[float] = None,
+        scale: int = 1,
+        seed_offset: int = 0,
+    ) -> dict:
+        body: Dict[str, Any] = {
+            "name": name,
+            "max_states": max_states,
+            "scale": scale,
+            "seed_offset": seed_offset,
+        }
+        if max_size_factor is not None:
+            body["max_size_factor"] = max_size_factor
+        return self.request("POST", "/plan", body)

@@ -1,0 +1,160 @@
+"""Caching primitives for the service hot path.
+
+Two thread-safe building blocks, composed by :class:`ComputeCache`:
+
+* :class:`LRUCache` — a bounded in-process memo sitting *above* the
+  on-disk artifact cache.  Disk hits still cost a read plus a codec
+  pass; serving from the LRU costs a dict lookup.
+* :class:`SingleFlight` — request coalescing.  When N concurrent
+  requests miss on the same key, exactly one (the *leader*) runs the
+  computation; the other N-1 block on an event and share the result
+  (or the exception).  Without this, a traffic spike on a cold key
+  runs the interpreter N times for one answer.
+
+Both are deliberately generic — keys are any hashable, values opaque —
+so the server reuses them for artifacts, predictor evaluations,
+planners and trade-off curves alike.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+from ..obs import OBS
+
+
+class LRUCache:
+    """A bounded, thread-safe least-recently-used map."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("LRU capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def get(self, key: Hashable) -> Tuple[bool, Any]:
+        """``(hit, value)`` — a tuple so cached ``None`` stays distinguishable."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                return False, None
+            self._entries.move_to_end(key)
+            return True, value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class _Call:
+    """One in-flight computation other threads can latch onto."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+
+class SingleFlight:
+    """Per-key coalescing: concurrent callers share one execution.
+
+    The leader runs *fn* outside the registry lock; followers wait on
+    the call's event and receive the leader's value or exception.  The
+    key is removed before the event fires, so a request arriving after
+    completion starts a fresh flight (the LRU layer above absorbs it).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[Hashable, _Call] = {}
+
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def do(self, key: Hashable, fn: Callable[[], Any]) -> Tuple[Any, bool]:
+        """Run ``fn`` once per concurrent key; ``(value, was_leader)``."""
+        with self._lock:
+            call = self._inflight.get(key)
+            leader = call is None
+            if leader:
+                call = self._inflight[key] = _Call()
+        if not leader:
+            call.event.wait()
+            if call.error is not None:
+                raise call.error
+            return call.value, False
+        try:
+            call.value = fn()
+        except BaseException as error:
+            call.error = error
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            call.event.set()
+        return call.value, True
+
+
+#: How a :class:`ComputeCache` answer was produced.
+SOURCE_LRU = "lru"
+SOURCE_COMPUTED = "computed"
+SOURCE_COALESCED = "coalesced"
+
+
+class ComputeCache:
+    """LRU over single-flight: the service's memoisation stack.
+
+    ``name`` namespaces the obs counters
+    (``service.cache.<name>.{hits,misses,coalesced}``); coalesce hits
+    additionally roll up into the service-wide
+    ``service.coalesce.hits``.
+    """
+
+    def __init__(self, capacity: int, name: str) -> None:
+        self.name = name
+        self._lru = LRUCache(capacity)
+        self._flight = SingleFlight()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def get(self, key: Hashable, compute: Callable[[], Any]) -> Tuple[Any, str]:
+        """``(value, source)`` with source one of lru/computed/coalesced."""
+        hit, value = self._lru.get(key)
+        if hit:
+            OBS.add(f"service.cache.{self.name}.hits")
+            return value, SOURCE_LRU
+
+        def fill() -> Any:
+            value = compute()
+            self._lru.put(key, value)
+            return value
+
+        value, leader = self._flight.do(key, fill)
+        if leader:
+            OBS.add(f"service.cache.{self.name}.misses")
+            return value, SOURCE_COMPUTED
+        OBS.add("service.coalesce.hits")
+        OBS.add(f"service.cache.{self.name}.coalesced")
+        return value, SOURCE_COALESCED

@@ -1,0 +1,406 @@
+"""Endpoint implementations: validated JSON dict in, JSON dict out.
+
+Handlers are plain functions ``(state, body) -> payload`` so the
+contract can be tested without sockets; the HTTP layer
+(:mod:`repro.service.server`) owns parsing, routing, worker-pool
+dispatch and error envelopes.  Anything invalid raises
+:class:`~repro.service.state.ApiError` with a structured body.
+
+Each heavy endpoint funnels through the state's
+:class:`~repro.service.coalesce.ComputeCache`, so the response carries
+``"source"``: ``"lru"`` (served from memory), ``"computed"`` (this
+request ran the pipeline) or ``"coalesced"`` (another identical
+in-flight request ran it and we shared the result).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..ir import BranchSite
+from ..obs import OBS
+from ..predictors import (
+    LastDirection,
+    Predictor,
+    SaturatingCounter,
+    all_yeh_patt_variants,
+    evaluate,
+    semistatic_suite,
+    static_predictors,
+    two_level_4k,
+)
+from ..replication import ReplicationPlanner
+from ..replication.tradeoff import TradeoffPoint, tradeoff_curve
+from ..statemachines import machine_to_json
+from ..statemachines.serialize import FORMAT_VERSION as MACHINE_FORMAT_VERSION
+from ..workloads import BENCHMARK_NAMES, artifacts as artifact_store
+from ..workloads.benchmarks import WORKLOADS, get_profile, get_program, get_trace
+from .state import SERVICE_VERSION, ApiError, ServiceState
+
+#: Cap on sites echoed back by /artifacts (benchmarks are small, but
+#: the contract should not grow linearly with arbitrary programs).
+MAX_TOP_SITES = 20
+#: Cap on trade-off points echoed back by /plan.
+MAX_CURVE_POINTS = 100
+#: Bounds accepted from clients (a 429-guarded server must also bound
+#: per-request work, or one request DoSes the pool).
+MAX_SCALE = 16
+MAX_STATES_LIMIT = 10
+
+
+# -- validation helpers ------------------------------------------------------
+
+
+def _bad_request(message: str, **details: Any) -> ApiError:
+    return ApiError(400, "bad_request", message, **details)
+
+
+def _get_int(
+    body: Dict[str, Any], key: str, default: int, low: int, high: int
+) -> int:
+    value = body.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _bad_request(f"{key!r} must be an integer", got=repr(value))
+    if not (low <= value <= high):
+        raise _bad_request(f"{key!r} must be in [{low}, {high}]", got=value)
+    return value
+
+
+def _get_str(body: Dict[str, Any], key: str) -> str:
+    value = body.get(key)
+    if not isinstance(value, str) or not value:
+        raise _bad_request(f"{key!r} is required and must be a non-empty string")
+    return value
+
+
+def _resolve_benchmark(body: Dict[str, Any]) -> Tuple[str, int, int]:
+    name = _get_str(body, "name")
+    if name not in BENCHMARK_NAMES:
+        raise ApiError(
+            404,
+            "unknown_benchmark",
+            f"unknown benchmark {name!r}",
+            available=list(BENCHMARK_NAMES),
+        )
+    scale = _get_int(body, "scale", 1, 1, MAX_SCALE)
+    seed_offset = _get_int(body, "seed_offset", 0, -(2**31), 2**31)
+    return name, scale, seed_offset
+
+
+# -- light endpoints (served inline) -----------------------------------------
+
+
+def handle_healthz(state: ServiceState, body: Optional[dict]) -> dict:
+    return {
+        "status": "draining" if state.draining else "ok",
+        "service_version": SERVICE_VERSION,
+        "uptime_seconds": round(state.uptime(), 3),
+        "in_flight": state.inflight_requests,
+        "queue_depth": state.queue_depth,
+    }
+
+
+def handle_benchmarks(state: ServiceState, body: Optional[dict]) -> dict:
+    return {
+        "benchmarks": [
+            {
+                "name": spec.name,
+                "description": spec.description,
+                "cached_on_disk": artifact_store.cached_on_disk(spec.name),
+            }
+            for spec in WORKLOADS.values()
+        ]
+    }
+
+
+def handle_stats(state: ServiceState, body: Optional[dict]) -> dict:
+    snapshot = OBS.snapshot()
+    return {
+        "uptime_seconds": round(state.uptime(), 3),
+        "counters": snapshot.counters,
+        "spans_recorded": len(snapshot.spans),
+        "service": {
+            "in_flight": state.inflight_requests,
+            "queue_depth": state.queue_depth,
+            "queue_capacity": state.config.workers + state.config.queue_limit,
+            "draining": state.draining,
+            "cache_sizes": {
+                cache.name: len(cache)
+                for cache in (
+                    state.artifacts,
+                    state.predictions,
+                    state.planners,
+                    state.plans,
+                )
+            },
+        },
+    }
+
+
+# -- heavy endpoints (worker pool + compute caches) --------------------------
+
+
+def _artifact_summary(name: str, scale: int, seed_offset: int) -> dict:
+    profile = get_profile(name, scale, seed_offset)
+    steps = artifact_store.get_artifacts(
+        name, scale=scale, seed_offset=seed_offset
+    ).steps
+    ranked = sorted(
+        profile.totals.items(), key=lambda item: -(item[1][0] + item[1][1])
+    )
+    return {
+        "benchmark": name,
+        "scale": scale,
+        "seed_offset": seed_offset,
+        "events": profile.events,
+        "steps": steps,
+        "sites": len(profile.totals),
+        "top_sites": [
+            {
+                "site": str(site),
+                "executions": counts[0] + counts[1],
+                "taken": counts[1],
+                "taken_rate": round(counts[1] / max(counts[0] + counts[1], 1), 6),
+            }
+            for site, counts in ranked[:MAX_TOP_SITES]
+        ],
+    }
+
+
+def handle_artifacts(state: ServiceState, body: dict) -> dict:
+    name, scale, seed_offset = _resolve_benchmark(body)
+    key = (name, scale, seed_offset)
+    summary, source = state.artifacts.get(
+        key,
+        lambda: state.run_heavy(lambda: _artifact_summary(name, scale, seed_offset)),
+    )
+    return dict(summary, source=source)
+
+
+def _build_zoo(name: str, scale: int, seed_offset: int) -> Dict[str, Predictor]:
+    """Fresh instances of the whole predictor zoo, keyed by name.
+
+    Fresh per call because dynamic predictors carry run-time state; the
+    evaluation result is what gets cached, never the predictor.
+    """
+    program = get_program(name)
+    profile = get_profile(name, scale, seed_offset)
+    zoo: List[Predictor] = [
+        *static_predictors(program),
+        *semistatic_suite(profile),
+        LastDirection(),
+        SaturatingCounter(2),
+        *all_yeh_patt_variants().values(),
+        two_level_4k(),
+    ]
+    return {predictor.name: predictor for predictor in zoo}
+
+
+def _evaluate_predictor(
+    name: str, scale: int, seed_offset: int, predictor_name: str
+) -> dict:
+    zoo = _build_zoo(name, scale, seed_offset)
+    predictor = zoo.get(predictor_name)
+    if predictor is None:
+        raise ApiError(
+            404,
+            "unknown_predictor",
+            f"unknown predictor {predictor_name!r}",
+            available=sorted(zoo),
+        )
+    trace = get_trace(name, scale, seed_offset)
+    result = evaluate(predictor, trace)
+    sites = []
+    predictor.reset()
+    for site in sorted(result.per_site, key=str):
+        stats = result.per_site[site]
+        entry = {
+            "site": str(site),
+            "executions": stats.executions,
+            "mispredictions": stats.mispredictions,
+            "rate": round(stats.rate, 6),
+        }
+        if predictor.order_independent:
+            # A static prediction is a per-site constant — expose the
+            # direction the compiler would emit.
+            entry["predicted_taken"] = predictor.predict(site)
+        sites.append(entry)
+    return {
+        "benchmark": name,
+        "scale": scale,
+        "seed_offset": seed_offset,
+        "predictor": predictor.name,
+        "order_independent": predictor.order_independent,
+        "events": result.events,
+        "mispredictions": result.mispredictions,
+        "misprediction_rate": round(result.misprediction_rate, 6),
+        "accuracy": round(result.accuracy, 6),
+        "sites": sites,
+    }
+
+
+def handle_predict(state: ServiceState, body: dict) -> dict:
+    name, scale, seed_offset = _resolve_benchmark(body)
+    predictor_name = _get_str(body, "predictor")
+    key = (name, scale, seed_offset, predictor_name)
+    payload, source = state.predictions.get(
+        key,
+        lambda: state.run_heavy(
+            lambda: _evaluate_predictor(name, scale, seed_offset, predictor_name)
+        ),
+    )
+    return dict(payload, source=source)
+
+
+def _get_planner(
+    state: ServiceState, name: str, scale: int, seed_offset: int, max_states: int
+) -> Tuple[ReplicationPlanner, str]:
+    key = (name, scale, seed_offset, max_states)
+    return state.planners.get(
+        key,
+        lambda: state.run_heavy(
+            lambda: ReplicationPlanner(
+                get_program(name),
+                get_profile(name, scale, seed_offset),
+                max_states,
+            )
+        ),
+    )
+
+
+def handle_machine(state: ServiceState, body: dict) -> dict:
+    name, scale, seed_offset = _resolve_benchmark(body)
+    max_states = _get_int(body, "max_states", 6, 2, MAX_STATES_LIMIT)
+    planner, source = _get_planner(state, name, scale, seed_offset, max_states)
+    site_spec = body.get("site")
+    if site_spec is not None:
+        if not isinstance(site_spec, str) or ":" not in site_spec:
+            raise _bad_request("'site' must be a 'function:block' string")
+        function, _, block = site_spec.partition(":")
+        site = BranchSite(function, block)
+        plan = planner.plans.get(site)
+        if plan is None:
+            raise ApiError(
+                404,
+                "unknown_site",
+                f"no executed branch {site_spec!r} in {name!r}",
+                available=sorted(str(s) for s in planner.plans),
+            )
+    else:
+        improvable = planner.improvable_plans()
+        if not improvable:
+            raise ApiError(
+                404,
+                "no_improvable_branch",
+                f"no branch of {name!r} improves on profile prediction",
+            )
+        plan = max(improvable, key=lambda p: p.executions)
+    option = plan.best_option(max_states)
+    if option is None:
+        raise ApiError(
+            404,
+            "no_machine",
+            f"no machine with <= {max_states} states beats profile "
+            f"prediction for {plan.site}",
+        )
+    return {
+        "benchmark": name,
+        "scale": scale,
+        "seed_offset": seed_offset,
+        "site": str(plan.site),
+        "branch_class": plan.info.kind.value,
+        "executions": plan.executions,
+        "profile_correct": plan.profile_correct,
+        "n_states": option.n_states,
+        "family": option.family,
+        "correct": option.correct,
+        "extra_size": option.extra_size,
+        "machine_format_version": MACHINE_FORMAT_VERSION,
+        "machine": json.loads(machine_to_json(option.scored.machine)),
+        "source": source,
+    }
+
+
+def _curve_payload(
+    planner: ReplicationPlanner, points: List[TradeoffPoint]
+) -> dict:
+    def point_doc(point: TradeoffPoint) -> dict:
+        doc = {
+            "size": point.size,
+            "size_factor": round(point.size_factor, 6),
+            "mispredictions": point.mispredictions,
+            "misprediction_rate": round(point.misprediction_rate, 6),
+        }
+        if point.step is not None:
+            site, n_states = point.step
+            doc["step"] = {"site": str(site), "n_states": n_states}
+        return doc
+
+    total = planner.total_executions()
+    return {
+        "branches": len(planner.plans),
+        "improvable_branches": len(planner.improvable_plans()),
+        "total_executions": total,
+        "profile_misprediction_rate": round(points[0].misprediction_rate, 6),
+        "upgrades": len(points) - 1,
+        "final": point_doc(points[-1]),
+        "truncated": len(points) > MAX_CURVE_POINTS,
+        "curve": [point_doc(p) for p in points[:MAX_CURVE_POINTS]],
+    }
+
+
+def handle_plan(state: ServiceState, body: dict) -> dict:
+    name, scale, seed_offset = _resolve_benchmark(body)
+    max_states = _get_int(body, "max_states", 6, 2, MAX_STATES_LIMIT)
+    max_size_factor = body.get("max_size_factor")
+    if max_size_factor is not None:
+        if isinstance(max_size_factor, bool) or not isinstance(
+            max_size_factor, (int, float)
+        ):
+            raise _bad_request("'max_size_factor' must be a number")
+        max_size_factor = float(max_size_factor)
+        if not (1.0 <= max_size_factor <= 100.0):
+            raise _bad_request(
+                "'max_size_factor' must be in [1.0, 100.0]", got=max_size_factor
+            )
+    key = (name, scale, seed_offset, max_states, max_size_factor)
+
+    def compute() -> dict:
+        planner, _ = _get_planner(state, name, scale, seed_offset, max_states)
+        points = state.run_heavy(lambda: tradeoff_curve(planner, max_size_factor))
+        payload = _curve_payload(planner, points)
+        payload.update(
+            benchmark=name,
+            scale=scale,
+            seed_offset=seed_offset,
+            max_states=max_states,
+            max_size_factor=max_size_factor,
+        )
+        return payload
+
+    payload, source = state.plans.get(key, compute)
+    return dict(payload, source=source)
+
+
+# -- routing table -----------------------------------------------------------
+
+Handler = Callable[[ServiceState, Optional[dict]], dict]
+
+ROUTES: Dict[Tuple[str, str], Handler] = {
+    ("GET", "/healthz"): handle_healthz,
+    ("GET", "/benchmarks"): handle_benchmarks,
+    ("GET", "/stats"): handle_stats,
+    ("POST", "/artifacts"): handle_artifacts,
+    ("POST", "/predict"): handle_predict,
+    ("POST", "/machine"): handle_machine,
+    ("POST", "/plan"): handle_plan,
+}
+
+#: Paths that exist (for 405-vs-404 discrimination).
+KNOWN_PATHS = {path for _, path in ROUTES}
+
+
+def route_name(path: str) -> str:
+    """``/artifacts`` → ``artifacts`` (obs counter suffix)."""
+    return path.strip("/").replace("/", ".") or "root"

@@ -1,0 +1,336 @@
+"""Load generator: ``python -m repro.service.loadgen``.
+
+Spawns N client threads, each with its own keep-alive connection,
+firing a weighted mix of endpoint calls for a fixed duration::
+
+    python -m repro.service.loadgen --clients 8 --duration 5 \
+        --mix artifacts=6,healthz=2,stats=1,benchmarks=1
+
+The report covers client-side truth — req/s, p50/p95/p99 latency,
+status and per-endpoint counts, transport errors — plus the server's
+own coalesce/cache counters read from ``/stats`` before and after the
+run, so a single invocation answers both "how fast" and "how often did
+the hot path actually coalesce".  ``--spawn`` boots a throwaway
+in-process server on an ephemeral port first, which makes the module
+a self-contained smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .client import ServiceClient, ServiceError
+
+DEFAULT_MIX = "artifacts=6,healthz=2,stats=1,benchmarks=1"
+
+#: endpoint name -> request builder ``(client, benchmark, scale, seed) -> (status, body)``
+ENDPOINTS: Dict[str, Callable[[ServiceClient, str, int, int], Tuple[int, dict]]] = {
+    "healthz": lambda c, n, s, o: c.request_raw("GET", "/healthz"),
+    "benchmarks": lambda c, n, s, o: c.request_raw("GET", "/benchmarks"),
+    "stats": lambda c, n, s, o: c.request_raw("GET", "/stats"),
+    "artifacts": lambda c, n, s, o: c.request_raw(
+        "POST", "/artifacts", {"name": n, "scale": s, "seed_offset": o}
+    ),
+    "predict": lambda c, n, s, o: c.request_raw(
+        "POST",
+        "/predict",
+        {"name": n, "scale": s, "seed_offset": o, "predictor": "profile"},
+    ),
+    "machine": lambda c, n, s, o: c.request_raw(
+        "POST", "/machine", {"name": n, "scale": s, "seed_offset": o}
+    ),
+    "plan": lambda c, n, s, o: c.request_raw(
+        "POST", "/plan", {"name": n, "scale": s, "seed_offset": o}
+    ),
+}
+
+
+def parse_mix(spec: str) -> List[Tuple[str, int]]:
+    """``"artifacts=6,healthz=2"`` → ``[("artifacts", 6), ("healthz", 2)]``."""
+    mix: List[Tuple[str, int]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight_text = part.partition("=")
+        name = name.strip()
+        if name not in ENDPOINTS:
+            raise ValueError(
+                f"unknown endpoint {name!r} in mix; "
+                f"known: {', '.join(sorted(ENDPOINTS))}"
+            )
+        try:
+            weight = int(weight_text) if weight_text else 1
+        except ValueError:
+            raise ValueError(f"bad weight in mix entry {part!r}") from None
+        if weight < 0:
+            raise ValueError(f"negative weight in mix entry {part!r}")
+        if weight:
+            mix.append((name, weight))
+    if not mix:
+        raise ValueError(f"mix {spec!r} selects no endpoints")
+    return mix
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile over an ascending-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, int(fraction * len(sorted_values))))
+    return sorted_values[rank]
+
+
+@dataclass
+class _WorkerResult:
+    latencies: List[float] = field(default_factory=list)
+    statuses: Dict[int, int] = field(default_factory=dict)
+    endpoints: Dict[str, int] = field(default_factory=dict)
+    transport_errors: int = 0
+
+
+def _worker(
+    host: str,
+    port: int,
+    duration: float,
+    mix: List[Tuple[str, int]],
+    benchmark: str,
+    scale: int,
+    seed_offset: int,
+    rng: random.Random,
+    barrier: threading.Barrier,
+    result: _WorkerResult,
+) -> None:
+    names = [name for name, _ in mix]
+    weights = [weight for _, weight in mix]
+    with ServiceClient(host, port, timeout=30.0) as client:
+        try:
+            barrier.wait(timeout=10.0)
+        except threading.BrokenBarrierError:
+            return
+        deadline = time.monotonic() + duration
+        while time.monotonic() < deadline:
+            endpoint = rng.choices(names, weights)[0]
+            started = time.perf_counter()
+            try:
+                status, _ = ENDPOINTS[endpoint](client, benchmark, scale, seed_offset)
+            except OSError:
+                result.transport_errors += 1
+                client.close()
+                continue
+            result.latencies.append(time.perf_counter() - started)
+            result.statuses[status] = result.statuses.get(status, 0) + 1
+            result.endpoints[endpoint] = result.endpoints.get(endpoint, 0) + 1
+
+
+def _server_counters(host: str, port: int) -> Dict[str, float]:
+    try:
+        with ServiceClient(host, port, timeout=5.0) as client:
+            return dict(client.stats().get("counters", {}))
+    except (ServiceError, OSError):
+        return {}
+
+
+def run_load(
+    host: str,
+    port: int,
+    clients: int = 4,
+    duration: float = 5.0,
+    mix: str = DEFAULT_MIX,
+    benchmark: str = "compress",
+    scale: int = 1,
+    seed_offset: int = 0,
+    seed: int = 0,
+) -> dict:
+    """Drive the service and return the aggregated report dict."""
+    parsed_mix = parse_mix(mix)
+    before = _server_counters(host, port)
+    # Workers block on a barrier (shared with this thread) until every
+    # client thread is up, then each runs for *duration* — so the
+    # measured window contains no thread-spawn skew.
+    barrier = threading.Barrier(clients + 1)
+    results = [_WorkerResult() for _ in range(clients)]
+    threads = [
+        threading.Thread(
+            target=_worker,
+            args=(
+                host,
+                port,
+                duration,
+                parsed_mix,
+                benchmark,
+                scale,
+                seed_offset,
+                random.Random(seed * 1000 + index),
+                barrier,
+                results[index],
+            ),
+            name=f"loadgen-{index}",
+            daemon=True,
+        )
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=10.0)
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=duration + 30)
+    elapsed = time.perf_counter() - started
+    after = _server_counters(host, port)
+
+    latencies = sorted(
+        latency for result in results for latency in result.latencies
+    )
+    statuses: Dict[int, int] = {}
+    endpoints: Dict[str, int] = {}
+    transport_errors = 0
+    for result in results:
+        transport_errors += result.transport_errors
+        for status, count in result.statuses.items():
+            statuses[status] = statuses.get(status, 0) + count
+        for endpoint, count in result.endpoints.items():
+            endpoints[endpoint] = endpoints.get(endpoint, 0) + count
+    requests = len(latencies)
+    five_xx = sum(count for status, count in statuses.items() if status >= 500)
+
+    def delta(counter: str) -> float:
+        return after.get(counter, 0) - before.get(counter, 0)
+
+    coalesce_hits = delta("service.coalesce.hits")
+    server_requests = delta("service.requests")
+    return {
+        "host": host,
+        "port": port,
+        "clients": clients,
+        "duration_seconds": round(elapsed, 3),
+        "mix": mix,
+        "benchmark": benchmark,
+        "scale": scale,
+        "seed_offset": seed_offset,
+        "requests": requests,
+        "req_per_s": round(requests / elapsed, 1) if elapsed > 0 else 0.0,
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "p95_ms": round(percentile(latencies, 0.95) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        "max_ms": round(latencies[-1] * 1e3, 3) if latencies else 0.0,
+        "statuses": {str(status): count for status, count in sorted(statuses.items())},
+        "endpoints": dict(sorted(endpoints.items())),
+        "five_xx": five_xx,
+        "transport_errors": transport_errors,
+        "server": {
+            "requests": server_requests,
+            "coalesce_hits": coalesce_hits,
+            "coalesce_hit_rate": round(coalesce_hits / server_requests, 6)
+            if server_requests
+            else 0.0,
+            "overload_rejections": delta("service.rejected.overload"),
+        },
+    }
+
+
+def format_report(report: dict) -> str:
+    lines = [
+        f"loadgen: {report['requests']} requests in "
+        f"{report['duration_seconds']}s from {report['clients']} client(s) "
+        f"→ {report['req_per_s']} req/s",
+        f"latency: p50 {report['p50_ms']}ms, p95 {report['p95_ms']}ms, "
+        f"p99 {report['p99_ms']}ms, max {report['max_ms']}ms",
+        "statuses: "
+        + (
+            ", ".join(f"{s}×{c}" for s, c in report["statuses"].items())
+            or "(none)"
+        )
+        + f"; transport errors: {report['transport_errors']}",
+        "endpoints: "
+        + (
+            ", ".join(f"{e}×{c}" for e, c in report["endpoints"].items())
+            or "(none)"
+        ),
+        f"server: {report['server']['requests']:.0f} requests, "
+        f"{report['server']['coalesce_hits']:.0f} coalesce hit(s) "
+        f"(rate {report['server']['coalesce_hit_rate']}), "
+        f"{report['server']['overload_rejections']:.0f} overload rejection(s)",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-loadgen",
+        description="Generate load against a running prediction service.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642)
+    parser.add_argument("--clients", type=int, default=4, help="worker threads")
+    parser.add_argument(
+        "--duration", type=float, default=5.0, help="seconds of sustained load"
+    )
+    parser.add_argument(
+        "--mix",
+        default=DEFAULT_MIX,
+        help="comma-separated endpoint=weight pairs "
+        f"(endpoints: {', '.join(sorted(ENDPOINTS))})",
+    )
+    parser.add_argument("--benchmark", default="compress")
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--seed-offset", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=0, help="mix-selection RNG seed")
+    parser.add_argument("--json", metavar="FILE", help="also write the report as JSON")
+    parser.add_argument(
+        "--spawn",
+        action="store_true",
+        help="boot a throwaway in-process server on an ephemeral port first",
+    )
+    options = parser.parse_args(argv)
+    if options.clients < 1:
+        parser.error("--clients must be >= 1")
+    if options.duration <= 0:
+        parser.error("--duration must be > 0")
+    try:
+        parse_mix(options.mix)
+    except ValueError as error:
+        parser.error(str(error))
+
+    server = None
+    host, port = options.host, options.port
+    if options.spawn:
+        from .server import ServiceConfig, start_background
+
+        server, _ = start_background(ServiceConfig(host="127.0.0.1", port=0))
+        host, port = "127.0.0.1", server.port
+        print(f"spawned in-process server on port {port}", file=sys.stderr)
+    try:
+        report = run_load(
+            host,
+            port,
+            clients=options.clients,
+            duration=options.duration,
+            mix=options.mix,
+            benchmark=options.benchmark,
+            scale=options.scale,
+            seed_offset=options.seed_offset,
+            seed=options.seed,
+        )
+    finally:
+        if server is not None:
+            from .server import shutdown_gracefully
+
+            shutdown_gracefully(server)
+    print(format_report(report))
+    if options.json:
+        with open(options.json, "w") as stream:
+            json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"report written to {options.json}", file=sys.stderr)
+    return 0 if report["requests"] and not report["five_xx"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,282 @@
+"""The HTTP daemon: stdlib ``ThreadingHTTPServer`` over the handlers.
+
+Request lifecycle::
+
+    accept → (draining? → 503) → route → parse body → handler
+           → worker pool for heavy endpoints (429 when saturated)
+           → JSON response (keep-alive, explicit Content-Length)
+
+Every request is instrumented through the process observer:
+``service.requests[.<route>]`` and ``service.latency_seconds.<route>``
+counters, ``service.responses.<class>xx`` totals, a
+``service.queue.depth`` gauge, ``service.rejected.*`` totals, and a
+``service.request`` span per request while span recording is enabled.
+
+Graceful shutdown (:func:`shutdown_gracefully`, wired to
+SIGINT/SIGTERM by :func:`serve`) stops the accept loop, flips the
+drain flag so late requests get a structured 503, waits for in-flight
+requests to finish (bounded by ``drain_seconds``), then closes the
+worker pool and the listening socket.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import socket
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
+from typing import Optional, Tuple
+
+from ..obs import OBS
+from .handlers import KNOWN_PATHS, ROUTES, route_name
+from .state import ApiError, ServiceConfig, ServiceState
+
+#: Request bodies above this are rejected with 413.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared :class:`ServiceState`."""
+
+    # Connection threads are daemonic; the drain logic in
+    # shutdown_gracefully — not thread joining — bounds shutdown time.
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.state = ServiceState(config)
+        super().__init__((config.host, config.port), _RequestHandler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service/1"
+    #: socket timeout — bounds how long an idle keep-alive connection
+    #: can pin a thread during drain
+    timeout = 30
+    #: headers and body leave in separate writes; without TCP_NODELAY,
+    #: Nagle + delayed ACK adds ~40ms to every keep-alive response
+    disable_nagle_algorithm = True
+
+    server: ServiceServer  # narrowed for type checkers
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:
+        if self.server.state.config.verbose:
+            sys.stderr.write(
+                "service: %s %s\n" % (self.address_string(), format % args)
+            )
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status in (429, 503):
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(body)
+        OBS.add(f"service.responses.{status // 100}xx")
+
+    def _read_body(self) -> dict:
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header or 0)
+        except ValueError:
+            raise ApiError(400, "bad_request", "invalid Content-Length header")
+        if length > MAX_BODY_BYTES:
+            # The unread body would be misparsed as the next request on
+            # this keep-alive connection; drop the connection instead.
+            self.close_connection = True
+            raise ApiError(
+                413,
+                "payload_too_large",
+                f"request body exceeds {MAX_BODY_BYTES} bytes",
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ApiError(400, "bad_request", "request body is required")
+        try:
+            body = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ApiError(400, "bad_request", f"body is not valid JSON: {error}")
+        if not isinstance(body, dict):
+            raise ApiError(400, "bad_request", "body must be a JSON object")
+        return body
+
+    # -- dispatch ------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        state = self.server.state
+        path = self.path.split("?", 1)[0]
+        if path != "/" and path.endswith("/"):
+            path = path.rstrip("/")
+        name = route_name(path)
+        state.request_started()
+        started = perf_counter()
+        status = 500
+        try:
+            with OBS.span("service.request", method=method, route=name):
+                status = self._respond(state, method, path)
+        finally:
+            state.request_finished()
+            elapsed = perf_counter() - started
+            OBS.add("service.requests")
+            OBS.add(f"service.requests.{name}")
+            OBS.add(f"service.latency_seconds.{name}", elapsed)
+            if self.server.state.config.verbose:
+                self.log_message("%s %s -> %d (%.1fms)", method, path, status, elapsed * 1e3)
+
+    def _respond(self, state: ServiceState, method: str, path: str) -> int:
+        try:
+            if state.draining:
+                OBS.add("service.rejected.draining")
+                raise ApiError(503, "draining", "server is shutting down")
+            handler = ROUTES.get((method, path))
+            if handler is None:
+                if path in KNOWN_PATHS:
+                    raise ApiError(
+                        405, "method_not_allowed", f"{method} not allowed on {path}"
+                    )
+                raise ApiError(
+                    404,
+                    "unknown_route",
+                    f"no such endpoint: {path}",
+                    available=sorted(f"{m} {p}" for m, p in ROUTES),
+                )
+            body = self._read_body() if method == "POST" else None
+            payload = handler(state, body)
+            self._send_json(200, payload)
+            return 200
+        except ApiError as error:
+            self._send_json(error.status, error.body())
+            return error.status
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+            return 499
+        except Exception as error:  # noqa: BLE001 — must answer something
+            OBS.add("service.errors.internal")
+            self._send_json(
+                500,
+                {
+                    "error": {
+                        "status": 500,
+                        "code": "internal",
+                        "message": f"{type(error).__name__}: {error}",
+                    }
+                },
+            )
+            return 500
+
+
+# -- lifecycle ---------------------------------------------------------------
+
+
+def make_server(config: Optional[ServiceConfig] = None) -> ServiceServer:
+    """Bind a server (``port=0`` picks an ephemeral port); not started."""
+    return ServiceServer(config or ServiceConfig())
+
+
+def start_background(
+    config: Optional[ServiceConfig] = None,
+) -> Tuple[ServiceServer, threading.Thread]:
+    """Bind and run a server on a daemon thread (tests, benches, loadgen)."""
+    server = make_server(config)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+def shutdown_gracefully(server: ServiceServer, drain_seconds: Optional[float] = None) -> bool:
+    """Stop accepting, drain in-flight requests, release resources.
+
+    Returns True when the drain completed inside the deadline; False
+    when lingering requests had to be abandoned (their daemon threads
+    die with the process).
+    """
+    state = server.state
+    state.begin_drain()
+    server.shutdown()  # stop the accept loop (blocks until it exits)
+    timeout = state.config.drain_seconds if drain_seconds is None else drain_seconds
+    drained = state.wait_idle(timeout)
+    state.close()
+    server.server_close()
+    if not drained:
+        OBS.add("service.shutdown.abandoned", state.inflight_requests)
+    return drained
+
+
+def serve(config: Optional[ServiceConfig] = None) -> int:
+    """Run the daemon in the foreground until SIGINT/SIGTERM."""
+    server = make_server(config)
+    state = server.state
+    stop_requested = threading.Event()
+
+    def request_stop(signum, frame) -> None:
+        if not stop_requested.is_set():
+            stop_requested.set()
+            # shutdown() must not run on the thread inside
+            # serve_forever (it would deadlock); hand it off.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous[signum] = signal.signal(signum, request_stop)
+    host = state.config.host
+    print(
+        f"repro-service listening on http://{host}:{server.port} "
+        f"(workers={state.config.workers}, "
+        f"queue_limit={state.config.queue_limit}, "
+        f"lru_size={state.config.lru_size})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+        state.begin_drain()
+        drained = state.wait_idle(state.config.drain_seconds)
+        state.close()
+        try:
+            server.server_close()
+        except OSError:
+            pass
+        print(
+            "repro-service stopped"
+            + ("" if drained else " (abandoned in-flight requests)"),
+            file=sys.stderr,
+            flush=True,
+        )
+    return 0
+
+
+def wait_until_ready(
+    host: str, port: int, timeout: float = 5.0
+) -> bool:
+    """Poll until the listening socket accepts connections."""
+    deadline = perf_counter() + timeout
+    while perf_counter() < deadline:
+        try:
+            with socket.create_connection((host, port), timeout=0.25):
+                return True
+        except OSError:
+            continue
+    return False

@@ -1,0 +1,166 @@
+"""Shared server state: configuration, caches, worker pool, backpressure.
+
+One :class:`ServiceState` lives for the life of the daemon.  It owns
+
+* the per-resource :class:`~repro.service.coalesce.ComputeCache` stack
+  (artifacts, predictor evaluations, planners, trade-off curves);
+* a bounded :class:`~concurrent.futures.ThreadPoolExecutor` the heavy
+  POST endpoints run on, guarded by a semaphore sized
+  ``workers + queue_limit``.  When every slot is taken the request is
+  rejected immediately with 429 instead of piling onto an unbounded
+  queue — the daemon degrades by shedding load, not by falling over;
+* the drain flag and in-flight request accounting graceful shutdown
+  waits on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..obs import OBS
+from .coalesce import ComputeCache
+
+#: Service wire-format version, reported by /healthz.
+SERVICE_VERSION = 1
+
+
+class ApiError(Exception):
+    """An error the server turns into a structured JSON response."""
+
+    def __init__(self, status: int, code: str, message: str, **details: Any) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.details = details
+
+    def body(self) -> dict:
+        error = {"status": self.status, "code": self.code, "message": self.message}
+        if self.details:
+            error["details"] = self.details
+        return {"error": error}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every serve-time knob, in one value object."""
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    #: threads executing heavy (POST) endpoint work
+    workers: int = 4
+    #: additional requests allowed to wait for a worker; beyond
+    #: ``workers + queue_limit`` concurrent heavy requests → 429
+    queue_limit: int = 16
+    #: capacity of each in-process LRU layer
+    lru_size: int = 128
+    #: seconds graceful shutdown waits for in-flight requests
+    drain_seconds: float = 10.0
+    #: log one line per request to stderr
+    verbose: bool = False
+
+
+class ServiceState:
+    """Mutable daemon state shared by every request thread."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.started = time.time()
+        self.draining = False
+        self.artifacts = ComputeCache(config.lru_size, "artifacts")
+        self.predictions = ComputeCache(config.lru_size, "predict")
+        self.planners = ComputeCache(max(8, config.lru_size // 4), "planner")
+        self.plans = ComputeCache(config.lru_size, "plan")
+        self._pool = ThreadPoolExecutor(
+            max_workers=config.workers, thread_name_prefix="repro-svc"
+        )
+        self._slots = threading.BoundedSemaphore(config.workers + config.queue_limit)
+        self._depth_lock = threading.Lock()
+        self._queue_depth = 0
+        self._http_lock = threading.Lock()
+        self._http_inflight = 0
+        self._idle = threading.Condition(self._http_lock)
+
+    # -- heavy work ----------------------------------------------------------
+
+    def run_heavy(self, fn: Callable[[], Any]) -> Any:
+        """Run *fn* on the bounded worker pool; 429 when saturated.
+
+        The calling request thread blocks on the result (the HTTP
+        response needs it) — the pool exists to bound *concurrent
+        compute* and to give overload a cheap, immediate answer.
+        """
+        if not self._slots.acquire(blocking=False):
+            OBS.add("service.rejected.overload")
+            raise ApiError(
+                429,
+                "overloaded",
+                "server is at capacity; retry shortly",
+                queue_capacity=self.config.workers + self.config.queue_limit,
+            )
+        self._bump_depth(+1)
+        try:
+            future = self._pool.submit(fn)
+        except BaseException:
+            self._bump_depth(-1)
+            self._slots.release()
+            raise
+        try:
+            return future.result()
+        finally:
+            self._bump_depth(-1)
+            self._slots.release()
+
+    def _bump_depth(self, delta: int) -> None:
+        with self._depth_lock:
+            self._queue_depth += delta
+            depth = self._queue_depth
+        OBS.set_gauge("service.queue.depth", depth)
+
+    @property
+    def queue_depth(self) -> int:
+        with self._depth_lock:
+            return self._queue_depth
+
+    # -- request accounting (for graceful drain) -----------------------------
+
+    def request_started(self) -> None:
+        with self._http_lock:
+            self._http_inflight += 1
+
+    def request_finished(self) -> None:
+        with self._http_lock:
+            self._http_inflight -= 1
+            if self._http_inflight <= 0:
+                self._idle.notify_all()
+
+    @property
+    def inflight_requests(self) -> int:
+        with self._http_lock:
+            return self._http_inflight
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        deadline = time.monotonic() + timeout
+        with self._http_lock:
+            while self._http_inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        self.draining = True
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def uptime(self) -> float:
+        return time.time() - self.started

@@ -2,14 +2,21 @@
 
 Chosen machines are compiler artefacts worth persisting — a build
 system would compute them once per training run and reuse them across
-compilations.  Round-trips :class:`PredictionMachine`,
-:class:`CorrelatedMachine` and :class:`JointLoopMachine`.
+compilations, and the service layer ships them over the wire.
+Round-trips :class:`PredictionMachine`, :class:`CorrelatedMachine` and
+:class:`JointLoopMachine`.
+
+Every document carries a ``"version"`` stamp (:data:`FORMAT_VERSION`).
+:func:`machine_from_json` rejects documents with a missing or unknown
+version — a consumer must never silently misinterpret a machine written
+by a newer producer — and wraps every malformed-payload failure in
+:class:`MachineFormatError`.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Union
+from typing import Optional, Union
 
 from ..ir import BranchSite
 from .correlated import CorrelatedMachine
@@ -17,6 +24,10 @@ from .joint import JointLoopMachine, JointState
 from .machine import MachineState, PredictionMachine
 
 Machine = Union[PredictionMachine, CorrelatedMachine, JointLoopMachine]
+
+#: Wire-format version stamped into every serialised machine.  Bump on
+#: any schema change; readers reject versions they do not know.
+FORMAT_VERSION = 1
 
 
 class MachineFormatError(Exception):
@@ -27,6 +38,7 @@ def machine_to_json(machine: Machine) -> str:
     """Serialise any machine kind to a JSON string."""
     if isinstance(machine, PredictionMachine):
         document = {
+            "version": FORMAT_VERSION,
             "type": "prediction",
             "kind": machine.kind,
             "initial": machine.initial,
@@ -43,6 +55,7 @@ def machine_to_json(machine: Machine) -> str:
         }
     elif isinstance(machine, CorrelatedMachine):
         document = {
+            "version": FORMAT_VERSION,
             "type": "correlated",
             "kind": machine.kind,
             "paths": [list(p) for p in machine.paths],
@@ -51,6 +64,7 @@ def machine_to_json(machine: Machine) -> str:
         }
     elif isinstance(machine, JointLoopMachine):
         document = {
+            "version": FORMAT_VERSION,
             "type": "joint",
             "kind": machine.kind,
             "initial": machine.initial,
@@ -74,52 +88,144 @@ def machine_to_json(machine: Machine) -> str:
     return json.dumps(document, indent=2)
 
 
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise MachineFormatError(f"malformed machine document: {message}")
+
+
+def _check_state_index(value: object, n_states: int, field: str) -> int:
+    _require(
+        isinstance(value, int) and not isinstance(value, bool),
+        f"{field} must be an integer",
+    )
+    _require(0 <= value < n_states, f"{field} {value} out of range 0..{n_states - 1}")
+    return value  # type: ignore[return-value]
+
+
+def _check_pattern(value: object) -> Optional[tuple]:
+    if value is None:
+        return None
+    _require(
+        isinstance(value, list)
+        and all(isinstance(bit, int) and not isinstance(bit, bool) for bit in value),
+        "pattern must be null or a list of integers",
+    )
+    return tuple(value)
+
+
 def machine_from_json(text: str) -> Machine:
-    """Deserialise a machine written by :func:`machine_to_json`."""
+    """Deserialise a machine written by :func:`machine_to_json`.
+
+    Raises :class:`MachineFormatError` — never a bare
+    ``KeyError``/``TypeError`` — on any malformed payload, and rejects
+    documents whose ``"version"`` is missing or not
+    :data:`FORMAT_VERSION`.
+    """
     try:
         document = json.loads(text)
     except json.JSONDecodeError as error:
         raise MachineFormatError(f"bad JSON: {error}") from None
+    if not isinstance(document, dict):
+        raise MachineFormatError(
+            f"machine document must be a JSON object, got {type(document).__name__}"
+        )
+    version = document.get("version")
+    # bool is an int subclass: json true would equal 1 — reject it too.
+    if isinstance(version, bool) or version != FORMAT_VERSION:
+        raise MachineFormatError(
+            f"unsupported machine format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
     try:
         machine_type = document["type"]
         if machine_type == "prediction":
+            kind = document["kind"]
+            _require(isinstance(kind, str), "kind must be a string")
+            raw_states = document["states"]
+            _require(
+                isinstance(raw_states, list) and raw_states,
+                "states must be a non-empty list",
+            )
+            n_states = len(raw_states)
             states = tuple(
                 MachineState(
-                    entry["name"],
+                    str(entry["name"]),
                     bool(entry["prediction"]),
-                    entry["on_not_taken"],
-                    entry["on_taken"],
-                    tuple(entry["pattern"]) if entry["pattern"] else None,
+                    _check_state_index(entry["on_not_taken"], n_states, "on_not_taken"),
+                    _check_state_index(entry["on_taken"], n_states, "on_taken"),
+                    _check_pattern(entry["pattern"]),
                 )
-                for entry in document["states"]
+                for entry in raw_states
             )
-            return PredictionMachine(states, document["initial"], document["kind"])
+            initial = _check_state_index(document["initial"], n_states, "initial")
+            return PredictionMachine(states, initial, kind)
         if machine_type == "correlated":
+            kind = document["kind"]
+            _require(isinstance(kind, str), "kind must be a string")
+            raw_paths = document["paths"]
+            _require(isinstance(raw_paths, list), "paths must be a list")
+            paths = []
+            for raw in raw_paths:
+                _require(
+                    isinstance(raw, list)
+                    and len(raw) == 2
+                    and all(
+                        isinstance(part, int) and not isinstance(part, bool)
+                        for part in raw
+                    ),
+                    "each path must be a [pattern, depth] integer pair",
+                )
+                paths.append(tuple(raw))
+            raw_predictions = document["predictions"]
+            _require(
+                isinstance(raw_predictions, list)
+                and len(raw_predictions) == len(paths),
+                "predictions must be a list aligned with paths",
+            )
+            fallback = document["fallback"]
+            _require(isinstance(fallback, bool), "fallback must be a boolean")
             return CorrelatedMachine(
-                tuple(tuple(p) for p in document["paths"]),
-                tuple(bool(p) for p in document["predictions"]),
-                bool(document["fallback"]),
-                document["kind"],
+                tuple(paths),
+                tuple(bool(p) for p in raw_predictions),
+                fallback,
+                kind,
             )
         if machine_type == "joint":
-            sites = tuple(
-                BranchSite(function, block)
-                for function, block in document["sites"]
+            kind = document["kind"]
+            _require(isinstance(kind, str), "kind must be a string")
+            raw_sites = document["sites"]
+            _require(isinstance(raw_sites, list), "sites must be a list")
+            _require(
+                all(isinstance(pair, list) and len(pair) == 2 for pair in raw_sites),
+                "each site must be a [function, block] pair",
             )
+            sites = tuple(
+                BranchSite(str(function), str(block))
+                for function, block in raw_sites
+            )
+            raw_states = document["states"]
+            _require(
+                isinstance(raw_states, list) and raw_states,
+                "states must be a non-empty list",
+            )
+            n_states = len(raw_states)
             states = tuple(
                 JointState(
-                    entry["name"],
+                    str(entry["name"]),
                     tuple(
-                        (BranchSite(function, block), bool(p))
+                        (BranchSite(str(function), str(block)), bool(p))
                         for function, block, p in entry["predictions"]
                     ),
-                    entry["on_not_taken"],
-                    entry["on_taken"],
-                    tuple(entry["pattern"]) if entry["pattern"] else None,
+                    _check_state_index(entry["on_not_taken"], n_states, "on_not_taken"),
+                    _check_state_index(entry["on_taken"], n_states, "on_taken"),
+                    _check_pattern(entry["pattern"]),
                 )
-                for entry in document["states"]
+                for entry in raw_states
             )
-            return JointLoopMachine(sites, states, document["initial"], document["kind"])
+            initial = _check_state_index(document["initial"], n_states, "initial")
+            return JointLoopMachine(sites, states, initial, kind)
+    except MachineFormatError:
+        raise
     except (KeyError, TypeError, ValueError) as error:
         raise MachineFormatError(f"malformed machine document: {error}") from None
     raise MachineFormatError(f"unknown machine type {machine_type!r}")

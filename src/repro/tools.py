@@ -13,6 +13,11 @@ Works on textual IR files (see :mod:`repro.ir.parser` for the format):
 the best machine per branch, replicate, annotate and report the
 measured misprediction improvement; the transformed program is written
 back as text.
+
+`serve` runs the prediction-as-a-service daemon (no IR file — it works
+on the built-in benchmark suite over HTTP; see :mod:`repro.service`):
+
+    python -m repro serve --port 8642 --workers 4
 """
 
 from __future__ import annotations
@@ -174,6 +179,22 @@ def cmd_machines(options) -> int:
     return 0
 
 
+def cmd_serve(options) -> int:
+    from .service import ServiceConfig, serve
+
+    return serve(
+        ServiceConfig(
+            host=options.host,
+            port=options.port,
+            workers=options.workers,
+            queue_limit=options.queue_limit,
+            lru_size=options.lru_size,
+            drain_seconds=options.drain_seconds,
+            verbose=options.verbose,
+        )
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Semi-static branch prediction toolkit"
@@ -219,6 +240,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-states", type=int, default=6)
     p.add_argument("--dot", action="store_true", help="also emit Graphviz DOT")
     p.set_defaults(func=cmd_machines)
+
+    p = sub.add_parser("serve", help="run the prediction-as-a-service daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--workers", type=int, default=4,
+                   help="threads executing heavy endpoint work")
+    p.add_argument("--queue-limit", type=int, default=16,
+                   help="extra requests allowed to queue before 429")
+    p.add_argument("--lru-size", type=int, default=128,
+                   help="capacity of each in-process result cache")
+    p.add_argument("--drain-seconds", type=float, default=10.0,
+                   help="graceful-shutdown drain deadline")
+    p.add_argument("--verbose", action="store_true",
+                   help="log one line per request to stderr")
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -418,21 +418,33 @@ def cached_on_disk(
 
 
 def disk_cache_entries() -> List[str]:
-    """Artifact file names currently present in the disk cache."""
+    """Artifact file names currently present in the disk cache.
+
+    The directory may be modified — or removed outright — by a
+    concurrent writer or :func:`clear_disk_cache` (e.g. another request
+    thread of the service daemon) between the existence check and the
+    scan; that race answers ``[]``, never raises.
+    """
     directory = cache_dir()
-    if directory is None or not os.path.isdir(directory):
+    if directory is None:
+        return []
+    try:
+        entries = os.listdir(directory)
+    except OSError:
         return []
     return sorted(
-        entry
-        for entry in os.listdir(directory)
-        if entry.endswith((".trace", ".aux"))
+        entry for entry in entries if entry.endswith((".trace", ".aux"))
     )
 
 
 def clear_disk_cache() -> int:
-    """Delete every artifact file in the cache directory; returns count."""
+    """Delete every artifact file in the cache directory; returns count.
+
+    Entries deleted by a concurrent clearer between the scan and the
+    unlink are skipped (and not counted), never an error.
+    """
     directory = cache_dir()
-    if directory is None or not os.path.isdir(directory):
+    if directory is None:
         return 0
     removed = 0
     for entry in disk_cache_entries():
@@ -445,7 +457,12 @@ def clear_disk_cache() -> int:
 
 
 def disk_cache_bytes() -> int:
-    """Total size of the artifact files in the disk cache."""
+    """Total size of the artifact files in the disk cache.
+
+    Entries that vanish between the scan and the stat contribute zero
+    bytes — a concurrent writer/clearer must not turn accounting into
+    an exception.
+    """
     directory = cache_dir()
     if directory is None:
         return 0

@@ -188,3 +188,89 @@ class TestParallelFanOut:
         timings = generate_artifacts([(NAME, 1, 0)], jobs=8)
         assert len(timings) == 1
         assert cache_stats().interpreter_runs == 1
+
+
+class TestDiskCacheRaces:
+    """The maintenance scanners must tolerate a concurrent writer or
+    clearer mutating the directory mid-scan — the service daemon runs
+    them from request threads while other threads fill the cache."""
+
+    def test_entries_empty_when_directory_never_existed(self, fresh_cache):
+        assert artifact_store.disk_cache_entries() == []
+        assert artifact_store.disk_cache_bytes() == 0
+        assert artifact_store.clear_disk_cache() == 0
+
+    def test_entries_tolerate_directory_vanishing_mid_scan(
+        self, fresh_cache, monkeypatch
+    ):
+        import shutil
+
+        get_artifacts(NAME)
+        assert artifact_store.disk_cache_entries()
+        # Simulate the directory being removed between the existence
+        # check and the scan: listdir raises on a vanished directory.
+        real_listdir = os.listdir
+
+        def vanished(path):
+            if str(path) == str(fresh_cache):
+                raise FileNotFoundError(path)
+            return real_listdir(path)
+
+        monkeypatch.setattr(os, "listdir", vanished)
+        assert artifact_store.disk_cache_entries() == []
+        assert artifact_store.disk_cache_bytes() == 0
+        assert artifact_store.clear_disk_cache() == 0
+        monkeypatch.undo()
+        shutil.rmtree(fresh_cache)
+        assert artifact_store.disk_cache_entries() == []
+
+    def test_bytes_and_clear_tolerate_entries_vanishing_mid_scan(
+        self, fresh_cache, monkeypatch
+    ):
+        get_artifacts(NAME)
+        real_entries = artifact_store.disk_cache_entries()
+        assert real_entries
+        # A concurrent clearer deleted the files after the scan listed
+        # them: stat/unlink hit phantoms and must skip, not raise.
+        phantoms = real_entries + ["phantom-v1.trace", "phantom-v1.aux"]
+        monkeypatch.setattr(
+            artifact_store, "disk_cache_entries", lambda: list(phantoms)
+        )
+        expected = sum(
+            os.path.getsize(os.path.join(fresh_cache, entry))
+            for entry in real_entries
+        )
+        assert artifact_store.disk_cache_bytes() == expected
+        assert artifact_store.clear_disk_cache() == len(real_entries)
+        # Second clear: everything is already gone, still no error.
+        assert artifact_store.clear_disk_cache() == 0
+
+    def test_concurrent_writers_and_clearers_never_raise(self, fresh_cache):
+        """A writer hammering the cache while a clearer hammers
+        clear_disk_cache/disk_cache_bytes: no exception on any side."""
+        import threading
+
+        errors = []
+        stop = threading.Event()
+
+        def clearer():
+            try:
+                while not stop.is_set():
+                    artifact_store.disk_cache_entries()
+                    artifact_store.disk_cache_bytes()
+                    artifact_store.clear_disk_cache()
+            except Exception as error:  # pragma: no cover - diagnostic
+                errors.append(error)
+
+        threads = [threading.Thread(target=clearer) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for seed in range(10):
+                clear_memory_cache()
+                get_artifacts(NAME, seed_offset=seed % 3)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(10)
+        assert not errors

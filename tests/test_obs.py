@@ -236,3 +236,105 @@ class TestExporters:
         write_chrome_trace(str(path), self._snapshot(obs))
         doc = json.loads(path.read_text())
         assert doc["traceEvents"]
+
+
+class TestConcurrency:
+    """The audit the service daemon depends on: counter mutations from
+    concurrent server threads must never lose updates.  All of
+    ``add``/``set_gauge``/``merge``/``snapshot`` serialise on the
+    observer lock; these hammers assert *exact* totals, which any lost
+    read-modify-write would break."""
+
+    THREADS = 8
+    ITERATIONS = 2_000
+
+    def _hammer(self, worker):
+        import threading
+
+        barrier = threading.Barrier(self.THREADS)
+        errors = []
+
+        def run(index):
+            try:
+                barrier.wait(10)
+                worker(index)
+            except Exception as error:  # pragma: no cover - diagnostic
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=run, args=(index,))
+            for index in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert not errors
+
+    def test_concurrent_add_totals_are_exact(self):
+        observer = Observer()
+
+        def worker(index):
+            for _ in range(self.ITERATIONS):
+                observer.add("hammer.count")
+                observer.add("hammer.bytes", 3)
+                observer.add("hammer.seconds", 0.25)
+
+        self._hammer(worker)
+        counters = observer.counters("hammer.")
+        assert counters["hammer.count"] == self.THREADS * self.ITERATIONS
+        assert counters["hammer.bytes"] == 3 * self.THREADS * self.ITERATIONS
+        assert counters["hammer.seconds"] == 0.25 * self.THREADS * self.ITERATIONS
+
+    def test_concurrent_merge_totals_are_exact(self):
+        observer = Observer()
+
+        def worker(index):
+            for _ in range(self.ITERATIONS):
+                observer.merge({"x": 1, "y": 2.0}, counter_prefix="workers.")
+
+        self._hammer(worker)
+        counters = observer.counters("workers.")
+        assert counters["workers.x"] == self.THREADS * self.ITERATIONS
+        assert counters["workers.y"] == 2.0 * self.THREADS * self.ITERATIONS
+
+    def test_concurrent_mixed_mutation_and_snapshot(self):
+        """add + set_gauge + merge + snapshot racing: exact counter
+        totals, a gauge holding one of the written values, and no
+        mid-mutation snapshot corruption."""
+        observer = Observer()
+        snapshots = []
+
+        def worker(index):
+            for iteration in range(self.ITERATIONS):
+                observer.add("mixed.count")
+                observer.set_gauge("mixed.gauge", index)
+                observer.merge({"m": 1}, counter_prefix="mixed.")
+                if iteration % 500 == 0:
+                    snapshots.append(observer.snapshot())
+
+        self._hammer(worker)
+        counters = observer.counters("mixed.")
+        assert counters["mixed.count"] == self.THREADS * self.ITERATIONS
+        assert counters["mixed.m"] == self.THREADS * self.ITERATIONS
+        assert counters["mixed.gauge"] in range(self.THREADS)
+        # Snapshots taken mid-hammer are internally consistent copies.
+        for snapshot in snapshots:
+            assert snapshot.counters.get("mixed.count", 0) <= (
+                self.THREADS * self.ITERATIONS
+            )
+
+    def test_concurrent_spans_all_recorded(self):
+        observer = Observer()
+        observer.enable()
+
+        def worker(index):
+            for _ in range(200):
+                with observer.span("hammer.span", worker=index):
+                    pass
+
+        self._hammer(worker)
+        spans = observer.spans()
+        assert len(spans) == self.THREADS * 200
+        # Per-thread nesting stayed flat despite the concurrency.
+        assert {span.depth for span in spans} == {0}

@@ -1,0 +1,185 @@
+"""Unit tests for the service caching primitives (no sockets)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.coalesce import (
+    SOURCE_COALESCED,
+    SOURCE_COMPUTED,
+    SOURCE_LRU,
+    ComputeCache,
+    LRUCache,
+    SingleFlight,
+)
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        cache = LRUCache(4)
+        assert cache.get("k") == (False, None)
+        cache.put("k", 42)
+        assert cache.get("k") == (True, 42)
+
+    def test_cached_none_is_a_hit(self):
+        cache = LRUCache(2)
+        cache.put("k", None)
+        assert cache.get("k") == (True, None)
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == (True, 1)  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert cache.get("b") == (False, None)
+        assert cache.get("a") == (True, 1)
+        assert cache.get("c") == (True, 3)
+
+    def test_put_existing_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh + overwrite
+        cache.put("c", 3)  # evicts b, not a
+        assert cache.get("a") == (True, 10)
+        assert cache.get("b") == (False, None)
+
+    def test_capacity_validation_and_len(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+        cache = LRUCache(3)
+        for index in range(5):
+            cache.put(index, index)
+        assert len(cache) == 3
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestSingleFlight:
+    def test_single_caller_is_leader(self):
+        flight = SingleFlight()
+        value, leader = flight.do("k", lambda: 7)
+        assert (value, leader) == (7, True)
+        assert flight.inflight() == 0
+
+    def test_concurrent_identical_keys_compute_once(self):
+        flight = SingleFlight()
+        calls = []
+        release = threading.Event()
+        barrier = threading.Barrier(6)
+
+        def compute():
+            calls.append(1)
+            release.wait(5)
+            return "result"
+
+        results = []
+
+        def worker():
+            barrier.wait(5)
+            results.append(flight.do("k", compute))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        # Let every follower latch on before the leader finishes.
+        deadline = time.monotonic() + 5
+        while flight.inflight() == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        time.sleep(0.05)
+        release.set()
+        for thread in threads:
+            thread.join(5)
+        assert len(calls) == 1
+        assert [value for value, _ in results] == ["result"] * 6
+        assert sum(1 for _, leader in results if leader) == 1
+
+    def test_distinct_keys_do_not_coalesce(self):
+        flight = SingleFlight()
+        assert flight.do("a", lambda: 1) == (1, True)
+        assert flight.do("b", lambda: 2) == (2, True)
+
+    def test_leader_error_propagates_to_followers(self):
+        flight = SingleFlight()
+        release = threading.Event()
+        barrier = threading.Barrier(3)
+        outcomes = []
+
+        def compute():
+            release.wait(5)
+            raise RuntimeError("boom")
+
+        def worker():
+            barrier.wait(5)
+            try:
+                flight.do("k", compute)
+                outcomes.append("ok")
+            except RuntimeError:
+                outcomes.append("error")
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 5
+        while flight.inflight() == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        time.sleep(0.05)
+        release.set()
+        for thread in threads:
+            thread.join(5)
+        assert outcomes == ["error"] * 3
+        # A failed flight must not wedge the key.
+        assert flight.do("k", lambda: 5) == (5, True)
+
+
+class TestComputeCache:
+    def test_sources_lru_and_computed(self):
+        cache = ComputeCache(4, "unit")
+        value, source = cache.get("k", lambda: 11)
+        assert (value, source) == (11, SOURCE_COMPUTED)
+        value, source = cache.get("k", lambda: 99)  # must not recompute
+        assert (value, source) == (11, SOURCE_LRU)
+
+    def test_concurrent_misses_coalesce(self):
+        cache = ComputeCache(4, "unit")
+        calls = []
+        release = threading.Event()
+        barrier = threading.Barrier(5)
+        sources = []
+
+        def compute():
+            calls.append(1)
+            release.wait(5)
+            return "v"
+
+        def worker():
+            barrier.wait(5)
+            value, source = cache.get("k", compute)
+            assert value == "v"
+            sources.append(source)
+
+        threads = [threading.Thread(target=worker) for _ in range(5)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.1)
+        release.set()
+        for thread in threads:
+            thread.join(5)
+        assert len(calls) == 1
+        assert sources.count(SOURCE_COMPUTED) == 1
+        assert sources.count(SOURCE_COALESCED) == 4
+        # And the value is now resident: a late caller hits the LRU.
+        assert cache.get("k", lambda: "other") == ("v", SOURCE_LRU)
+
+    def test_counters_flow_to_obs(self):
+        from repro.obs import OBS
+
+        OBS.reset(prefix="service.cache.unitctr.")
+        cache = ComputeCache(4, "unitctr")
+        cache.get("k", lambda: 1)
+        cache.get("k", lambda: 1)
+        counters = OBS.counters("service.cache.unitctr.")
+        assert counters["service.cache.unitctr.misses"] == 1
+        assert counters["service.cache.unitctr.hits"] == 1

@@ -1,5 +1,7 @@
 """Machine serialisation tests."""
 
+import json
+
 import pytest
 
 from repro.ir import BranchSite
@@ -15,6 +17,7 @@ from repro.statemachines import (
     machine_from_json,
     machine_to_json,
 )
+from repro.statemachines.serialize import FORMAT_VERSION
 
 
 def alternator_machine() -> PredictionMachine:
@@ -63,19 +66,99 @@ def test_joint_machine_roundtrip():
     assert loaded.simulate(events) == machine.simulate(events)
 
 
+def correlated_machine() -> CorrelatedMachine:
+    return CorrelatedMachine(
+        paths=((0b1, 1), (0b10, 2)),
+        predictions=(True, False),
+        fallback=True,
+    )
+
+
+def joint_machine() -> JointLoopMachine:
+    a, b = BranchSite("f", "a"), BranchSite("f", "b")
+    return JointLoopMachine(
+        (a, b),
+        (
+            JointState("0", ((a, True), (b, False)), 0, 1, (0, 1)),
+            JointState("1", ((a, False), (b, True)), 0, 1, (1, 1)),
+        ),
+        initial=0,
+    )
+
+
+ALL_KINDS = (alternator_machine, correlated_machine, joint_machine)
+
+
 def test_bad_json_rejected():
     with pytest.raises(MachineFormatError):
         machine_from_json("{not json")
 
 
+def test_non_object_document_rejected():
+    for text in ("[1, 2, 3]", '"prediction"', "17", "null"):
+        with pytest.raises(MachineFormatError):
+            machine_from_json(text)
+
+
 def test_unknown_type_rejected():
     with pytest.raises(MachineFormatError):
-        machine_from_json('{"type": "quantum"}')
+        machine_from_json(json.dumps({"version": FORMAT_VERSION, "type": "quantum"}))
 
 
 def test_missing_fields_rejected():
     with pytest.raises(MachineFormatError):
-        machine_from_json('{"type": "prediction", "states": [{}]}')
+        machine_from_json(
+            json.dumps(
+                {"version": FORMAT_VERSION, "type": "prediction", "states": [{}]}
+            )
+        )
+
+
+@pytest.mark.parametrize("make", ALL_KINDS, ids=lambda fn: fn.__name__)
+def test_documents_carry_the_format_version(make):
+    document = json.loads(machine_to_json(make()))
+    assert document["version"] == FORMAT_VERSION
+
+
+@pytest.mark.parametrize("make", ALL_KINDS, ids=lambda fn: fn.__name__)
+def test_versioned_round_trip(make):
+    machine = make()
+    assert machine_from_json(machine_to_json(machine)) == machine
+
+
+@pytest.mark.parametrize("make", ALL_KINDS, ids=lambda fn: fn.__name__)
+def test_missing_version_rejected(make):
+    document = json.loads(machine_to_json(make()))
+    del document["version"]
+    with pytest.raises(MachineFormatError, match="version"):
+        machine_from_json(json.dumps(document))
+
+
+@pytest.mark.parametrize("make", ALL_KINDS, ids=lambda fn: fn.__name__)
+@pytest.mark.parametrize("version", [0, FORMAT_VERSION + 1, "1", None, 1.5])
+def test_unknown_version_rejected(make, version):
+    document = json.loads(machine_to_json(make()))
+    document["version"] = version
+    with pytest.raises(MachineFormatError, match="version"):
+        machine_from_json(json.dumps(document))
+
+
+@pytest.mark.parametrize("make", ALL_KINDS, ids=lambda fn: fn.__name__)
+def test_malformed_payload_rejected_not_crashed(make):
+    """Structurally broken documents of every kind raise MachineFormatError,
+    never a bare KeyError/TypeError/ValueError."""
+    document = json.loads(machine_to_json(make()))
+    breakages = []
+    for key in document:
+        if key in ("version", "type"):
+            continue
+        broken = dict(document)
+        del broken[key]
+        breakages.append(broken)
+        breakages.append(dict(document, **{key: {"bogus": True}}))
+    for broken in breakages:
+        with pytest.raises(MachineFormatError):
+            machine_from_json(json.dumps(broken))
 
 
 def test_pattern_none_roundtrips():

@@ -119,3 +119,34 @@ def test_machines_dot(ir_file, capsys):
         ["machines", ir_file, "--args", "100", "--branch", "main:body", "--dot"]
     ) == 0
     assert "digraph" in capsys.readouterr().out
+
+
+def test_serve_subcommand_registered_with_defaults():
+    """`repro serve` parses and carries the daemon's config knobs; the
+    blocking serve loop itself is exercised by tests/test_service.py."""
+    from repro.tools import build_parser, cmd_serve
+
+    options = build_parser().parse_args(["serve"])
+    assert options.func is cmd_serve
+    assert options.host == "127.0.0.1"
+    assert options.port == 8642
+    assert options.workers == 4
+    assert options.queue_limit == 16
+    assert options.lru_size == 128
+    assert options.drain_seconds == 10.0
+    assert options.verbose is False
+    custom = build_parser().parse_args(
+        ["serve", "--port", "0", "--workers", "2", "--queue-limit", "1",
+         "--lru-size", "8", "--drain-seconds", "0.5", "--verbose"]
+    )
+    assert (custom.port, custom.workers, custom.queue_limit) == (0, 2, 1)
+    assert custom.verbose is True
+
+
+def test_serve_module_entry_points_exist():
+    """python -m repro.service and python -m repro.service.loadgen are
+    importable entry points (run via their mains elsewhere)."""
+    import importlib
+
+    loadgen = importlib.import_module("repro.service.loadgen")
+    assert callable(loadgen.main)
