@@ -20,6 +20,9 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_eval_smoke.py \
         --output BENCH_eval.json [--names a,b] [--scale 1] \
         [--repeats 3] [--min-speedup 2.0] [--max-obs-overhead 0.05]
+
+The tracked metrics (speedup, events/s) also append one row to
+``BENCH_history.jsonl`` (see ``benchmarks/history.py``).
 """
 
 from __future__ import annotations
@@ -81,6 +84,12 @@ def main(argv: List[str] = None) -> int:
         "with span recording enabled (bounds the obs-disabled overhead)",
     )
     parser.add_argument("--output", default="BENCH_eval.json")
+    parser.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="perf-history file to append the tracked metrics to "
+        "('' disables)",
+    )
     args = parser.parse_args(argv)
     names = (
         [n for n in args.names.split(",") if n] if args.names else BENCHMARK_NAMES
@@ -154,6 +163,7 @@ def main(argv: List[str] = None) -> int:
             "events_per_second": events * n_predictors / single_pass_seconds,
         },
         "speedup": speedup,
+        "events_per_second": events * n_predictors / single_pass_seconds,
         "min_speedup": args.min_speedup,
         "obs": {
             "enabled_seconds": obs_enabled_seconds,
@@ -171,6 +181,16 @@ def main(argv: List[str] = None) -> int:
         f"({speedup:.2f}x, {events} events x {n_predictors} predictors); "
         f"obs overhead {obs_overhead:+.1%} -> {args.output}"
     )
+    if args.history:
+        import history
+
+        history.append_row(
+            "eval",
+            report,
+            history_path=args.history,
+            context={"benchmarks": list(names), "scale": args.scale},
+        )
+        print(f"history row appended to {args.history}")
 
     if mismatches:
         print(f"FAIL: results differ: {', '.join(mismatches)}", file=sys.stderr)

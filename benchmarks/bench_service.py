@@ -11,10 +11,19 @@ two phases:
 2. **Sustained load** — the stock load generator drives the default
    endpoint mix for ``--duration`` seconds against the now-warm cache
    and reports req/s and latency percentiles.
+3. **Latency agreement** — a compute-dominated run (cold keys via seed
+   jitter, artifacts only) where the server's own ``/metrics`` latency
+   histogram must agree with the client-observed p95 within
+   ``--agreement-tolerance`` (default 25%).  Cold keys make the
+   interpreter—not fixed per-request overhead—the latency, so the two
+   views measure the same thing; disagreement means the histogram (or
+   the scrape-delta quantile math) is lying.
 
 The combined report goes to ``BENCH_service.json`` and the run exits
 non-zero when throughput falls below ``--min-rps``, any 5xx is
-returned, or no request ever coalesced.
+returned, no request ever coalesced, or the server/client p95s
+disagree.  The tracked metrics also append one row to
+``BENCH_history.jsonl`` (see ``benchmarks/history.py``).
 
 Usage::
 
@@ -46,6 +55,35 @@ from repro.service import (
 #: seed_offset for the burst phase — outside the range any test or the
 #: sustained phase uses, so the server's LRU is guaranteed cold for it.
 BURST_SEED_OFFSET = 7321
+
+#: seed_offset base + jitter for the agreement phase — far from both
+#: the burst key and the sustained phase, and wide enough that nearly
+#: every request computes.
+AGREEMENT_SEED_BASE = 100_000
+AGREEMENT_SEED_JITTER = 50_000
+
+#: agreement phase is skipped (not failed) below this many completed
+#: requests — quantiles over a handful of samples are noise.
+AGREEMENT_MIN_REQUESTS = 50
+
+
+def latency_agreement(sustained_like: dict, tolerance: float) -> dict:
+    """Compare client p95 with the server's ``/metrics``-delta p95."""
+    client_p95 = sustained_like["p95_ms"]
+    server = sustained_like["server"].get("latency", {})
+    server_p95 = server.get("p95_ms", 0.0)
+    requests = sustained_like["requests"]
+    checked = requests >= AGREEMENT_MIN_REQUESTS and client_p95 > 0
+    diff = abs(client_p95 - server_p95) / client_p95 if client_p95 else 0.0
+    return {
+        "requests": requests,
+        "client_p95_ms": client_p95,
+        "server_p95_ms": server_p95,
+        "relative_difference": round(diff, 4),
+        "tolerance": tolerance,
+        "checked": checked,
+        "agrees": (diff <= tolerance) if checked else True,
+    }
 
 
 def _counters(host: str, port: int) -> Dict[str, float]:
@@ -109,6 +147,19 @@ def main(argv=None) -> int:
         default=200.0,
         help="fail when sustained req/s falls below this floor",
     )
+    parser.add_argument(
+        "--agreement-tolerance",
+        type=float,
+        default=0.25,
+        help="max relative difference between client p95 and the "
+        "server's /metrics-delta p95 in the agreement phase",
+    )
+    parser.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="perf-history file to append the tracked metrics to "
+        "('' disables)",
+    )
     args = parser.parse_args(argv)
 
     # A private artifact cache dir guarantees the burst key is cold —
@@ -136,12 +187,24 @@ def main(argv=None) -> int:
             duration=args.duration,
             benchmark=args.benchmark,
         )
+        print("latency-agreement phase (cold keys, compute-dominated)...")
+        agreement_load = run_load(
+            host,
+            port,
+            clients=args.clients,
+            duration=max(args.duration, 3.0),
+            mix="artifacts=1",
+            benchmark=args.benchmark,
+            seed_offset=AGREEMENT_SEED_BASE,
+            seed_jitter=AGREEMENT_SEED_JITTER,
+        )
     finally:
         shutdown_gracefully(server)
         shutil.rmtree(cache_root, ignore_errors=True)
 
     coalesce_hits = burst["coalesce_hits"] + sustained["server"]["coalesce_hits"]
     total_requests = len(burst["statuses"]) + sustained["requests"]
+    agreement = latency_agreement(agreement_load, args.agreement_tolerance)
     report = {
         "benchmark": args.benchmark,
         "req_per_s": sustained["req_per_s"],
@@ -149,6 +212,7 @@ def main(argv=None) -> int:
         "p95_ms": sustained["p95_ms"],
         "p99_ms": sustained["p99_ms"],
         "five_xx": sustained["five_xx"]
+        + agreement_load["five_xx"]
         + sum(1 for status in burst["statuses"] if status >= 500),
         "coalesce_hits": coalesce_hits,
         "coalesce_hit_rate": round(coalesce_hits / total_requests, 6)
@@ -157,6 +221,7 @@ def main(argv=None) -> int:
         "min_rps": args.min_rps,
         "burst": burst,
         "sustained": sustained,
+        "agreement": agreement,
     }
     with open(args.output, "w") as stream:
         json.dump(report, stream, indent=2, sort_keys=True)
@@ -166,6 +231,24 @@ def main(argv=None) -> int:
         f"p99 {report['p99_ms']}ms; coalesce hit rate "
         f"{report['coalesce_hit_rate']} -> {args.output}"
     )
+    print(
+        f"agreement: client p95 {agreement['client_p95_ms']}ms vs server "
+        f"p95 {agreement['server_p95_ms']}ms over {agreement['requests']} "
+        f"request(s) ({agreement['relative_difference']:.1%} apart, "
+        f"tolerance {agreement['tolerance']:.0%}"
+        + ("" if agreement["checked"] else ", too few samples — skipped")
+        + ")"
+    )
+    if args.history:
+        import history
+
+        history.append_row(
+            "service",
+            report,
+            history_path=args.history,
+            context={"benchmark": args.benchmark, "clients": args.clients},
+        )
+        print(f"history row appended to {args.history}")
 
     if report["five_xx"]:
         print(f"FAIL: {report['five_xx']} 5xx response(s)", file=sys.stderr)
@@ -179,6 +262,15 @@ def main(argv=None) -> int:
         return 1
     if not report["coalesce_hits"]:
         print("FAIL: no request ever coalesced", file=sys.stderr)
+        return 1
+    if not agreement["agrees"]:
+        print(
+            f"FAIL: server p95 {agreement['server_p95_ms']}ms disagrees "
+            f"with client p95 {agreement['client_p95_ms']}ms by "
+            f"{agreement['relative_difference']:.1%} "
+            f"(> {agreement['tolerance']:.0%})",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

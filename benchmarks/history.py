@@ -1,0 +1,234 @@
+"""Perf-history tracker: append bench results, flag regressions.
+
+Every ``bench_*.py`` run appends one schema-versioned row per suite to
+``BENCH_history.jsonl`` (one JSON object per line — trivially
+appendable, mergeable across CI runs, greppable).  ``check`` mode
+compares the newest row of each suite against the median of the
+previous rows and fails when any tracked metric regressed by more than
+``--threshold`` (default 30%) — the CI gate that turns "the bench
+still *ran*" into "the bench is still *fast*".
+
+Usage::
+
+    python benchmarks/history.py append --suite eval BENCH_eval.json
+    python benchmarks/history.py append --suite service BENCH_service.json
+    python benchmarks/history.py check [--history BENCH_history.jsonl]
+
+The module is import-friendly (``append_row``/``check_history``) so the
+bench scripts call it directly instead of shelling out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+#: Bump when a row's shape changes; check ignores rows from other
+#: schema versions instead of misreading them.
+SCHEMA_VERSION = 1
+
+DEFAULT_HISTORY = "BENCH_history.jsonl"
+DEFAULT_THRESHOLD = 0.30
+
+#: How many previous rows the comparison baseline is the median of.
+BASELINE_WINDOW = 5
+
+#: suite -> {metric: direction}.  "higher" means bigger is better (a
+#: drop is a regression); "lower" means smaller is better (a rise is a
+#: regression).  Metrics absent from a row are simply not compared.
+TRACKED: Dict[str, Dict[str, str]] = {
+    "eval": {
+        "speedup": "higher",
+        "events_per_second": "higher",
+    },
+    "service": {
+        "req_per_s": "higher",
+        "p95_ms": "lower",
+    },
+}
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+def make_row(suite: str, metrics: Dict[str, float], context: Optional[dict] = None) -> dict:
+    """One history row; only tracked metrics are kept."""
+    tracked = TRACKED.get(suite, {})
+    kept = {
+        name: float(metrics[name])
+        for name in tracked
+        if name in metrics and isinstance(metrics[name], (int, float))
+    }
+    row = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "timestamp": time.time(),
+        "metrics": kept,
+    }
+    if context:
+        row["context"] = context
+    return row
+
+
+def append_row(
+    suite: str,
+    metrics: Dict[str, float],
+    history_path: str = DEFAULT_HISTORY,
+    context: Optional[dict] = None,
+) -> dict:
+    """Append one row for *suite* to the history file; returns the row."""
+    row = make_row(suite, metrics, context)
+    with open(history_path, "a") as stream:
+        stream.write(json.dumps(row, sort_keys=True) + "\n")
+    return row
+
+
+def load_history(history_path: str = DEFAULT_HISTORY) -> List[dict]:
+    """Every well-formed current-schema row, in file order.
+
+    Unparseable lines and rows from other schema versions are skipped
+    (an interrupted append or an old format must not wedge the gate).
+    """
+    rows: List[dict] = []
+    if not os.path.exists(history_path):
+        return rows
+    with open(history_path) as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if (
+                isinstance(row, dict)
+                and row.get("schema_version") == SCHEMA_VERSION
+                and isinstance(row.get("metrics"), dict)
+                and row.get("suite") in TRACKED
+            ):
+                rows.append(row)
+    return rows
+
+
+def check_history(
+    history_path: str = DEFAULT_HISTORY,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[List[str], List[str]]:
+    """``(failures, notes)`` comparing each suite's newest row to baseline.
+
+    The baseline per metric is the **median** of up to
+    :data:`BASELINE_WINDOW` immediately preceding rows — robust to a
+    single lucky or noisy historical run.  A suite with no preceding
+    rows produces a note, never a failure (first run seeds the
+    history).
+    """
+    failures: List[str] = []
+    notes: List[str] = []
+    by_suite: Dict[str, List[dict]] = {}
+    for row in load_history(history_path):
+        by_suite.setdefault(row["suite"], []).append(row)
+    if not by_suite:
+        notes.append(f"{history_path}: no history rows yet")
+        return failures, notes
+
+    for suite, rows in sorted(by_suite.items()):
+        latest = rows[-1]
+        previous = rows[:-1][-BASELINE_WINDOW:]
+        if not previous:
+            notes.append(f"{suite}: first recorded run, nothing to compare")
+            continue
+        for metric, direction in sorted(TRACKED[suite].items()):
+            current = latest["metrics"].get(metric)
+            baseline_values = [
+                row["metrics"][metric]
+                for row in previous
+                if isinstance(row["metrics"].get(metric), (int, float))
+            ]
+            if current is None or not baseline_values:
+                continue
+            baseline = _median(baseline_values)
+            if baseline == 0:
+                continue
+            if direction == "higher":
+                change = (baseline - current) / baseline  # drop fraction
+            else:
+                change = (current - baseline) / baseline  # rise fraction
+            verdict = "REGRESSION" if change > threshold else "ok"
+            notes.append(
+                f"{suite}.{metric}: latest {current:g} vs median-of-"
+                f"{len(baseline_values)} baseline {baseline:g} "
+                f"({abs(change):.1%} {'worse' if change > 0 else 'better'}) "
+                f"[{verdict}]"
+            )
+            if change > threshold:
+                failures.append(
+                    f"{suite}.{metric} regressed {change:.1%} "
+                    f"(latest {current:g}, baseline {baseline:g}, "
+                    f"threshold {threshold:.0%})"
+                )
+    return failures, notes
+
+
+def cmd_append(args: argparse.Namespace) -> int:
+    with open(args.report) as stream:
+        report = json.load(stream)
+    row = append_row(args.suite, report, args.history, context={"source": args.report})
+    if not row["metrics"]:
+        print(
+            f"warning: report {args.report} carries none of the tracked "
+            f"metrics for suite {args.suite!r}: "
+            f"{sorted(TRACKED.get(args.suite, {}))}",
+            file=sys.stderr,
+        )
+    print(
+        f"appended {args.suite} row to {args.history}: "
+        + (json.dumps(row["metrics"], sort_keys=True) or "{}")
+    )
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    failures, notes = check_history(args.history, args.threshold)
+    for note in notes:
+        print(note)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("append", help="append one bench report as a history row")
+    p.add_argument("report", help="bench report JSON (BENCH_eval.json, ...)")
+    p.add_argument("--suite", required=True, choices=sorted(TRACKED))
+    p.add_argument("--history", default=DEFAULT_HISTORY)
+    p.set_defaults(func=cmd_append)
+
+    p = sub.add_parser("check", help="fail on >threshold regressions")
+    p.add_argument("--history", default=DEFAULT_HISTORY)
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="regression fraction that fails the gate (default 0.30)",
+    )
+    p.set_defaults(func=cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

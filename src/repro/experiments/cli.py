@@ -25,7 +25,10 @@ observer's stage summary — span aggregates, engine throughput, cache
 counters — on stderr *after* all table output, so stdout stays
 machine-parseable under ``--format json|csv``; ``--trace-out FILE``
 writes the whole run as Chrome ``trace_event`` JSON, loadable in
-``chrome://tracing`` or https://ui.perfetto.dev.
+``chrome://tracing`` or https://ui.perfetto.dev.  ``--snapshot-out``
+saves the final observer snapshot as JSON (feed it to
+``python -m repro obs-export``) and ``--metrics-out`` writes the same
+data directly as Prometheus text exposition.
 """
 
 from __future__ import annotations
@@ -36,7 +39,13 @@ import sys
 import time
 from typing import List, Optional
 
-from ..obs import OBS, summary_lines, write_chrome_trace
+from ..obs import (
+    OBS,
+    render_prometheus,
+    summary_lines,
+    write_chrome_trace,
+    write_snapshot,
+)
 from ..predictors import engine_stats
 from ..workloads import BENCHMARK_NAMES, artifacts as artifact_store
 from ..workloads.artifacts import cache_stats, generate_artifacts
@@ -170,6 +179,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the run's spans and counters as Chrome trace_event "
         "JSON to FILE (chrome://tracing / Perfetto)",
     )
+    parser.add_argument(
+        "--snapshot-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the final observer snapshot (counters, gauges, "
+        "histograms, spans) as JSON to FILE — the input format of "
+        "'python -m repro obs-export'",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the final observer snapshot as Prometheus text "
+        "exposition to FILE (what GET /metrics would have served)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "cache":
@@ -249,6 +275,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     snapshot = OBS.snapshot()
     if args.trace_out:
         write_chrome_trace(args.trace_out, snapshot)
+    if args.snapshot_out:
+        write_snapshot(args.snapshot_out, snapshot)
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as stream:
+            stream.write(render_prometheus(snapshot))
     if args.timings:
         engine = engine_stats()
         stats = cache_stats()

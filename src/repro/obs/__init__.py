@@ -1,17 +1,23 @@
-"""Pipeline-wide observability: spans, counters/gauges, trace export.
+"""Pipeline-wide observability: spans, counters/gauges, histograms,
+rates, trace export and Prometheus exposition.
 
 Instrumented modules report to the process-wide default observer::
 
     from ..obs import OBS
 
     OBS.add("artifacts.cache.hits")
+    OBS.observe("service.latency_seconds", elapsed)   # histogram
+    OBS.mark("service.requests")                      # sliding-window rate
     with OBS.span("workload.run", benchmark=name, scale=scale):
         ...
 
 Span recording is opt-in (``OBS.enable()``, or the experiment CLI's
-``--timings`` / ``--trace-out`` flags); counters are always live.  See
-:mod:`repro.obs.core` for the model and :mod:`repro.obs.export` for the
-human-readable summary, JSON and Chrome ``trace_event`` exporters.
+``--timings`` / ``--trace-out`` flags); counters, histograms and rates
+are always live.  See :mod:`repro.obs.core` for the model,
+:mod:`repro.obs.hist` for the log-bucketed histogram and rate window,
+:mod:`repro.obs.export` for the human-readable summary, JSON and Chrome
+``trace_event`` exporters, and :mod:`repro.obs.promtext` for the
+Prometheus text exposition served at ``GET /metrics``.
 """
 
 from .core import (
@@ -24,22 +30,41 @@ from .core import (
 )
 from .export import (
     chrome_trace,
+    snapshot_from_dict,
     snapshot_to_dict,
     snapshot_to_json,
     summary_lines,
     write_chrome_trace,
+    write_snapshot,
+)
+from .hist import GROWTH, Histogram, RateWindow, quantile_from_counts
+from .promtext import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+    parse_exposition,
+    render_prometheus,
+    validate_exposition,
 )
 
 __all__ = [
+    "GROWTH",
+    "Histogram",
     "NULL_SPAN",
     "OBS",
     "Observer",
     "ObsSnapshot",
+    "PROMETHEUS_CONTENT_TYPE",
+    "RateWindow",
     "SpanRecord",
     "chrome_trace",
     "default_observer",
+    "parse_exposition",
+    "quantile_from_counts",
+    "render_prometheus",
+    "snapshot_from_dict",
     "snapshot_to_dict",
     "snapshot_to_json",
     "summary_lines",
+    "validate_exposition",
     "write_chrome_trace",
+    "write_snapshot",
 ]

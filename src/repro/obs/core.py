@@ -15,6 +15,18 @@ about itself:
   always live (they subsume the pre-obs ``CacheStats``/``EngineStats``
   bookkeeping, which callers expect to work without opting in) and are
   cheap: one lock acquisition per *call site*, never per trace event.
+  Counters and gauges share one value namespace but carry different
+  merge semantics: counters **sum** across workers, gauges are
+  **last-write-wins** (a worker's ``sm.intra.best_score`` is a level,
+  not a quantity — summing two 0.9 scores into 1.8 is nonsense), so
+  the observer tracks which names were written via :meth:`set_gauge`.
+* **histograms** — :meth:`observe` files a value into a mergeable
+  log-bucketed :class:`~repro.obs.hist.Histogram` (~5% relative-error
+  quantiles); worker histograms merge exactly like counters.
+* **rates** — :meth:`mark` feeds a sliding-window
+  :class:`~repro.obs.hist.RateWindow`; :meth:`rates` answers live
+  events/sec gauges (req/s on ``/metrics``) that decay when traffic
+  stops.
 
 Names are dotted paths, ``<subsystem>.<detail>`` (``artifacts.cache.hits``,
 ``engine.events``, ``sm.intra.candidates``); ``reset(prefix=...)`` and
@@ -31,7 +43,9 @@ import os
 import threading
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Union
+
+from .hist import Histogram, RateWindow, merge_histogram_maps
 
 Number = Union[int, float]
 
@@ -55,10 +69,19 @@ class SpanRecord:
 
 @dataclass(frozen=True)
 class ObsSnapshot:
-    """A point-in-time copy of an observer's counters and spans."""
+    """A point-in-time copy of an observer's counters, spans, histograms.
+
+    ``counters`` includes gauge values (they share the namespace);
+    ``gauges`` names which of them carry last-write-wins merge
+    semantics.  ``hists`` maps name to a private :class:`Histogram`
+    copy.  The two trailing fields default empty so older
+    ``ObsSnapshot(counters, spans)`` constructions keep working.
+    """
 
     counters: Dict[str, Number]
     spans: List[SpanRecord]
+    gauges: FrozenSet[str] = frozenset()
+    hists: Dict[str, Histogram] = field(default_factory=dict)
 
 
 class _NullSpan:
@@ -122,6 +145,9 @@ class Observer:
     def __init__(self, record_spans: bool = False) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, Number] = {}
+        self._gauge_names: set = set()
+        self._hists: Dict[str, Histogram] = {}
+        self._rates: Dict[str, RateWindow] = {}
         self._spans: List[SpanRecord] = []
         self._record_spans = record_spans
         self._local = threading.local()
@@ -181,10 +207,11 @@ class Observer:
     #
     # Concurrency contract (relied on by the service daemon, whose
     # request threads hammer one shared observer): every read-modify-
-    # write of ``_counters`` and every append to ``_spans`` happens
-    # under ``self._lock``, so concurrent ``add``/``set_gauge``/
-    # ``merge``/``snapshot`` calls never lose updates — N threads
-    # adding M each always total exactly N*M
+    # write of ``_counters``/``_hists``/``_rates`` and every append to
+    # ``_spans`` happens under ``self._lock``, so concurrent ``add``/
+    # ``set_gauge``/``observe``/``mark``/``merge``/``snapshot`` calls
+    # never lose updates — N threads adding M each always total exactly
+    # N*M
     # (tests/test_obs.py::TestConcurrency asserts this).  The
     # ``_record_spans`` flag is read without the lock: it is a single
     # boolean toggled only at enable/disable time, and the worst a
@@ -196,9 +223,67 @@ class Observer:
             self._counters[name] = self._counters.get(name, 0) + value
 
     def set_gauge(self, name: str, value: Number) -> None:
-        """Set gauge *name* to *value* (last write wins)."""
+        """Set gauge *name* to *value* (last write wins).
+
+        The name is remembered as a gauge so snapshots can tell
+        exporters (and :meth:`merge`) that it is a level, not a total.
+        """
         with self._lock:
             self._counters[name] = value
+            self._gauge_names.add(name)
+
+    # -- histograms and rates ------------------------------------------------
+
+    def observe(self, name: str, value: Number) -> None:
+        """File *value* into histogram *name* (creating it); thread-safe.
+
+        Use for durations and sizes whose distribution matters
+        (latency, scan time): a histogram answers p50/p95/p99 within
+        ~5% where a summed counter only answers the mean.
+        """
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                hist = self._hists[name] = Histogram()
+            hist.observe(value)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        """A private copy of histogram *name*, or ``None``."""
+        with self._lock:
+            hist = self._hists.get(name)
+            return None if hist is None else hist.copy()
+
+    def histograms(self, prefix: str = "") -> Dict[str, Histogram]:
+        """Private copies of the histograms (optionally prefix-filtered)."""
+        with self._lock:
+            return {
+                name: hist.copy()
+                for name, hist in self._hists.items()
+                if name.startswith(prefix)
+            }
+
+    def mark(self, name: str, n: Number = 1) -> None:
+        """Feed *n* events into the sliding-window rate *name*."""
+        with self._lock:
+            window = self._rates.get(name)
+            if window is None:
+                window = self._rates[name] = RateWindow()
+            window.mark(n)
+
+    def rate(self, name: str) -> float:
+        """Live events/sec of rate *name* (0.0 when never marked)."""
+        with self._lock:
+            window = self._rates.get(name)
+            return 0.0 if window is None else window.rate()
+
+    def rates(self, prefix: str = "") -> Dict[str, float]:
+        """Live events/sec per marked name (optionally prefix-filtered)."""
+        with self._lock:
+            return {
+                name: window.rate()
+                for name, window in self._rates.items()
+                if name.startswith(prefix)
+            }
 
     def counter(self, name: str, default: Number = 0) -> Number:
         with self._lock:
@@ -218,43 +303,80 @@ class Observer:
     def reset(self, prefix: Optional[str] = None) -> None:
         """Clear state.
 
-        With *prefix*, only counters under that prefix are dropped and
-        spans are kept — the isolation the per-subsystem
-        ``reset_*_stats()`` shims rely on.  Without, everything goes.
+        With *prefix*, only counters, gauges, histograms and rates
+        under that prefix are dropped and spans are kept — the
+        isolation the per-subsystem ``reset_*_stats()`` shims rely on.
+        Without, everything goes.
         """
         with self._lock:
             if prefix is None:
                 self._counters.clear()
+                self._gauge_names.clear()
+                self._hists.clear()
+                self._rates.clear()
                 self._spans.clear()
             else:
                 for name in [n for n in self._counters if n.startswith(prefix)]:
                     del self._counters[name]
+                    self._gauge_names.discard(name)
+                for name in [n for n in self._hists if n.startswith(prefix)]:
+                    del self._hists[name]
+                for name in [n for n in self._rates if n.startswith(prefix)]:
+                    del self._rates[name]
 
     def snapshot(self) -> ObsSnapshot:
-        """Counters and spans, copied atomically."""
+        """Counters, gauge names, histograms and spans, copied atomically."""
         with self._lock:
-            return ObsSnapshot(dict(self._counters), list(self._spans))
+            return ObsSnapshot(
+                dict(self._counters),
+                list(self._spans),
+                frozenset(self._gauge_names),
+                {name: hist.copy() for name, hist in self._hists.items()},
+            )
 
     def merge(
         self,
         counters: Mapping[str, Number],
         spans: Iterable[SpanRecord] = (),
         counter_prefix: str = "",
+        gauges: Iterable[str] = (),
+        hists: Optional[Mapping[str, Histogram]] = None,
     ) -> None:
         """Fold another observer's snapshot in (worker processes).
 
-        *counter_prefix* namespaces the merged counters (e.g.
+        *counter_prefix* namespaces everything merged (e.g.
         ``"workers."``) so the receiving process's own per-process
         counters — and the ``cache_stats()``-style views built on them —
-        keep their meaning.  Spans merge verbatim only while this
-        observer is recording.
+        keep their meaning.  Names listed in *gauges* are **levels**,
+        not totals: they overwrite (last write wins per namespaced
+        name) instead of summing — two workers each reporting a best
+        score of 0.9 must not merge into 1.8.  Histograms in *hists*
+        merge bucket-wise (exact — see :mod:`repro.obs.hist`).  Spans
+        merge verbatim only while this observer is recording.
         """
+        gauge_names = set(gauges)
         with self._lock:
             for name, value in counters.items():
                 key = counter_prefix + name
-                self._counters[key] = self._counters.get(key, 0) + value
+                if name in gauge_names:
+                    self._counters[key] = value
+                    self._gauge_names.add(key)
+                else:
+                    self._counters[key] = self._counters.get(key, 0) + value
+            if hists:
+                merge_histogram_maps(self._hists, hists, counter_prefix)
             if self._record_spans:
                 self._spans.extend(spans)
+
+    def merge_snapshot(self, snapshot: ObsSnapshot, counter_prefix: str = "") -> None:
+        """:meth:`merge`, taking a whole :class:`ObsSnapshot`."""
+        self.merge(
+            snapshot.counters,
+            snapshot.spans,
+            counter_prefix=counter_prefix,
+            gauges=snapshot.gauges,
+            hists=snapshot.hists,
+        )
 
 
 #: The process-wide default observer every instrumented module reports to.

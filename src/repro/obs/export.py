@@ -15,9 +15,10 @@ Three views of the same :class:`~repro.obs.core.ObsSnapshot`:
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Mapping, Tuple
 
-from .core import ObsSnapshot
+from .core import ObsSnapshot, SpanRecord
+from .hist import Histogram
 
 #: Schema marker for the JSON/Chrome exports.
 TRACE_METADATA = {"producer": "repro.obs"}
@@ -65,16 +66,30 @@ def summary_lines(snapshot: ObsSnapshot, prefix: str = "[timings]") -> List[str]
                 f"{prefix}   {name.ljust(width)}  "
                 f"{_format_value(snapshot.counters[name])}"
             )
+    if snapshot.hists:
+        lines.append(f"{prefix} histograms (name, count, p50/p95/p99):")
+        width = max(len(name) for name in snapshot.hists)
+        for name in sorted(snapshot.hists):
+            hist = snapshot.hists[name]
+            lines.append(
+                f"{prefix}   {name.ljust(width)}  {hist.count:>8}x  "
+                f"{hist.quantile(0.50):.6f} / {hist.quantile(0.95):.6f} / "
+                f"{hist.quantile(0.99):.6f}"
+            )
     if not lines:
         lines.append(f"{prefix} (no spans or counters recorded)")
     return lines
 
 
 def snapshot_to_dict(snapshot: ObsSnapshot) -> Dict[str, Any]:
-    """JSON-shaped view: counters plus one object per span."""
+    """JSON-shaped view: counters, gauges, histograms, one object per span."""
     return {
         "metadata": dict(TRACE_METADATA),
         "counters": dict(snapshot.counters),
+        "gauges": sorted(snapshot.gauges),
+        "histograms": {
+            name: hist.to_dict() for name, hist in sorted(snapshot.hists.items())
+        },
         "spans": [
             {
                 "name": span.name,
@@ -92,6 +107,43 @@ def snapshot_to_dict(snapshot: ObsSnapshot) -> Dict[str, Any]:
 
 def snapshot_to_json(snapshot: ObsSnapshot, indent: int = 2) -> str:
     return json.dumps(snapshot_to_dict(snapshot), indent=indent, default=str)
+
+
+def snapshot_from_dict(payload: Mapping[str, Any]) -> ObsSnapshot:
+    """Rebuild an :class:`ObsSnapshot` from :func:`snapshot_to_dict` output.
+
+    The inverse used by ``python -m repro obs-export``, which turns a
+    saved CLI-run snapshot into Prometheus text after the fact.
+    """
+    spans = [
+        SpanRecord(
+            str(span["name"]),
+            float(span.get("start", 0.0)),
+            float(span.get("duration", 0.0)),
+            int(span.get("depth", 0)),
+            int(span.get("pid", 0)),
+            int(span.get("tid", 0)),
+            dict(span.get("attrs", {})),
+        )
+        for span in payload.get("spans", [])
+    ]
+    hists = {
+        str(name): Histogram.from_dict(doc)
+        for name, doc in dict(payload.get("histograms", {})).items()
+    }
+    return ObsSnapshot(
+        dict(payload.get("counters", {})),
+        spans,
+        frozenset(payload.get("gauges", [])),
+        hists,
+    )
+
+
+def write_snapshot(path: str, snapshot: ObsSnapshot) -> None:
+    """Serialise :func:`snapshot_to_json` to *path*."""
+    with open(path, "w") as stream:
+        stream.write(snapshot_to_json(snapshot))
+        stream.write("\n")
 
 
 def chrome_trace(snapshot: ObsSnapshot) -> Dict[str, Any]:

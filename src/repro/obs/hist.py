@@ -1,0 +1,290 @@
+"""Mergeable log-bucketed histograms and a sliding-window rate estimator.
+
+The distribution-aware half of the observer.  Counters answer "how
+many"; a :class:`Histogram` answers "how are they spread" — p50/p95/p99
+of request latency, trace-scan duration, coalesce wait — without
+storing individual samples.
+
+**Bucketing.**  Buckets are geometric: bucket *i* covers
+``(GROWTH**i, GROWTH**(i+1)]`` with ``GROWTH = 1.1``.  A quantile is
+answered with the geometric midpoint of its bucket, so the relative
+error is bounded by ``sqrt(GROWTH) - 1`` ≈ 4.9% — the HDR-histogram
+trade: a few hundred sparse integer cells buy 5%-accurate quantiles
+over any dynamic range (microseconds to hours).  Non-positive values
+land in a dedicated zero bucket (latencies never go negative; a
+clamped reading must not poison the log scale).
+
+**Merging.**  Bucket indices depend only on the value, never on the
+observing process, so histograms merge exactly: the merge of per-worker
+shard histograms equals the histogram of the concatenated stream
+(``tests/test_obs_hist.py`` proves this property).  That is what lets
+worker snapshots fold into the parent just like counters.
+
+**Rates.**  :class:`RateWindow` keeps per-second event counts over a
+sliding window and answers a live events/sec figure — the ``req/s``
+gauge on ``/metrics`` — decaying to zero when traffic stops, unlike a
+monotonic counter divided by uptime.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from time import monotonic
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Geometric bucket growth factor.  ``sqrt(1.1) - 1`` ≈ 4.9% bounds the
+#: quantile relative error; bump cautiously — every persisted snapshot
+#: records the factor it was built with.
+GROWTH = 1.1
+
+_LOG_GROWTH = math.log(GROWTH)
+
+#: Nudge applied before ``floor`` so values lying exactly on a bucket
+#: boundary (e.g. ``GROWTH ** k`` recomputed in floating point) index
+#: deterministically instead of straddling two buckets across calls.
+_EPSILON = 1e-9
+
+
+def bucket_index(value: float) -> int:
+    """The bucket covering *value* (> 0): ``GROWTH**i < value <= GROWTH**(i+1)``."""
+    return math.ceil(math.log(value) / _LOG_GROWTH - _EPSILON) - 1
+
+
+def bucket_upper(index: int) -> float:
+    """Inclusive upper bound of bucket *index*."""
+    return GROWTH ** (index + 1)
+
+
+def bucket_midpoint(index: int) -> float:
+    """Geometric midpoint of bucket *index* — the quantile representative."""
+    return GROWTH ** (index + 0.5)
+
+
+class Histogram:
+    """A mergeable log-bucketed value distribution (see module docstring).
+
+    Not thread-safe on its own; the :class:`~repro.obs.core.Observer`
+    serialises every mutation under its lock.
+    """
+
+    __slots__ = ("buckets", "zero", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.buckets: Dict[int, int] = {}
+        self.zero = 0  #: observations <= 0 (kept off the log scale)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value) or math.isinf(value):
+            return  # a broken clock reading must not corrupt the tails
+        if value <= 0.0:
+            self.zero += 1
+        else:
+            index = bucket_index(value)
+            self.buckets[index] = self.buckets.get(index, 0) + 1
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def quantile(self, q: float) -> float:
+        """The value at quantile *q* in [0, 1], within ~5% relative error.
+
+        Uses the nearest-rank definition (rank ``ceil(q * count)``); the
+        answer is the geometric midpoint of the bucket holding that
+        rank, clamped into ``[min, max]`` (the clamp only ever moves the
+        estimate toward the true value).  Returns 0.0 on an empty
+        histogram.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = min(self.count, max(1, math.ceil(q * self.count)))
+        if rank <= self.zero:
+            return 0.0
+        seen = self.zero
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                return min(max(bucket_midpoint(index), self.min), self.max)
+        return self.max  # unreachable unless counts were mutated externally
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other* in; exact (buckets are process-independent)."""
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+        self.zero += other.zero
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def copy(self) -> "Histogram":
+        clone = Histogram()
+        clone.buckets = dict(self.buckets)
+        clone.zero = self.zero
+        clone.count = self.count
+        clone.sum = self.sum
+        clone.min = self.min
+        clone.max = self.max
+        return clone
+
+    # -- cumulative views and (de)serialisation ------------------------------
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(inclusive upper bound, cumulative count)`` pairs, ascending.
+
+        The zero bucket is folded into every bound (0 <= any positive
+        bound), matching Prometheus ``le`` semantics; the ``+Inf``
+        bucket is *not* included — it always equals :attr:`count`.
+        """
+        pairs: List[Tuple[float, int]] = []
+        cumulative = self.zero
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            pairs.append((bucket_upper(index), cumulative))
+        return pairs
+
+    def to_dict(self) -> dict:
+        return {
+            "growth": GROWTH,
+            "buckets": {str(index): count for index, count in self.buckets.items()},
+            "zero": self.zero,
+            "count": self.count,
+            "sum": self.sum,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Histogram":
+        hist = cls()
+        hist.buckets = {
+            int(index): int(count)
+            for index, count in dict(payload.get("buckets", {})).items()
+        }
+        hist.zero = int(payload.get("zero", 0))
+        hist.count = int(payload.get("count", 0))
+        hist.sum = float(payload.get("sum", 0.0))
+        minimum = payload.get("min")
+        maximum = payload.get("max")
+        hist.min = math.inf if minimum is None else float(minimum)
+        hist.max = -math.inf if maximum is None else float(maximum)
+        return hist
+
+    def __eq__(self, other: object) -> bool:
+        """Distribution equality: buckets/counts/extremes exact, ``sum``
+        within float tolerance (merge order reassociates the addition)."""
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.buckets == other.buckets
+            and self.zero == other.zero
+            and self.count == other.count
+            and math.isclose(self.sum, other.sum, rel_tol=1e-9, abs_tol=1e-12)
+            and self.min == other.min
+            and self.max == other.max
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram(count={self.count}, sum={self.sum:.6g}, "
+            f"buckets={len(self.buckets)})"
+        )
+
+
+def quantile_from_counts(
+    pairs: Sequence[Tuple[float, float]], q: float
+) -> float:
+    """Quantile from ``(inclusive upper bound, count)`` pairs.
+
+    *pairs* are **non-cumulative** per-bucket counts on this module's
+    geometric grid, ascending by bound — the shape a ``/metrics`` delta
+    naturally produces.  The representative is the geometric midpoint
+    ``bound / sqrt(GROWTH)``.  Returns 0.0 when the total count is zero.
+    """
+    total = sum(count for _, count in pairs)
+    if total <= 0:
+        return 0.0
+    rank = min(total, max(1, math.ceil(q * total)))
+    seen = 0.0
+    for bound, count in sorted(pairs):
+        seen += count
+        if seen >= rank:
+            return bound / math.sqrt(GROWTH)
+    return sorted(pairs)[-1][0] / math.sqrt(GROWTH)
+
+
+class RateWindow:
+    """Sliding-window event rate: per-second buckets over *window* seconds.
+
+    ``mark(n)`` files *n* events into the current one-second bucket;
+    ``rate()`` answers events/sec averaged over the observed span
+    (capped at *window*), so a burst decays to zero *window* seconds
+    after traffic stops instead of being diluted forever the way
+    ``counter / uptime`` is.  Not thread-safe on its own; the observer
+    serialises access.
+    """
+
+    __slots__ = ("window", "resolution", "_buckets")
+
+    def __init__(self, window: float = 60.0, resolution: float = 1.0) -> None:
+        if window <= 0 or resolution <= 0:
+            raise ValueError("window and resolution must be positive")
+        self.window = window
+        self.resolution = resolution
+        #: (bucket ordinal, event count), ascending, at most
+        #: window/resolution entries
+        self._buckets: Deque[List[float]] = deque()
+
+    def _trim(self, now: float) -> None:
+        horizon = now - self.window
+        while self._buckets and (self._buckets[0][0] + 1) * self.resolution <= horizon:
+            self._buckets.popleft()
+
+    def mark(self, n: float = 1, now: Optional[float] = None) -> None:
+        if now is None:
+            now = monotonic()
+        self._trim(now)
+        ordinal = math.floor(now / self.resolution)
+        if self._buckets and self._buckets[-1][0] == ordinal:
+            self._buckets[-1][1] += n
+        else:
+            self._buckets.append([ordinal, n])
+
+    def rate(self, now: Optional[float] = None) -> float:
+        """Events per second over the (up to) last *window* seconds."""
+        if now is None:
+            now = monotonic()
+        self._trim(now)
+        if not self._buckets:
+            return 0.0
+        total = sum(count for _, count in self._buckets)
+        span = now - self._buckets[0][0] * self.resolution
+        span = min(self.window, max(span, self.resolution))
+        return total / span
+
+
+def merge_histogram_maps(
+    target: Dict[str, Histogram],
+    incoming: Mapping[str, "Histogram | Mapping"],
+    prefix: str = "",
+) -> None:
+    """Fold *incoming* (Histogram objects or their ``to_dict`` forms)
+    into *target* under *prefix*; used by :meth:`Observer.merge`."""
+    for name, payload in incoming.items():
+        hist = payload if isinstance(payload, Histogram) else Histogram.from_dict(payload)
+        key = prefix + name
+        existing = target.get(key)
+        if existing is None:
+            target[key] = hist.copy()
+        else:
+            existing.merge(hist)

@@ -5,12 +5,18 @@ use one client per thread (the load generator gives each worker its
 own).  Error responses surface as :class:`ServiceError` carrying the
 server's structured code/status; transport failures surface as the
 underlying ``OSError``.
+
+Every request carries an ``X-Request-Id`` (a caller-supplied one, or a
+fresh 16-hex-char id per request); the id the server echoed back is
+kept on :attr:`ServiceClient.last_request_id` so a failure can be
+correlated with the server's access log and trace.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import uuid
 from typing import Any, Dict, Optional, Tuple
 
 
@@ -33,6 +39,9 @@ class ServiceClient:
         self.port = port
         self.timeout = timeout
         self._connection: Optional[http.client.HTTPConnection] = None
+        #: X-Request-Id echoed by the server on the most recent response
+        #: (None before the first request).
+        self.last_request_id: Optional[str] = None
 
     # -- transport -----------------------------------------------------------
 
@@ -54,16 +63,21 @@ class ServiceClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def request_raw(
-        self, method: str, path: str, body: Optional[dict] = None
-    ) -> Tuple[int, dict]:
-        """``(status, parsed_body)`` without raising on error statuses.
+    def _roundtrip(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[bytes],
+        request_id: Optional[str],
+    ) -> Tuple[int, bytes]:
+        """One request/response cycle; updates :attr:`last_request_id`.
 
         Retries once on a stale keep-alive connection (the server may
         have closed it between requests); real refusals propagate.
         """
-        payload = None if body is None else json.dumps(body).encode()
-        headers = {"Content-Type": "application/json"} if payload else {}
+        headers = {"X-Request-Id": request_id or uuid.uuid4().hex[:16]}
+        if payload:
+            headers["Content-Type"] = "application/json"
         for attempt in (0, 1):
             connection = self._connect()
             try:
@@ -75,15 +89,41 @@ class ServiceClient:
                 self.close()
                 if attempt:
                     raise
+        self.last_request_id = response.getheader("X-Request-Id") or headers["X-Request-Id"]
+        return response.status, raw
+
+    def request_raw(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        request_id: Optional[str] = None,
+    ) -> Tuple[int, dict]:
+        """``(status, parsed_body)`` without raising on error statuses."""
+        payload = None if body is None else json.dumps(body).encode()
+        status, raw = self._roundtrip(method, path, payload, request_id)
         try:
             document = json.loads(raw) if raw else {}
         except json.JSONDecodeError:
             document = {"raw": raw.decode(errors="replace")}
-        return response.status, document
+        return status, document
 
-    def request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+    def request_text(
+        self, method: str, path: str, request_id: Optional[str] = None
+    ) -> Tuple[int, str]:
+        """``(status, body text)`` for non-JSON endpoints (``/metrics``)."""
+        status, raw = self._roundtrip(method, path, None, request_id)
+        return status, raw.decode(errors="replace")
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        request_id: Optional[str] = None,
+    ) -> dict:
         """Like :meth:`request_raw` but raises :class:`ServiceError` on non-2xx."""
-        status, document = self.request_raw(method, path, body)
+        status, document = self.request_raw(method, path, body, request_id)
         if 200 <= status < 300:
             return document
         error = document.get("error", {}) if isinstance(document, dict) else {}
@@ -104,6 +144,13 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self.request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """The Prometheus text exposition body from ``GET /metrics``."""
+        status, text = self.request_text("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(status, "metrics_unavailable", f"HTTP {status}")
+        return text
 
     def artifacts(self, name: str, scale: int = 1, seed_offset: int = 0) -> dict:
         return self.request(

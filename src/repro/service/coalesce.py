@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from time import perf_counter
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 from ..obs import OBS
@@ -97,7 +98,9 @@ class SingleFlight:
             if leader:
                 call = self._inflight[key] = _Call()
         if not leader:
+            waited = perf_counter()
             call.event.wait()
+            OBS.observe("service.coalesce.wait_seconds", perf_counter() - waited)
             if call.error is not None:
                 raise call.error
             return call.value, False

@@ -19,7 +19,7 @@ import json
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..ir import BranchSite
-from ..obs import OBS
+from ..obs import OBS, render_prometheus
 from ..predictors import (
     LastDirection,
     Predictor,
@@ -119,6 +119,18 @@ def handle_stats(state: ServiceState, body: Optional[dict]) -> dict:
     return {
         "uptime_seconds": round(state.uptime(), 3),
         "counters": snapshot.counters,
+        "rates": {
+            name: round(value, 3) for name, value in OBS.rates().items()
+        },
+        "histograms": {
+            name: {
+                "count": hist.count,
+                "p50": hist.quantile(0.50),
+                "p95": hist.quantile(0.95),
+                "p99": hist.quantile(0.99),
+            }
+            for name, hist in sorted(snapshot.hists.items())
+        },
         "spans_recorded": len(snapshot.spans),
         "service": {
             "in_flight": state.inflight_requests,
@@ -136,6 +148,19 @@ def handle_stats(state: ServiceState, body: Optional[dict]) -> dict:
             },
         },
     }
+
+
+def render_metrics(state: ServiceState) -> str:
+    """The Prometheus text exposition body for ``GET /metrics``.
+
+    Refreshes the level gauges (uptime, in-flight, queue depth) so a
+    scrape never reads a stale level, then renders the full snapshot
+    plus the live sliding-window rates.
+    """
+    OBS.set_gauge("service.uptime_seconds", round(state.uptime(), 3))
+    OBS.set_gauge("service.inflight_requests", state.inflight_requests)
+    OBS.set_gauge("service.queue.depth", state.queue_depth)
+    return render_prometheus(OBS.snapshot(), rates=OBS.rates())
 
 
 # -- heavy endpoints (worker pool + compute caches) --------------------------
@@ -397,8 +422,9 @@ ROUTES: Dict[Tuple[str, str], Handler] = {
     ("POST", "/plan"): handle_plan,
 }
 
-#: Paths that exist (for 405-vs-404 discrimination).
-KNOWN_PATHS = {path for _, path in ROUTES}
+#: Paths that exist (for 405-vs-404 discrimination).  /metrics is
+#: served as raw text by the HTTP layer, outside the JSON ROUTES table.
+KNOWN_PATHS = {path for _, path in ROUTES} | {"/metrics"}
 
 
 def route_name(path: str) -> str:

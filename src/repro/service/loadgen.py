@@ -8,11 +8,19 @@ firing a weighted mix of endpoint calls for a fixed duration::
 
 The report covers client-side truth — req/s, p50/p95/p99 latency,
 status and per-endpoint counts, transport errors — plus the server's
-own coalesce/cache counters read from ``/stats`` before and after the
-run, so a single invocation answers both "how fast" and "how often did
-the hot path actually coalesce".  ``--spawn`` boots a throwaway
-in-process server on an ephemeral port first, which makes the module
-a self-contained smoke test.
+own view: coalesce/cache counters read from ``/stats`` before and
+after the run, and server-side latency quantiles computed from the
+``/metrics`` histogram delta over the same window (client-observed
+latency includes the network and client scheduling; the server's
+histogram is what the daemon itself experienced — comparing the two
+localises where time went).  ``--spawn`` boots a throwaway in-process
+server on an ephemeral port first, which makes the module a
+self-contained smoke test.
+
+Every request carries an ``X-Request-Id`` (generated per request by
+:class:`~repro.service.client.ServiceClient`), so any slow outlier in
+the report can be chased through the server's ``--log-json`` access
+log and ``--trace-out`` trace.
 """
 
 from __future__ import annotations
@@ -26,7 +34,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import quantile_from_counts
+from ..obs.promtext import (
+    delta_bucket_counts,
+    histogram_bucket_counts,
+    parse_exposition,
+)
 from .client import ServiceClient, ServiceError
+
+#: /metrics family the server-side latency quantiles are read from.
+LATENCY_FAMILY = "repro_service_latency_seconds"
 
 DEFAULT_MIX = "artifacts=6,healthz=2,stats=1,benchmarks=1"
 
@@ -103,6 +120,7 @@ def _worker(
     benchmark: str,
     scale: int,
     seed_offset: int,
+    seed_jitter: int,
     rng: random.Random,
     barrier: threading.Barrier,
     result: _WorkerResult,
@@ -117,9 +135,10 @@ def _worker(
         deadline = time.monotonic() + duration
         while time.monotonic() < deadline:
             endpoint = rng.choices(names, weights)[0]
+            offset = seed_offset + (rng.randint(0, seed_jitter) if seed_jitter else 0)
             started = time.perf_counter()
             try:
-                status, _ = ENDPOINTS[endpoint](client, benchmark, scale, seed_offset)
+                status, _ = ENDPOINTS[endpoint](client, benchmark, scale, offset)
             except OSError:
                 result.transport_errors += 1
                 client.close()
@@ -137,6 +156,36 @@ def _server_counters(host: str, port: int) -> Dict[str, float]:
         return {}
 
 
+def _server_latency_buckets(host: str, port: int) -> Dict[float, float]:
+    """Non-cumulative latency bucket counts from one ``/metrics`` scrape."""
+    try:
+        with ServiceClient(host, port, timeout=5.0) as client:
+            parsed = parse_exposition(client.metrics())
+    except (ServiceError, OSError, ValueError):
+        return {}
+    return histogram_bucket_counts(parsed, LATENCY_FAMILY)
+
+
+def server_quantiles_ms(
+    before: Dict[float, float], after: Dict[float, float]
+) -> Dict[str, float]:
+    """Server-side latency quantiles (ms) over the scrape interval.
+
+    The delta of two non-cumulative bucket-count scrapes is itself a
+    histogram of exactly the requests that completed in between; its
+    quantiles carry the same ~5% relative-error bound as the server's
+    own (see :mod:`repro.obs.hist`).
+    """
+    delta = delta_bucket_counts(before, after)
+    samples = sum(count for _, count in delta)
+    return {
+        "samples": int(samples),
+        "p50_ms": round(quantile_from_counts(delta, 0.50) * 1e3, 3),
+        "p95_ms": round(quantile_from_counts(delta, 0.95) * 1e3, 3),
+        "p99_ms": round(quantile_from_counts(delta, 0.99) * 1e3, 3),
+    }
+
+
 def run_load(
     host: str,
     port: int,
@@ -147,10 +196,18 @@ def run_load(
     scale: int = 1,
     seed_offset: int = 0,
     seed: int = 0,
+    seed_jitter: int = 0,
 ) -> dict:
-    """Drive the service and return the aggregated report dict."""
+    """Drive the service and return the aggregated report dict.
+
+    *seed_jitter* > 0 spreads each request's ``seed_offset`` uniformly
+    over ``[seed_offset, seed_offset + seed_jitter]`` — mostly-cold keys
+    that force real computation, for workloads meant to measure compute
+    latency rather than cache hits.
+    """
     parsed_mix = parse_mix(mix)
     before = _server_counters(host, port)
+    buckets_before = _server_latency_buckets(host, port)
     # Workers block on a barrier (shared with this thread) until every
     # client thread is up, then each runs for *duration* — so the
     # measured window contains no thread-spawn skew.
@@ -167,6 +224,7 @@ def run_load(
                 benchmark,
                 scale,
                 seed_offset,
+                seed_jitter,
                 random.Random(seed * 1000 + index),
                 barrier,
                 results[index],
@@ -184,6 +242,7 @@ def run_load(
         thread.join(timeout=duration + 30)
     elapsed = time.perf_counter() - started
     after = _server_counters(host, port)
+    buckets_after = _server_latency_buckets(host, port)
 
     latencies = sorted(
         latency for result in results for latency in result.latencies
@@ -231,6 +290,7 @@ def run_load(
             if server_requests
             else 0.0,
             "overload_rejections": delta("service.rejected.overload"),
+            "latency": server_quantiles_ms(buckets_before, buckets_after),
         },
     }
 
@@ -258,6 +318,13 @@ def format_report(report: dict) -> str:
         f"(rate {report['server']['coalesce_hit_rate']}), "
         f"{report['server']['overload_rejections']:.0f} overload rejection(s)",
     ]
+    server_latency = report["server"].get("latency", {})
+    if server_latency.get("samples"):
+        lines.append(
+            f"server latency (/metrics delta, {server_latency['samples']} "
+            f"sample(s)): p50 {server_latency['p50_ms']}ms, "
+            f"p95 {server_latency['p95_ms']}ms, p99 {server_latency['p99_ms']}ms"
+        )
     return "\n".join(lines)
 
 
@@ -281,6 +348,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--benchmark", default="compress")
     parser.add_argument("--scale", type=int, default=1)
     parser.add_argument("--seed-offset", type=int, default=0)
+    parser.add_argument(
+        "--seed-jitter",
+        type=int,
+        default=0,
+        help="spread per-request seed_offset over [seed-offset, "
+        "seed-offset + N] (cold keys: measures compute, not cache)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="mix-selection RNG seed")
     parser.add_argument("--json", metavar="FILE", help="also write the report as JSON")
     parser.add_argument(
@@ -317,6 +391,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             scale=options.scale,
             seed_offset=options.seed_offset,
             seed=options.seed,
+            seed_jitter=options.seed_jitter,
         )
     finally:
         if server is not None:

@@ -7,10 +7,19 @@ Request lifecycle::
            → JSON response (keep-alive, explicit Content-Length)
 
 Every request is instrumented through the process observer:
-``service.requests[.<route>]`` and ``service.latency_seconds.<route>``
-counters, ``service.responses.<class>xx`` totals, a
+``service.requests[.<route>]`` counters, ``service.latency_seconds``
+(and per-route ``service.latency_seconds.<route>``) **histograms**,
+a ``service.requests`` sliding-window rate (the live req/s gauge on
+``/metrics``), ``service.responses.<class>xx`` totals, a
 ``service.queue.depth`` gauge, ``service.rejected.*`` totals, and a
 ``service.request`` span per request while span recording is enabled.
+
+Request correlation: every request carries an ``X-Request-Id`` —
+honoured when the client sends one (sanitised), generated otherwise —
+echoed on the response, stamped into the request span's attributes,
+and written to the structured JSON access log (one line per request on
+stderr when ``log_json`` is set), so one slow request can be chased
+from the load generator through the access log into the Chrome trace.
 
 Graceful shutdown (:func:`shutdown_gracefully`, wired to
 SIGINT/SIGTERM by :func:`serve`) stops the accept loop, flips the
@@ -26,16 +35,47 @@ import signal
 import socket
 import sys
 import threading
+import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
 from typing import Optional, Tuple
 
-from ..obs import OBS
-from .handlers import KNOWN_PATHS, ROUTES, route_name
+from ..obs import OBS, PROMETHEUS_CONTENT_TYPE, write_chrome_trace
+from .handlers import KNOWN_PATHS, ROUTES, render_metrics, route_name
 from .state import ApiError, ServiceConfig, ServiceState
 
 #: Request bodies above this are rejected with 413.
 MAX_BODY_BYTES = 1 << 20
+
+#: Longest client-supplied X-Request-Id honoured verbatim.
+MAX_REQUEST_ID_LEN = 128
+
+_REQUEST_ID_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_.:"
+)
+
+
+def sanitize_request_id(raw: Optional[str]) -> Optional[str]:
+    """A client id fit to echo into logs and traces, else ``None``.
+
+    Only a conservative token alphabet is honoured — the id is written
+    verbatim into the access log and trace files, so arbitrary header
+    bytes must not ride along.
+    """
+    if not raw:
+        return None
+    raw = raw.strip()
+    if not raw or len(raw) > MAX_REQUEST_ID_LEN:
+        return None
+    if not all(ch in _REQUEST_ID_OK for ch in raw):
+        return None
+    return raw
+
+
+def new_request_id() -> str:
+    """A fresh 16-hex-char request id."""
+    return uuid.uuid4().hex[:16]
 
 
 class ServiceServer(ThreadingHTTPServer):
@@ -67,6 +107,10 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     server: ServiceServer  # narrowed for type checkers
 
+    #: X-Request-Id for the request currently being handled on this
+    #: connection thread; set at the top of _dispatch.
+    _request_id: str = "-"
+
     # -- plumbing ------------------------------------------------------------
 
     def log_message(self, format: str, *args) -> None:
@@ -77,9 +121,16 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode()
+        self._send_body(status, body, "application/json")
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_body(status, text.encode(), content_type)
+
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", self._request_id)
         if status in (429, 503):
             self.send_header("Retry-After", "1")
         self.end_headers()
@@ -126,23 +177,60 @@ class _RequestHandler(BaseHTTPRequestHandler):
         if path != "/" and path.endswith("/"):
             path = path.rstrip("/")
         name = route_name(path)
+        rid = sanitize_request_id(self.headers.get("X-Request-Id"))
+        self._request_id = rid or new_request_id()
         state.request_started()
         started = perf_counter()
         status = 500
         try:
-            with OBS.span("service.request", method=method, route=name):
+            with OBS.span(
+                "service.request",
+                method=method,
+                route=name,
+                request_id=self._request_id,
+            ):
                 status = self._respond(state, method, path)
         finally:
             state.request_finished()
             elapsed = perf_counter() - started
             OBS.add("service.requests")
             OBS.add(f"service.requests.{name}")
-            OBS.add(f"service.latency_seconds.{name}", elapsed)
-            if self.server.state.config.verbose:
+            OBS.observe("service.latency_seconds", elapsed)
+            OBS.observe(f"service.latency_seconds.{name}", elapsed)
+            OBS.mark("service.requests")
+            if state.config.log_json:
+                self._access_log(method, path, name, status, elapsed)
+            if state.config.verbose:
                 self.log_message("%s %s -> %d (%.1fms)", method, path, status, elapsed * 1e3)
+
+    def _access_log(
+        self, method: str, path: str, route: str, status: int, elapsed: float
+    ) -> None:
+        """One structured JSON line per request, on stderr.
+
+        stderr on purpose: stdout carries the daemon's parseable
+        output; the access log must never interleave with it.
+        """
+        record = {
+            "ts": time.time(),
+            "request_id": self._request_id,
+            "method": method,
+            "path": path,
+            "route": route,
+            "status": status,
+            "duration_ms": round(elapsed * 1e3, 3),
+            "client": self.client_address[0],
+        }
+        sys.stderr.write(json.dumps(record, separators=(",", ":")) + "\n")
+        sys.stderr.flush()
 
     def _respond(self, state: ServiceState, method: str, path: str) -> int:
         try:
+            if method == "GET" and path == "/metrics":
+                # Served even while draining — the last scrape before
+                # shutdown is the one that captures the drain.
+                self._send_text(200, render_metrics(state), PROMETHEUS_CONTENT_TYPE)
+                return 200
             if state.draining:
                 OBS.add("service.rejected.draining")
                 raise ApiError(503, "draining", "server is shutting down")
@@ -238,6 +326,8 @@ def serve(config: Optional[ServiceConfig] = None) -> int:
     previous = {}
     for signum in (signal.SIGINT, signal.SIGTERM):
         previous[signum] = signal.signal(signum, request_stop)
+    if state.config.trace_out:
+        OBS.enable()
     host = state.config.host
     print(
         f"repro-service listening on http://{host}:{server.port} "
@@ -259,6 +349,13 @@ def serve(config: Optional[ServiceConfig] = None) -> int:
             server.server_close()
         except OSError:
             pass
+        if state.config.trace_out:
+            write_chrome_trace(state.config.trace_out, OBS.snapshot())
+            print(
+                f"repro-service trace written to {state.config.trace_out}",
+                file=sys.stderr,
+                flush=True,
+            )
         print(
             "repro-service stopped"
             + ("" if drained else " (abandoned in-flight requests)"),

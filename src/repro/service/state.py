@@ -19,7 +19,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from ..obs import OBS
 from .coalesce import ComputeCache
@@ -62,6 +62,12 @@ class ServiceConfig:
     drain_seconds: float = 10.0
     #: log one line per request to stderr
     verbose: bool = False
+    #: emit one structured JSON access-log line per request on stderr
+    #: (request id, route, status, duration); stdout stays untouched
+    log_json: bool = False
+    #: record spans for the daemon's lifetime and write them as Chrome
+    #: trace_event JSON to this path on shutdown
+    trace_out: Optional[str] = None
 
 
 class ServiceState:

@@ -18,6 +18,12 @@ back as text.
 on the built-in benchmark suite over HTTP; see :mod:`repro.service`):
 
     python -m repro serve --port 8642 --workers 4
+
+`obs-export` renders a snapshot saved by a CLI run
+(``python -m repro.experiments ... --snapshot-out obs.json``) as
+Prometheus text exposition — the same format ``GET /metrics`` serves:
+
+    python -m repro obs-export obs.json -o metrics.prom
 """
 
 from __future__ import annotations
@@ -191,8 +197,34 @@ def cmd_serve(options) -> int:
             lru_size=options.lru_size,
             drain_seconds=options.drain_seconds,
             verbose=options.verbose,
+            log_json=options.log_json,
+            trace_out=options.trace_out,
         )
     )
+
+
+def cmd_obs_export(options) -> int:
+    """Render a saved observer snapshot as Prometheus text.
+
+    CLI runs have no scrape endpoint; ``repro.experiments --snapshot-out``
+    writes the snapshot JSON this command turns into the same exposition
+    ``GET /metrics`` would have served.
+    """
+    import json as json_module
+
+    from .obs import render_prometheus, snapshot_from_dict, validate_exposition
+
+    with open(options.snapshot) as stream:
+        snapshot = snapshot_from_dict(json_module.load(stream))
+    text = render_prometheus(snapshot)
+    validate_exposition(text)
+    if options.output:
+        with open(options.output, "w") as stream:
+            stream.write(text)
+        print(f"metrics written to {options.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -254,7 +286,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="graceful-shutdown drain deadline")
     p.add_argument("--verbose", action="store_true",
                    help="log one line per request to stderr")
+    p.add_argument("--log-json", action="store_true",
+                   help="one structured JSON access-log line per request "
+                        "on stderr (request id, route, status, duration)")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="record spans for the daemon's lifetime and write "
+                        "a Chrome trace_event JSON file on shutdown")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "obs-export",
+        help="render a saved observer snapshot as Prometheus text",
+    )
+    p.add_argument("snapshot",
+                   help="snapshot JSON (repro.experiments --snapshot-out)")
+    p.add_argument("-o", "--output",
+                   help="write exposition here instead of stdout")
+    p.set_defaults(func=cmd_obs_export)
     return parser
 
 

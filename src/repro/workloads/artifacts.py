@@ -195,8 +195,10 @@ def _collect(
     ) as span:
         result = machine.run(*args)
         span.set(steps=result.steps, events=len(trace))
+    elapsed = time.perf_counter() - started
     OBS.add("artifacts.interpreter.runs")
-    OBS.add("artifacts.interpreter.seconds", time.perf_counter() - started)
+    OBS.add("artifacts.interpreter.seconds", elapsed)
+    OBS.observe("artifacts.run_seconds", elapsed)
     OBS.add("artifacts.trace_events", len(trace))
     return RunArtifacts(
         name, scale, seed_offset, history_bits, trace, tables, result.steps
@@ -506,8 +508,7 @@ def _generate_one_worker(
     """
     OBS.enable()
     spec, seconds = _generate_one(spec)
-    snapshot = OBS.snapshot()
-    return spec, seconds, snapshot.counters, snapshot.spans
+    return spec, seconds, OBS.snapshot()
 
 
 def generate_artifacts(
@@ -538,12 +539,13 @@ def generate_artifacts(
     from concurrent.futures import ProcessPoolExecutor
 
     with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-        for spec, seconds, counters, spans in pool.map(_generate_one_worker, pending):
+        for spec, seconds, snapshot in pool.map(_generate_one_worker, pending):
             timings.append((spec, seconds))
-            # Worker counters merge under ``workers.`` so the parent's
-            # own per-process view (``cache_stats()``) stays untouched;
-            # worker spans land verbatim when the parent is recording.
-            OBS.merge(counters, spans, counter_prefix="workers.")
+            # The whole worker snapshot merges under ``workers.`` so the
+            # parent's own per-process view (``cache_stats()``) stays
+            # untouched: counters sum, gauges overwrite, histograms
+            # merge bucket-wise, spans land verbatim when recording.
+            OBS.merge_snapshot(snapshot, counter_prefix="workers.")
     # Pull the worker-produced entries into this process's memo so the
     # experiment code that follows never re-runs the interpreter.
     for name, scale, seed_offset, history_bits in normalized:

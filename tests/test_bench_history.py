@@ -1,0 +1,143 @@
+"""Perf-history tracker tests (``benchmarks/history.py``).
+
+``benchmarks/`` is not a package — the module is loaded straight from
+its file path, exactly the way the bench scripts themselves find it.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_HISTORY_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "history.py",
+)
+
+
+def _load_history_module():
+    spec = importlib.util.spec_from_file_location("bench_history", _HISTORY_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+history = _load_history_module()
+
+
+@pytest.fixture
+def history_file(tmp_path):
+    return str(tmp_path / "BENCH_history.jsonl")
+
+
+def seed(history_file, suite, rows):
+    for metrics in rows:
+        history.append_row(suite, metrics, history_path=history_file)
+
+
+class TestAppend:
+    def test_rows_are_schema_versioned_jsonl(self, history_file):
+        history.append_row(
+            "eval",
+            {"speedup": 3.0, "events_per_second": 1e6, "untracked": 42},
+            history_path=history_file,
+            context={"scale": 1},
+        )
+        with open(history_file) as stream:
+            (line,) = stream.read().splitlines()
+        row = json.loads(line)
+        assert row["schema_version"] == history.SCHEMA_VERSION
+        assert row["suite"] == "eval"
+        assert row["metrics"] == {"speedup": 3.0, "events_per_second": 1e6}
+        assert "untracked" not in row["metrics"]
+        assert row["context"] == {"scale": 1}
+
+    def test_append_is_append_only(self, history_file):
+        seed(history_file, "eval", [{"speedup": 1.0}, {"speedup": 2.0}])
+        rows = history.load_history(history_file)
+        assert [r["metrics"]["speedup"] for r in rows] == [1.0, 2.0]
+
+    def test_load_skips_corrupt_and_foreign_lines(self, history_file):
+        seed(history_file, "eval", [{"speedup": 2.0}])
+        with open(history_file, "a") as stream:
+            stream.write("not json at all\n")
+            stream.write(json.dumps({"schema_version": 999, "metrics": {}}) + "\n")
+            stream.write(json.dumps({"schema_version": 1, "suite": "bogus", "metrics": {}}) + "\n")
+        rows = history.load_history(history_file)
+        assert len(rows) == 1
+
+
+class TestCheck:
+    def test_missing_file_and_first_run_never_fail(self, history_file):
+        failures, notes = history.check_history(history_file)
+        assert failures == [] and notes
+        seed(history_file, "eval", [{"speedup": 3.0}])
+        failures, notes = history.check_history(history_file)
+        assert failures == []
+        assert any("first recorded run" in note for note in notes)
+
+    def test_flags_higher_is_better_regression(self, history_file):
+        seed(
+            history_file,
+            "eval",
+            [{"speedup": 3.0}, {"speedup": 3.1}, {"speedup": 2.9}, {"speedup": 1.5}],
+        )
+        failures, _ = history.check_history(history_file, threshold=0.30)
+        assert len(failures) == 1
+        assert "eval.speedup" in failures[0]
+
+    def test_flags_lower_is_better_regression(self, history_file):
+        seed(
+            history_file,
+            "service",
+            [{"p95_ms": 10.0, "req_per_s": 500}, {"p95_ms": 20.0, "req_per_s": 500}],
+        )
+        failures, _ = history.check_history(history_file, threshold=0.30)
+        assert any("service.p95_ms" in failure for failure in failures)
+        assert not any("req_per_s" in failure for failure in failures)
+
+    def test_within_threshold_passes(self, history_file):
+        seed(history_file, "eval", [{"speedup": 3.0}, {"speedup": 2.5}])
+        failures, notes = history.check_history(history_file, threshold=0.30)
+        assert failures == []
+        assert any("[ok]" in note for note in notes)
+
+    def test_baseline_is_median_robust_to_one_lucky_run(self, history_file):
+        # one 10x outlier among normal ~3x runs must not fail a normal run
+        seed(
+            history_file,
+            "eval",
+            [
+                {"speedup": 3.0},
+                {"speedup": 10.0},
+                {"speedup": 3.1},
+                {"speedup": 2.9},
+                {"speedup": 3.0},
+            ],
+        )
+        failures, _ = history.check_history(history_file, threshold=0.30)
+        assert failures == []
+
+    def test_improvements_never_fail(self, history_file):
+        seed(history_file, "eval", [{"speedup": 2.0}, {"speedup": 9.0}])
+        failures, _ = history.check_history(history_file, threshold=0.30)
+        assert failures == []
+
+
+class TestCli:
+    def test_append_then_check_via_main(self, history_file, tmp_path, capsys):
+        report = tmp_path / "BENCH_eval.json"
+        report.write_text(json.dumps({"speedup": 3.0, "events_per_second": 1e6}))
+        assert (
+            history.main(
+                ["append", str(report), "--suite", "eval", "--history", history_file]
+            )
+            == 0
+        )
+        assert history.main(["check", "--history", history_file]) == 0
+
+    def test_check_exit_code_on_regression(self, history_file):
+        seed(history_file, "service", [{"req_per_s": 1000.0}, {"req_per_s": 100.0}])
+        assert history.main(["check", "--history", history_file]) == 1

@@ -90,3 +90,36 @@ class TestColdWarmDeterminism:
         captured = capsys.readouterr()
         assert "[timings]" in captured.err
         assert "[timings]" not in captured.out
+
+
+class TestTelemetryExports:
+    def test_snapshot_and_metrics_out(self, fresh_cache, capsys, tmp_path):
+        from repro.obs import snapshot_from_dict, validate_exposition
+
+        snap_path = tmp_path / "snap.json"
+        metrics_path = tmp_path / "metrics.prom"
+        assert (
+            main(
+                [
+                    "table1",
+                    "--names",
+                    "compress",
+                    "--snapshot-out",
+                    str(snap_path),
+                    "--metrics-out",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()  # table output, not under test here
+
+        import json
+
+        snapshot = snapshot_from_dict(json.loads(snap_path.read_text()))
+        assert snapshot.counters.get("engine.events", 0) > 0
+        assert "engine.scan_seconds" in snapshot.hists
+
+        text = metrics_path.read_text()
+        validate_exposition(text)
+        assert "# TYPE repro_engine_scan_seconds histogram" in text

@@ -158,6 +158,46 @@ class TestCounters:
         assert observer.counter("artifacts.interpreter.runs") == 1
         assert observer.counter("workers.artifacts.interpreter.runs") == 2
 
+    def test_merge_gauges_overwrite_instead_of_summing(self):
+        # Worker gauges are levels: two workers each reporting a best
+        # score of 0.9 must not merge into 1.8.
+        observer = Observer()
+        observer.merge(
+            {"sm.intra.best_score": 0.9, "sm.intra.candidates": 5},
+            counter_prefix="workers.",
+            gauges=["sm.intra.best_score"],
+        )
+        observer.merge(
+            {"sm.intra.best_score": 0.8, "sm.intra.candidates": 7},
+            counter_prefix="workers.",
+            gauges=["sm.intra.best_score"],
+        )
+        # gauge: last write wins; counter: summed
+        assert observer.counter("workers.sm.intra.best_score") == 0.8
+        assert observer.counter("workers.sm.intra.candidates") == 12
+        # the merged name is remembered as a gauge for re-export
+        assert "workers.sm.intra.best_score" in observer.snapshot().gauges
+
+    def test_merge_snapshot_carries_gauges_and_histograms(self):
+        worker = Observer()
+        worker.add("w.jobs", 3)
+        worker.set_gauge("w.depth", 2)
+        worker.observe("w.seconds", 0.5)
+        parent = Observer()
+        parent.merge_snapshot(worker.snapshot(), counter_prefix="workers.")
+        parent.merge_snapshot(worker.snapshot(), counter_prefix="workers.")
+        assert parent.counter("workers.w.jobs") == 6  # counter: summed
+        assert parent.counter("workers.w.depth") == 2  # gauge: level
+        hist = parent.histogram("workers.w.seconds")
+        assert hist is not None and hist.count == 2  # histogram: merged
+
+    def test_snapshot_tracks_gauge_names(self):
+        observer = Observer()
+        observer.add("a.total", 5)
+        observer.set_gauge("a.level", 5)
+        snapshot = observer.snapshot()
+        assert snapshot.gauges == frozenset({"a.level"})
+
     def test_merge_spans_only_while_recording(self):
         observer = Observer()
         span = SpanRecord("w", 0.0, 1.0, 0, 1, 1, {})

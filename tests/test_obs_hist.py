@@ -1,0 +1,260 @@
+"""Histogram, rate-window and Prometheus exposition tests.
+
+The two load-bearing properties are proved with hypothesis:
+
+* **merge exactness** — the merge of per-shard histograms equals the
+  histogram of the concatenated stream (what makes worker-snapshot
+  merging sound);
+* **quantile error bound** — every quantile answer is within
+  ``sqrt(GROWTH) - 1`` relative error of the exact nearest-rank value.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    GROWTH,
+    Histogram,
+    Observer,
+    RateWindow,
+    quantile_from_counts,
+    render_prometheus,
+    validate_exposition,
+)
+from repro.obs.hist import bucket_index, bucket_upper
+from repro.obs.promtext import (
+    ExpositionError,
+    delta_bucket_counts,
+    exposition_types,
+    histogram_bucket_counts,
+    metric_name,
+    parse_exposition,
+)
+
+#: The documented quantile relative-error bound (≈ 4.9% for GROWTH=1.1).
+REL_ERROR = math.sqrt(GROWTH) - 1
+
+positive_values = st.floats(
+    min_value=1e-9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+def fill(values) -> Histogram:
+    hist = Histogram()
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+class TestBucketing:
+    def test_bucket_covers_its_value(self):
+        for value in (1e-6, 0.5, 1.0, 1.1, 2.0, 123.456, 1e6):
+            index = bucket_index(value)
+            assert GROWTH**index < value * (1 + 1e-9)
+            assert value <= bucket_upper(index) * (1 + 1e-9)
+
+    def test_boundary_values_index_deterministically(self):
+        for k in range(-20, 21):
+            boundary = GROWTH**k
+            assert bucket_index(boundary) == bucket_index(boundary)
+
+    def test_zero_and_negative_go_to_zero_bucket(self):
+        hist = fill([0.0, -1.5, 2.0])
+        assert hist.zero == 2
+        assert hist.count == 3
+        assert hist.min == -1.5
+
+    def test_nan_and_inf_are_ignored(self):
+        hist = fill([float("nan"), float("inf"), 1.0])
+        assert hist.count == 1
+
+
+class TestQuantiles:
+    def test_empty_histogram_answers_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_single_value(self):
+        hist = fill([0.25])
+        assert hist.quantile(0.5) == pytest.approx(0.25, rel=REL_ERROR)
+
+    @given(st.lists(positive_values, min_size=1, max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_quantile_within_relative_error_bound(self, values):
+        hist = fill(values)
+        ordered = sorted(values)
+        for q in (0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0):
+            exact = ordered[min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))]
+            estimate = hist.quantile(q)
+            assert estimate == pytest.approx(exact, rel=REL_ERROR + 1e-9)
+
+    def test_mean_is_exact(self):
+        values = [0.1, 0.2, 0.3, 10.0]
+        assert fill(values).mean == pytest.approx(sum(values) / len(values))
+
+
+class TestMerge:
+    @given(
+        st.lists(
+            st.lists(positive_values, min_size=0, max_size=50),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_merged_shards_equal_whole_stream(self, shards):
+        merged = Histogram()
+        for shard in shards:
+            merged.merge(fill(shard))
+        whole = fill([value for shard in shards for value in shard])
+        assert merged == whole
+        for q in (0.5, 0.95, 0.99):
+            assert merged.quantile(q) == whole.quantile(q)
+
+    def test_merge_tracks_extremes(self):
+        a, b = fill([1.0, 5.0]), fill([0.1, 2.0])
+        a.merge(b)
+        assert a.min == 0.1 and a.max == 5.0 and a.count == 4
+
+    def test_serialisation_round_trip(self):
+        hist = fill([0.0, 0.001, 1.0, 3.7, 250.0])
+        assert Histogram.from_dict(hist.to_dict()) == hist
+
+    def test_copy_is_independent(self):
+        hist = fill([1.0])
+        clone = hist.copy()
+        clone.observe(2.0)
+        assert hist.count == 1 and clone.count == 2
+
+
+class TestQuantileFromCounts:
+    def test_matches_histogram_quantile(self):
+        values = [0.002, 0.004, 0.01, 0.05, 0.05, 0.3, 1.2]
+        hist = fill(values)
+        pairs = []
+        previous = 0
+        for bound, cumulative in hist.cumulative_buckets():
+            pairs.append((bound, cumulative - previous))
+            previous = cumulative
+        for q in (0.5, 0.95):
+            assert quantile_from_counts(pairs, q) == pytest.approx(
+                hist.quantile(q), rel=2 * REL_ERROR
+            )
+
+    def test_empty_counts_answer_zero(self):
+        assert quantile_from_counts([], 0.5) == 0.0
+        assert quantile_from_counts([(1.0, 0.0)], 0.5) == 0.0
+
+
+class TestRateWindow:
+    def test_rate_counts_recent_events(self):
+        window = RateWindow(window=10.0)
+        for t in (0.0, 0.5, 1.0, 1.5):
+            window.mark(1, now=t)
+        assert window.rate(now=2.0) == pytest.approx(4 / 2.0)
+
+    def test_rate_decays_to_zero(self):
+        window = RateWindow(window=5.0)
+        window.mark(100, now=0.0)
+        assert window.rate(now=1.0) > 0
+        assert window.rate(now=100.0) == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RateWindow(window=0)
+
+
+class TestPrometheusExposition:
+    def _observer(self):
+        observer = Observer()
+        observer.add("service.requests.healthz", 7)
+        observer.set_gauge("service.queue.depth", 3)
+        for value in (0.001, 0.003, 0.003, 0.02, 0.5):
+            observer.observe("service.latency_seconds", value)
+        observer.mark("service.requests", 5)
+        return observer
+
+    def render(self):
+        observer = self._observer()
+        return render_prometheus(observer.snapshot(), rates=observer.rates())
+
+    def test_rendered_exposition_validates(self):
+        parsed = validate_exposition(self.render())
+        types = exposition_types(parsed)
+        assert types["repro_service_requests_healthz"] == "counter"
+        assert types["repro_service_queue_depth"] == "gauge"
+        assert types["repro_service_latency_seconds"] == "histogram"
+        assert types["repro_service_requests_per_second"] == "gauge"
+
+    def test_histogram_schema(self):
+        parsed = validate_exposition(self.render())
+        buckets = parsed["repro_service_latency_seconds_bucket"]
+        bounds = [float("inf") if l["le"] == "+Inf" else float(l["le"]) for l, _ in buckets]
+        counts = [value for _, value in buckets]
+        # strictly ascending bounds, non-decreasing cumulative counts
+        assert bounds == sorted(bounds) and len(set(bounds)) == len(bounds)
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+        assert math.isinf(bounds[-1])
+        # +Inf bucket == _count; _sum matches the observations
+        assert counts[-1] == parsed["repro_service_latency_seconds_count"][0][1] == 5
+        assert parsed["repro_service_latency_seconds_sum"][0][1] == pytest.approx(0.527)
+
+    def test_metric_name_sanitisation(self):
+        assert metric_name("service.latency_seconds") == "repro_service_latency_seconds"
+        assert metric_name("weird name/π") == "repro_weird_name__"
+
+    def test_validate_rejects_garbage(self):
+        with pytest.raises(ExpositionError):
+            validate_exposition("this is { not exposition\n")
+
+    def test_validate_rejects_histogram_without_inf_bucket(self):
+        text = (
+            "# TYPE repro_x histogram\n"
+            'repro_x_bucket{le="0.1"} 1\n'
+            "repro_x_sum 0.05\n"
+            "repro_x_count 1\n"
+        )
+        with pytest.raises(ExpositionError, match=r"\+Inf"):
+            validate_exposition(text)
+
+    def test_validate_rejects_decreasing_cumulative_counts(self):
+        text = (
+            "# TYPE repro_x histogram\n"
+            'repro_x_bucket{le="0.1"} 5\n'
+            'repro_x_bucket{le="0.2"} 3\n'
+            'repro_x_bucket{le="+Inf"} 5\n'
+            "repro_x_sum 0.5\n"
+            "repro_x_count 5\n"
+        )
+        with pytest.raises(ExpositionError, match="decrease"):
+            validate_exposition(text)
+
+    def test_validate_rejects_untyped_samples(self):
+        with pytest.raises(ExpositionError, match="TYPE"):
+            validate_exposition("repro_mystery 5\n")
+
+    def test_bucket_counts_and_delta(self):
+        before = parse_exposition(self.render())
+        observer = self._observer()
+        for value in (0.003, 0.04):
+            observer.observe("service.latency_seconds", value)
+        after_text = render_prometheus(observer.snapshot(), rates=observer.rates())
+        after = parse_exposition(after_text)
+        delta = delta_bucket_counts(
+            histogram_bucket_counts(before, "repro_service_latency_seconds"),
+            histogram_bucket_counts(after, "repro_service_latency_seconds"),
+        )
+        assert sum(count for _, count in delta) == 2
+        # the two new samples dominate the interval quantiles
+        assert quantile_from_counts(delta, 0.99) == pytest.approx(0.04, rel=2 * REL_ERROR)
+
+    def test_counter_histogram_name_collision_is_defused(self):
+        observer = Observer()
+        observer.observe("engine.scan_seconds", 0.1)
+        observer.add("engine.scan.seconds", 4)  # sanitises identically
+        parsed = validate_exposition(render_prometheus(observer.snapshot()))
+        types = exposition_types(parsed)
+        assert types["repro_engine_scan_seconds"] == "histogram"
+        assert types["repro_engine_scan_seconds_"] == "counter"

@@ -150,3 +150,43 @@ def test_serve_module_entry_points_exist():
 
     loadgen = importlib.import_module("repro.service.loadgen")
     assert callable(loadgen.main)
+
+
+def test_serve_parser_accepts_telemetry_flags():
+    from repro.tools import build_parser
+
+    options = build_parser().parse_args(
+        ["serve", "--log-json", "--trace-out", "svc_trace.json"]
+    )
+    assert options.log_json is True
+    assert options.trace_out == "svc_trace.json"
+    defaults = build_parser().parse_args(["serve"])
+    assert defaults.log_json is False and defaults.trace_out is None
+
+
+def test_obs_export_renders_saved_snapshot(tmp_path, capsys):
+    from repro.obs import Observer, validate_exposition
+    from repro.obs.export import write_snapshot
+
+    observer = Observer()
+    observer.add("engine.events", 123)
+    observer.observe("engine.scan_seconds", 0.02)
+    snap_path = tmp_path / "snap.json"
+    write_snapshot(str(snap_path), observer.snapshot())
+
+    assert main(["obs-export", str(snap_path)]) == 0
+    text = capsys.readouterr().out
+    validate_exposition(text)
+    assert "repro_engine_events 123" in text
+    assert "# TYPE repro_engine_scan_seconds histogram" in text
+
+    out_path = tmp_path / "metrics.prom"
+    assert main(["obs-export", str(snap_path), "-o", str(out_path)]) == 0
+    assert out_path.read_text() == text
+
+
+def test_obs_export_rejects_garbage_snapshot(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json")
+    with pytest.raises(Exception):
+        main(["obs-export", str(bad)])
