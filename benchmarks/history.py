@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import sys
 import time
@@ -52,6 +53,20 @@ TRACKED: Dict[str, Dict[str, str]] = {
 }
 
 
+def _finite_number(value) -> bool:
+    """True for real, finite numbers — bools are not measurements."""
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def _row_timestamp(row: dict) -> float:
+    timestamp = row.get("timestamp")
+    return float(timestamp) if _finite_number(timestamp) else 0.0
+
+
 def _median(values: List[float]) -> float:
     ordered = sorted(values)
     middle = len(ordered) // 2
@@ -61,13 +76,26 @@ def _median(values: List[float]) -> float:
 
 
 def make_row(suite: str, metrics: Dict[str, float], context: Optional[dict] = None) -> dict:
-    """One history row; only tracked metrics are kept."""
+    """One history row; only tracked metrics are kept.
+
+    Booleans are not measurements and are dropped like any other
+    non-numeric value; a NaN/inf value for a tracked metric raises
+    ``ValueError`` — appending one would silently poison every later
+    baseline median.
+    """
     tracked = TRACKED.get(suite, {})
-    kept = {
-        name: float(metrics[name])
-        for name in tracked
-        if name in metrics and isinstance(metrics[name], (int, float))
-    }
+    kept: Dict[str, float] = {}
+    for name in tracked:
+        if name not in metrics:
+            continue
+        value = metrics[name]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        if not math.isfinite(value):
+            raise ValueError(
+                f"non-finite value for tracked metric {suite}.{name}: {value!r}"
+            )
+        kept[name] = float(value)
     row = {
         "schema_version": SCHEMA_VERSION,
         "suite": suite,
@@ -128,9 +156,12 @@ def check_history(
 
     The baseline per metric is the **median** of up to
     :data:`BASELINE_WINDOW` immediately preceding rows — robust to a
-    single lucky or noisy historical run.  A suite with no preceding
-    rows produces a note, never a failure (first run seeds the
-    history).
+    single lucky or noisy historical run.  "Latest" and "preceding"
+    follow each row's recorded ``timestamp``, not file order: merged or
+    concatenated history files (CI artifacts land out of order) must
+    not make a stale row masquerade as the current run.  A suite with
+    no preceding rows produces a note, never a failure (first run seeds
+    the history).
     """
     failures: List[str] = []
     notes: List[str] = []
@@ -142,6 +173,7 @@ def check_history(
         return failures, notes
 
     for suite, rows in sorted(by_suite.items()):
+        rows = sorted(rows, key=_row_timestamp)  # stable: ties keep file order
         latest = rows[-1]
         previous = rows[:-1][-BASELINE_WINDOW:]
         if not previous:
@@ -149,11 +181,25 @@ def check_history(
             continue
         for metric, direction in sorted(TRACKED[suite].items()):
             current = latest["metrics"].get(metric)
-            baseline_values = [
-                row["metrics"][metric]
-                for row in previous
-                if isinstance(row["metrics"].get(metric), (int, float))
-            ]
+            baseline_values = []
+            skipped = 0
+            for row in previous:
+                value = row["metrics"].get(metric)
+                if _finite_number(value):
+                    baseline_values.append(value)
+                elif value is not None:
+                    skipped += 1
+            if skipped:
+                notes.append(
+                    f"{suite}.{metric}: ignored {skipped} non-finite "
+                    f"baseline value(s)"
+                )
+            if current is not None and not _finite_number(current):
+                notes.append(
+                    f"{suite}.{metric}: latest value {current!r} is not a "
+                    f"finite number; comparison skipped"
+                )
+                continue
             if current is None or not baseline_values:
                 continue
             baseline = _median(baseline_values)

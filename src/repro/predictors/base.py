@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from ..ir import BranchSite
 from ..profiling import Trace
+from ..profiling.columns import TraceColumns
 
 #: A fused predict+observe step: ``step(site_id, direction) -> mispredicted``
 #: with ``direction`` the trace's 0/1 outcome.
@@ -75,6 +76,26 @@ class Predictor(abc.ABC):
             return wrong
 
         return step
+
+    def step_batch(self, columns: TraceColumns) -> Optional[List[int]]:
+        """Columnar batch kernel: per-site-id misprediction counts.
+
+        *columns* is the trace's columnar view
+        (:meth:`~repro.profiling.trace.Trace.columns`).  A family that
+        can score itself column-wise returns a list of
+        ``columns.n_sites`` misprediction counts — exactly the per-site
+        totals the sequential ``predict``/``update`` replay produces,
+        whether or not numpy is importable (``columns.np`` is ``None``
+        on the pure-Python fallback).  The default returns ``None``,
+        which sends the predictor down the fused per-event stepper scan
+        instead.
+
+        Kernels are pure functions of the frozen predictor
+        configuration and the columns: they must not mutate predictor
+        state, and they assume :meth:`reset` semantics (history
+        registers start zeroed, counters at their initial value).
+        """
+        return None
 
 
 @dataclass

@@ -2,45 +2,46 @@
 
 Every table in the paper compares many strategies over the *same*
 trace.  :func:`repro.predictors.base.evaluate` replays the full trace
-once per predictor; :func:`evaluate_many` replays it **once**, feeding
-all N predictors per event, and scores order-independent predictors
-(static heuristics, :class:`~repro.predictors.semistatic.ProfilePredictor`)
-in closed form from per-site taken counts — O(sites) instead of
-O(events).
+once per predictor; :func:`evaluate_many` scores each predictor by the
+cheapest route that yields identical results:
 
-Three mechanisms make the shared scan fast:
+* **closed form** — order-independent predictors (static heuristics,
+  :class:`~repro.predictors.semistatic.ProfilePredictor`) are scored
+  from per-site taken counts alone, O(sites) instead of O(events);
+* **columnar batch kernels** — predictor families that implement
+  :meth:`Predictor.step_batch` score themselves against the trace's
+  columnar view (:meth:`~repro.profiling.trace.Trace.columns`):
+  vectorized numpy column passes when numpy is importable, pure-Python
+  run/sequence kernels otherwise, both byte-identical to the
+  sequential replay;
+* **a fused stepper scan** — anything else (custom ``Predictor``
+  subclasses) falls back to the single shared per-event scan: each
+  predictor contributes a ``step(site_id, direction) -> mispredicted``
+  closure (:meth:`Predictor.make_stepper`) and the per-event dispatch
+  over N steppers is generated (and cached) per N, so the hot loop has
+  no tuple unpacking or inner ``for``.
 
-* **fused steppers** — each online predictor contributes a
-  ``step(site_id, direction) -> mispredicted`` closure
-  (:meth:`Predictor.make_stepper`) that folds ``predict`` and
-  ``update`` into one state lookup over per-site-id arrays, replacing
-  per-event ``BranchSite`` hashing with precomputed integer keys;
-* **C-level bookkeeping** — per-site execution and taken counts are
-  predictor-independent, so they are aggregated from the trace's
-  column arrays with :class:`collections.Counter` /
-  :func:`itertools.compress` (no Python-level per-event work) and
-  shared by every result and the closed-form fast path;
-* **an unrolled scan loop** — the per-event dispatch over N steppers is
-  generated (and cached) per N, so the hot loop has no tuple unpacking
-  or inner ``for``.
+Per-site execution and taken counts are predictor-independent and come
+from the columnar view's C-speed aggregations, shared by every result.
 
 The engine reports process-wide counters (``engine.*``: scans, events,
 wall-clock) and an ``engine.evaluate_many`` span per call to the
 :mod:`repro.obs` observer, so the CLI's ``--timings`` and
-``--trace-out`` can show events/sec per stage; results are exactly
-those of the sequential reference implementation.  The per-event hot
-loop itself carries **no** instrumentation — counters are bumped once
-per call.
+``--trace-out`` can show events/sec per stage.  ``engine.events``
+counts only events that did online work (batch kernels or a stepper
+scan); calls that were satisfied entirely in closed form book their
+events under ``engine.closed_form_events`` instead, so the
+``--timings`` events/sec rate is never inflated by O(sites) calls.
+The per-event hot loop itself carries **no** instrumentation —
+counters are bumped once per call.
 """
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
 from functools import lru_cache
-from itertools import compress
 from time import perf_counter
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..ir import BranchSite
 from ..obs import OBS
@@ -63,6 +64,8 @@ class EngineStats:
     online_predictors: int = 0
     closed_form_predictors: int = 0
     seconds: float = 0.0
+    batch_predictors: int = 0
+    closed_form_events: int = 0
 
     def snapshot(self) -> "EngineStats":
         return EngineStats(
@@ -71,6 +74,8 @@ class EngineStats:
             self.online_predictors,
             self.closed_form_predictors,
             self.seconds,
+            self.batch_predictors,
+            self.closed_form_events,
         )
 
 
@@ -83,6 +88,8 @@ def engine_stats() -> EngineStats:
         online_predictors=int(counters.get("engine.online_predictors", 0)),
         closed_form_predictors=int(counters.get("engine.closed_form_predictors", 0)),
         seconds=float(counters.get("engine.seconds", 0.0)),
+        batch_predictors=int(counters.get("engine.batch_predictors", 0)),
+        closed_form_events=int(counters.get("engine.closed_form_events", 0)),
     )
 
 
@@ -114,54 +121,74 @@ def _scan_fn(n_steppers: int) -> Callable:
 
 
 def evaluate_many(
-    predictors: Sequence[Predictor], trace: Trace
+    predictors: Sequence[Predictor], trace: Trace, batch: bool = True
 ) -> List[EvaluationResult]:
-    """Evaluate all *predictors* over *trace* in a single scan.
+    """Evaluate all *predictors* over *trace*, each by its fastest path.
 
     Returns one :class:`EvaluationResult` per predictor, in input
-    order, each identical to ``evaluate(predictor, trace)``.
+    order, each identical to ``evaluate(predictor, trace)``.  With
+    *batch* (the default) predictors that implement
+    :meth:`Predictor.step_batch` are scored by their columnar kernel;
+    ``batch=False`` forces every non-closed-form predictor down the
+    shared per-event stepper scan (the PR-2 engine), which is what the
+    benchmark suite uses as its speedup baseline.
     """
     predictors = list(predictors)
     started = perf_counter()
     with OBS.span("engine.evaluate_many", predictors=len(predictors)) as span:
         sites = trace.sites
+        columns = trace.columns()
 
-        # Shared per-site bookkeeping, aggregated at C speed.
-        executions = Counter(trace.site_ids)
-        taken = Counter(compress(trace.site_ids, trace.directions))
-
-        # Online predictors step through the shared scan; order-independent
-        # ones are scored from the counts alone.
-        online: List[int] = []
-        wrongs: List[List[int]] = []
-        flat: List = []
-        for index, predictor in enumerate(predictors):
-            if not predictor.order_independent:
-                predictor.reset()
-                wrong = [0] * len(sites)
-                online.append(index)
-                wrongs.append(wrong)
-                flat.append(predictor.make_stepper(sites))
-                flat.append(wrong)
-
-        if online:
-            _scan_fn(len(online))(trace.events(), *flat)
+        # Shared per-site bookkeeping from the columnar view (numpy
+        # bincount / run-sliced byte counts — no per-event Python work).
+        executions = columns.site_executions()
+        taken = columns.site_taken()
 
         events = len(trace)
         results: List[EvaluationResult] = [None] * len(predictors)  # type: ignore[list-item]
+        site_rows = [
+            (sid, sites[sid], count) for sid, count in executions.items()
+        ]
 
-        for index, wrong in zip(online, wrongs):
+        def finish(index: int, name: str, wrong: Sequence[int]) -> None:
             per_site: Dict[BranchSite, SiteStats] = {
-                sites[sid]: SiteStats(count, wrong[sid])
-                for sid, count in executions.items()
+                site: SiteStats(count, wrong[sid]) for sid, site, count in site_rows
             }
-            results[index] = EvaluationResult(
-                predictors[index].name, events, sum(wrong), per_site
-            )
+            results[index] = EvaluationResult(name, events, sum(wrong), per_site)
 
-        # Closed-form fast path: O(sites) per order-independent predictor.
+        # Route each predictor: closed form, columnar kernel, or the
+        # shared stepper scan.
+        online: List[int] = []
+        batched = 0
+        wrongs: List[List[int]] = []
+        flat: List = []
         for index, predictor in enumerate(predictors):
             if predictor.order_independent:
+                continue
+            predictor.reset()
+            counts: Optional[List[int]] = (
+                predictor.step_batch(columns) if batch else None
+            )
+            if counts is not None:
+                batched += 1
+                finish(index, predictor.name, counts)
+                continue
+            wrong = [0] * len(sites)
+            online.append(index)
+            wrongs.append(wrong)
+            flat.append(predictor.make_stepper(sites))
+            flat.append(wrong)
+
+        if online:
+            _scan_fn(len(online))(trace.events(), *flat)
+        for index, wrong in zip(online, wrongs):
+            finish(index, predictors[index].name, wrong)
+
+        # Closed-form fast path: O(sites) per order-independent predictor.
+        closed_form = 0
+        for index, predictor in enumerate(predictors):
+            if predictor.order_independent:
+                closed_form += 1
                 predictor.reset()
                 predict = predictor.predict
                 per_site = {}
@@ -180,14 +207,22 @@ def evaluate_many(
         span.set(
             events=events,
             online=len(online),
-            closed_form=len(predictors) - len(online),
+            batched=batched,
+            closed_form=closed_form,
         )
 
     elapsed = perf_counter() - started
+    scanned = bool(online) or batched
     OBS.add("engine.scans", 1 if online else 0)
-    OBS.add("engine.events", events)
+    # events/sec accounting: only events that did online work (batch
+    # kernels or a stepper scan) count as scanned; a call satisfied
+    # entirely in closed form books them separately so it cannot
+    # inflate the ``--timings`` rate.
+    OBS.add("engine.events", events if scanned else 0)
+    OBS.add("engine.closed_form_events", 0 if scanned else events)
     OBS.add("engine.online_predictors", len(online))
-    OBS.add("engine.closed_form_predictors", len(predictors) - len(online))
+    OBS.add("engine.batch_predictors", batched)
+    OBS.add("engine.closed_form_predictors", closed_form)
     OBS.add("engine.seconds", elapsed)
     # Distinct name from the engine.seconds total: a histogram family's
     # _sum/_count samples must not collide with the plain counter.

@@ -20,16 +20,93 @@ Strategies:
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..ir import BranchSite
 from ..profiling import ProfileData
 from .base import Predictor
+from .kernels import bincount_bool, fixed_guess_wrongs, history_pack
 
 
 def _majority_map(counts: Dict[int, list]) -> Dict[int, bool]:
     """pattern -> majority direction (ties predict taken)."""
     return {pattern: entry[1] >= entry[0] for pattern, entry in counts.items()}
+
+
+def _pattern_rows(
+    sites, tables, bias, bits: int, default: bool
+) -> List[Optional[List[int]]]:
+    """Per site id, the frozen pattern -> guess lookup row.
+
+    ``None`` marks an unprofiled site (always guess *default*); a row is
+    ``2**bits`` guesses, pre-filled with the site's bias so unseen
+    patterns fall back exactly like ``predict`` does.
+    """
+    mask = (1 << bits) - 1
+    rows: List[Optional[List[int]]] = []
+    for site in sites:
+        table = tables.get(site)
+        if table is None:
+            rows.append(None)
+            continue
+        row = [1 if bias[site] else 0] * (1 << bits)
+        for pattern, guess in table.items():
+            if 0 <= pattern <= mask:
+                row[pattern] = 1 if guess else 0
+        rows.append(row)
+    return rows
+
+
+def _pattern_lut(np, sites, tables, bias, bits: int, default: bool):
+    """The frozen lookup as one ``(site, pattern) -> guess`` uint8 grid.
+
+    Unprofiled sites' rows are the *default* guess everywhere — a fixed
+    guess ignores the history, so a constant row reproduces it exactly.
+    """
+    mask = (1 << bits) - 1
+    lut = np.full((len(sites), 1 << bits), 1 if default else 0, dtype=np.uint8)
+    for sid, site in enumerate(sites):
+        table = tables.get(site)
+        if table is None:
+            continue
+        row = lut[sid]
+        row[:] = 1 if bias[site] else 0
+        for pattern, guess in table.items():
+            if 0 <= pattern <= mask:
+                row[pattern] = 1 if guess else 0
+    return lut
+
+
+def _cached_flat_lut(predictor, np, columns):
+    """The predictor's flat ``(site << bits) | pattern -> guess`` lookup
+    for this trace's site list, built once per (predictor, site list).
+
+    The tables are frozen at construction, so the grid only varies with
+    the trace's interning order; keying by the site tuple keeps repeated
+    evaluations (other traces, repeated runs) from re-walking the
+    Python-dict tables.
+    """
+    key = tuple(columns.sites)
+    cache = predictor.__dict__.setdefault("_lut_cache", {})
+    lut = cache.get(key)
+    if lut is None:
+        lut = _pattern_lut(
+            np,
+            columns.sites,
+            predictor._tables,
+            predictor._bias,
+            predictor.bits,
+            predictor.default,
+        ).reshape(-1)
+        cache[key] = lut
+    return lut
+
+
+def _default_wrongs(columns, sid: int, default: bool) -> int:
+    """Mispredictions of a fixed *default* guess at site *sid*."""
+    executions = columns.site_executions().get(sid, 0)
+    taken = columns.site_taken()[sid]
+    return executions - taken if default else taken
 
 
 class ProfilePredictor(Predictor):
@@ -46,6 +123,12 @@ class ProfilePredictor(Predictor):
 
     def predict(self, site: BranchSite) -> bool:
         return self._bias.get(site, self.default)
+
+    def step_batch(self, columns) -> List[int]:
+        return fixed_guess_wrongs(
+            columns,
+            [self._bias.get(site, self.default) for site in columns.sites],
+        )
 
 
 class CorrelationPredictor(Predictor):
@@ -107,6 +190,44 @@ class CorrelationPredictor(Predictor):
 
         return step
 
+    def step_batch(self, columns) -> List[int]:
+        # One *global* register: its contents before event t are just
+        # the previous k outcomes of the whole stream, so the entire
+        # history column vectorizes and the frozen tables become one
+        # (site, pattern) lookup.
+        counts = [0] * columns.n_sites
+        if columns.n_events == 0:
+            return counts
+        bits = self.bits
+        default = 1 if self.default else 0
+        np = columns.np
+        if np is None:
+            rows = _pattern_rows(
+                columns.sites, self._tables, self._bias, bits, self.default
+            )
+            mask = self._mask
+            history = 0
+            for sid, direction in zip(columns.site_ids, columns.directions):
+                row = rows[sid]
+                guess = default if row is None else row[history]
+                if guess != direction:
+                    counts[sid] += 1
+                history = ((history << 1) | direction) & mask
+            return counts
+        lut = _cached_flat_lut(self, np, columns)
+
+        def build_index():
+            histories = columns.cached(
+                ("ghist", bits),
+                lambda: history_pack(np, columns.directions, bits),
+            )
+            return (columns.site_ids.astype(np.int32) << bits) | histories
+
+        guesses = lut[columns.cached(("ghist-idx", bits), build_index)]
+        return bincount_bool(
+            np, columns.site_ids, guesses != columns.directions, columns.n_sites
+        )
+
 
 class LoopPredictor(Predictor):
     """k-bit *local* (per-branch) history, frozen majority predictions."""
@@ -165,6 +286,47 @@ class LoopPredictor(Predictor):
             return guess != direction
 
         return step
+
+    def step_batch(self, columns) -> List[int]:
+        # One register *per branch*: grouping the direction column by
+        # site makes every register's history a within-group window, so
+        # one boundary-masked pack scores all of them together.
+        counts = [0] * columns.n_sites
+        if columns.n_events == 0:
+            return counts
+        bits = self.bits
+        default = 1 if self.default else 0
+        np = columns.np
+        if np is None:
+            rows = _pattern_rows(
+                columns.sites, self._tables, self._bias, bits, self.default
+            )
+            mask = self._mask
+            histories = [0] * columns.n_sites
+            for sid, direction in zip(columns.site_ids, columns.directions):
+                row = rows[sid]
+                history = histories[sid]
+                guess = default if row is None else row[history]
+                if guess != direction:
+                    counts[sid] += 1
+                histories[sid] = ((history << 1) | direction) & mask
+            return counts
+        lut = _cached_flat_lut(self, np, columns)
+        sorted_ids, grouped_dirs, _ = columns.grouped()
+
+        def build_index():
+            histories = columns.cached(
+                ("lhist", bits),
+                lambda: history_pack(
+                    np, grouped_dirs, bits, columns.grouped_starts()
+                ),
+            )
+            return (sorted_ids.astype(np.int32) << bits) | histories
+
+        guesses = lut[columns.cached(("lhist-idx", bits), build_index)]
+        return bincount_bool(
+            np, sorted_ids, guesses != grouped_dirs, columns.n_sites
+        )
 
 
 class LoopCorrelationPredictor(Predictor):
@@ -234,6 +396,23 @@ class LoopCorrelationPredictor(Predictor):
             return default != direction
 
         return step
+
+    def step_batch(self, columns) -> List[int]:
+        # Each sub-strategy's histories evolve from outcomes alone, so
+        # their full kernels run independently; only the chosen
+        # strategy's count survives per site.
+        loop_counts = self.loop.step_batch(columns)
+        corr_counts = self.correlation.step_batch(columns)
+        counts = [0] * columns.n_sites
+        for sid, site in enumerate(columns.sites):
+            choice = self.choice.get(site)
+            if choice == "loop":
+                counts[sid] = loop_counts[sid]
+            elif choice == "correlation":
+                counts[sid] = corr_counts[sid]
+            else:
+                counts[sid] = _default_wrongs(columns, sid, self.default)
+        return counts
 
     def improved_sites(self, profile: ProfileData) -> Dict[BranchSite, int]:
         """Sites where the chosen strategy beats plain profile on the

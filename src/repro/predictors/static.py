@@ -8,11 +8,12 @@ profile, no run-time state — and produce a fixed per-site prediction.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 from ..cfg import CFG, DominatorTree, LoopForest
 from ..ir import Branch, BranchSite, Call, Program, Return, Store
 from .base import Predictor
+from .kernels import fixed_guess_wrongs
 
 
 class FixedMapPredictor(Predictor):
@@ -33,6 +34,12 @@ class FixedMapPredictor(Predictor):
     def predict(self, site: BranchSite) -> bool:
         return self.predictions.get(site, self.default)
 
+    def step_batch(self, columns) -> List[int]:
+        return fixed_guess_wrongs(
+            columns,
+            [self.predictions.get(site, self.default) for site in columns.sites],
+        )
+
 
 class AlwaysTaken(Predictor):
     """Smith: predict that all branches will be taken."""
@@ -45,6 +52,9 @@ class AlwaysTaken(Predictor):
     def predict(self, site: BranchSite) -> bool:
         return True
 
+    def step_batch(self, columns) -> List[int]:
+        return fixed_guess_wrongs(columns, [True] * columns.n_sites)
+
 
 class AlwaysNotTaken(Predictor):
     """Predict that no branch is taken (baseline)."""
@@ -56,6 +66,9 @@ class AlwaysNotTaken(Predictor):
 
     def predict(self, site: BranchSite) -> bool:
         return False
+
+    def step_batch(self, columns) -> List[int]:
+        return fixed_guess_wrongs(columns, [False] * columns.n_sites)
 
 
 def _block_order(program: Program) -> Dict[BranchSite, int]:

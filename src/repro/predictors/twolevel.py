@@ -18,10 +18,16 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..ir import BranchSite
 from .base import Predictor
+from .kernels import (
+    group_starts,
+    history_pack,
+    saturating_run_wrongs,
+    wrong_positions,
+)
 
 _SCOPES = ("global", "set", "peraddr")
 
@@ -177,6 +183,167 @@ class TwoLevelPredictor(Predictor):
             return counter >= threshold
 
         return step
+
+    def _scope_keys(self, scope: str, sets: int, n_sites: int, sites) -> List[int]:
+        if scope == "global":
+            return [0] * n_sites
+        if scope == "set":
+            return [_site_hash(site) % sets for site in sites]
+        return list(range(n_sites))
+
+    def step_batch(self, columns) -> List[int]:
+        """Columnar scoring of the two-level predictor.
+
+        The decomposition that makes an *adaptive* predictor batchable:
+        history registers depend only on actual outcomes, never on the
+        pattern-table counters, so every register's full contents over
+        time is just the packed window of the previous outcomes routed
+        to it — computable up front by grouping events by history key.
+        With histories known, each (pattern entity, history) pair
+        addresses an independent 2-bit saturating counter, so grouping
+        events by that joint key reduces the second level to the same
+        closed-form run kernel the plain saturating counter uses.
+        """
+        n_sites = columns.n_sites
+        counts = [0] * n_sites
+        n = columns.n_events
+        if n == 0:
+            return counts
+        bits = self.config.history_bits
+        threshold, top = self._threshold, self._max
+        hkeys = self._scope_keys(
+            self.config.history_scope, self.config.history_sets, n_sites, columns.sites
+        )
+        pkeys = self._scope_keys(
+            self.config.pattern_scope, self.config.pattern_sets, n_sites, columns.sites
+        )
+        np = columns.np
+        if np is None:
+            return self._step_batch_sequential(columns, hkeys, pkeys)
+
+        site_ids = columns.site_ids
+        dirs = columns.directions
+
+        # 1. Per-event history-register contents: group by history key,
+        #    pack each group's previous outcomes, scatter back.  The
+        #    history key is constant within every site-id run, so the
+        #    grouping permutation comes from sorting *runs* (cheap)
+        #    rather than argsorting the event column.  The whole column
+        #    depends only on the trace and (scope, sets, bits) — never
+        #    on predictor state — so it is cached on the snapshot and
+        #    shared by every variant with the same first level.
+        def build_histories():
+            if self.config.history_scope == "global":
+                return history_pack(np, dirs, bits)
+            indices = columns.event_indices()
+            run_sites, run_starts, run_lengths = columns.runs()
+            hkey_table = np.asarray(hkeys, dtype=np.int64)
+            run_hkeys = hkey_table[run_sites]
+            # Stable integer argsort is a radix sort: the narrowest key
+            # dtype that fits directly buys passes.
+            sort_keys = (
+                run_hkeys.astype(np.uint16)
+                if max(hkeys) < 1 << 16
+                else run_hkeys
+            )
+            run_order = np.argsort(sort_keys, kind="stable")
+            starts_sorted = run_starts[run_order]
+            lengths_sorted = run_lengths[run_order]
+            before = np.cumsum(lengths_sorted) - lengths_sorted
+            order = np.repeat(starts_sorted - before, lengths_sorted) + indices
+            hkey_sorted = np.repeat(run_hkeys[run_order], lengths_sorted)
+            new_register = np.empty(n, dtype=bool)
+            new_register[0] = True
+            np.not_equal(hkey_sorted[1:], hkey_sorted[:-1], out=new_register[1:])
+            histories_sorted = history_pack(
+                np, dirs[order], bits, group_starts(np, new_register, indices)
+            )
+            scattered = np.empty(n, dtype=histories_sorted.dtype)
+            scattered[order] = histories_sorted
+            return scattered
+
+        if self.config.history_scope == "global":
+            # Same column as the correlation strategy's global register.
+            cache_key = ("ghist", bits)
+        else:
+            cache_key = (
+                "tl-hist",
+                self.config.history_scope,
+                self.config.history_sets,
+                bits,
+            )
+        histories = columns.cached(cache_key, build_histories)
+        # 2. Joint counter key, one independent saturating counter per
+        #    distinct (pattern entity, history) value, built and sorted
+        #    in the narrowest dtype that fits.  Like the history column,
+        #    the grouping permutation and its run partition are pure
+        #    functions of the trace and the config's scopes/bits, so
+        #    they live in the snapshot cache too; only the counter
+        #    scoring and attribution run per call.
+        def build_counter_grouping():
+            counter_keys = (
+                np.asarray(pkeys, dtype=np.int32)[site_ids] << bits
+            ) | histories.astype(np.int32, copy=False)
+            top_key = int(max(pkeys)) << bits | self._mask
+            if top_key < 1 << 16:
+                counter_keys = counter_keys.astype(np.uint16)
+            order = np.argsort(counter_keys, kind="stable")
+            keys_sorted = counter_keys[order]
+            new_counter = np.empty(n, dtype=bool)
+            new_counter[0] = True
+            np.not_equal(keys_sorted[1:], keys_sorted[:-1], out=new_counter[1:])
+            dirs_sorted = dirs[order]
+            run_break = new_counter.copy()
+            run_break[1:] |= dirs_sorted[1:] != dirs_sorted[:-1]
+            run_starts = np.flatnonzero(run_break)
+            run_lengths = np.diff(run_starts, append=n)
+            return order, new_counter, dirs_sorted, (run_starts, run_lengths)
+
+        order, new_counter, dirs_sorted, runs = columns.cached(
+            (
+                "tl-ckey",
+                self.config.history_scope,
+                self.config.history_sets,
+                self.config.pattern_scope,
+                self.config.pattern_sets,
+                bits,
+            ),
+            build_counter_grouping,
+        )
+        starts, _, wrongs = saturating_run_wrongs(
+            np, new_counter, dirs_sorted, threshold, top, threshold, runs=runs
+        )
+        wrong_events = order[wrong_positions(np, starts, wrongs)]
+        return np.bincount(site_ids[wrong_events], minlength=n_sites).tolist()
+
+    def _step_batch_sequential(self, columns, hkeys, pkeys) -> List[int]:
+        """Pure-Python columnar fallback: one pass over the two columns
+        with per-site key arrays (no BranchSite hashing, no closures)."""
+        counts = [0] * columns.n_sites
+        threshold, top = self._threshold, self._max
+        mask = self._mask
+        shift = self.config.history_bits
+        histories = [0] * (max(hkeys) + 1)
+        counters: Dict[int, int] = {}
+        counters_get = counters.get
+        for sid, direction in zip(columns.site_ids, columns.directions):
+            hkey = hkeys[sid]
+            history = histories[hkey]
+            ckey = (pkeys[sid] << shift) | history
+            counter = counters_get(ckey, threshold)
+            if direction:
+                if counter < top:
+                    counters[ckey] = counter + 1
+                histories[hkey] = ((history << 1) | 1) & mask
+                if counter < threshold:
+                    counts[sid] += 1
+            else:
+                if counter > 0:
+                    counters[ckey] = counter - 1
+                histories[hkey] = (history << 1) & mask
+                if counter >= threshold:
+                    counts[sid] += 1
+        return counts
 
 
 def two_level_4k(history_bits: int = 9) -> TwoLevelPredictor:

@@ -1,0 +1,273 @@
+"""Columnar trace view: the evaluation engine's batch-kernel substrate.
+
+A :class:`TraceColumns` is a read-only, per-trace-snapshot view of one
+:class:`~repro.profiling.trace.Trace` exposing the event stream as
+columns instead of per-event tuples:
+
+* **site-id column** — the interned site-id stream, run-length
+  partitioned (``run_sites``/``run_starts``/``run_lengths``): the trace
+  is a sequence of maximal runs of equal site id, so a per-site kernel
+  processes contiguous slices of the direction column instead of
+  filtering event by event;
+* **direction column** — the 0/1 outcomes, unpacked on demand from the
+  trace's bit-packed storage (``numpy.unpackbits`` when numpy is
+  importable, a pure-Python table expansion otherwise);
+* **site grouping (CSR)** — a stable permutation of events grouped by
+  site id plus per-site offsets, giving every kernel each site's full
+  direction sequence, in trace order, as one contiguous slice;
+* **shared bookkeeping** — per-site execution/taken counts and the
+  first-occurrence site order, computed once per view and shared by
+  every predictor result and the closed-form fast path.
+
+numpy is strictly optional: :func:`get_numpy` returns ``None`` when it
+is not importable or when ``REPRO_NO_NUMPY`` is set (the CI fallback
+leg), and every accessor then serves plain ``array``/``bytes`` objects.
+Kernels must produce identical results either way; only the speed
+differs.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_numpy_module = None
+_numpy_checked = False
+
+
+def get_numpy():
+    """The ``numpy`` module, or ``None`` when unavailable or disabled.
+
+    Set ``REPRO_NO_NUMPY`` (to any non-empty value) to force the
+    pure-Python fallback path — the environment guard the CI fallback
+    leg and the parity tests use.  The import result is cached; the
+    environment variable is consulted live.
+    """
+    global _numpy_module, _numpy_checked
+    if os.environ.get("REPRO_NO_NUMPY"):
+        return None
+    if not _numpy_checked:
+        _numpy_checked = True
+        try:
+            import numpy
+
+            _numpy_module = numpy
+        except ImportError:
+            _numpy_module = None
+    return _numpy_module
+
+
+#: 256-entry table: packed byte -> its eight LSB-first bits, used by the
+#: pure-Python unpack path (one dict-free lookup per 8 events).
+_BYTE_BITS = [bytes((byte >> bit) & 1 for bit in range(8)) for byte in range(256)]
+
+
+def unpack_bits(packed: bytes, count: int) -> bytearray:
+    """Expand *count* LSB-first packed bits into one byte per bit."""
+    if count == 0:
+        return bytearray()
+    out = bytearray().join(_BYTE_BITS[byte] for byte in packed[: (count + 7) // 8])
+    del out[count:]
+    return out
+
+
+class TraceColumns:
+    """Columnar snapshot of one trace (see the module docstring).
+
+    Instances are built by :meth:`Trace.columns` and cached per event
+    count; they must be treated as immutable.  ``np`` is the numpy
+    module when the vectorized path is active, ``None`` on the
+    pure-Python fallback — kernels branch on it once per call.
+    """
+
+    def __init__(self, sites, site_ids: array, packed_directions: bytes) -> None:
+        self.np = get_numpy()
+        self.sites = sites
+        self.n_sites = len(sites)
+        self.n_events = len(site_ids)
+        np = self.np
+        if np is not None:
+            # Zero-copy views: the array's buffer and the packed blob
+            # are wrapped, not copied; only the bit expansion allocates.
+            self.site_ids = np.frombuffer(site_ids, dtype=np.intc) if len(
+                site_ids
+            ) else np.zeros(0, dtype=np.intc)
+            self.directions = np.unpackbits(
+                np.frombuffer(packed_directions, dtype=np.uint8),
+                count=self.n_events,
+                bitorder="little",
+            )
+        else:
+            self.site_ids = site_ids
+            self.directions = bytes(unpack_bits(packed_directions, self.n_events))
+        self._runs: Optional[Tuple[list, list, list]] = None
+        self._indices = None
+        self._grouped = None
+        self._grouped_starts = None
+        self._kernel_cache: Dict[tuple, object] = {}
+        self._site_slices: Optional[List[List[Tuple[int, int]]]] = None
+        self._site_dirs: Dict[int, Sequence[int]] = {}
+        self._executions: Optional[Dict[int, int]] = None
+        self._taken: Optional[List[int]] = None
+
+    def cached(self, key: tuple, build):
+        """Memoize a derived column under *key* for this snapshot.
+
+        Kernels share outcome-derived columns (history packs, run
+        boundaries, scoped groupings) across predictor instances: the
+        values depend only on the trace contents and the key's
+        parameters, never on predictor state, so one snapshot computes
+        each at most once.
+        """
+        try:
+            return self._kernel_cache[key]
+        except KeyError:
+            value = build()
+            self._kernel_cache[key] = value
+            return value
+
+    def event_indices(self):
+        """Cached ``arange(n_events)`` (numpy path only) — shared by the
+        kernels so hot calls skip the allocation."""
+        if self._indices is None:
+            self._indices = self.np.arange(self.n_events, dtype=self.np.int64)
+        return self._indices
+
+    # -- run partition ---------------------------------------------------------
+
+    def runs(self) -> Tuple[Sequence[int], Sequence[int], Sequence[int]]:
+        """``(run_sites, run_starts, run_lengths)`` — the maximal runs of
+        equal site id, in trace order."""
+        if self._runs is None:
+            np = self.np
+            n = self.n_events
+            if n == 0:
+                empty: list = []
+                self._runs = (empty, [], [])
+            elif np is not None:
+                ids = self.site_ids
+                change = np.empty(n, dtype=bool)
+                change[0] = True
+                np.not_equal(ids[1:], ids[:-1], out=change[1:])
+                starts = np.flatnonzero(change)
+                lengths = np.diff(starts, append=n)
+                self._runs = (ids[starts], starts, lengths)
+            else:
+                run_sites: List[int] = []
+                run_starts: List[int] = []
+                run_lengths: List[int] = []
+                previous = -1
+                for index, sid in enumerate(self.site_ids):
+                    if sid != previous:
+                        run_sites.append(sid)
+                        run_starts.append(index)
+                        run_lengths.append(1)
+                        previous = sid
+                    else:
+                        run_lengths[-1] += 1
+                self._runs = (run_sites, run_starts, run_lengths)
+        return self._runs
+
+    def site_run_slices(self) -> List[List[Tuple[int, int]]]:
+        """Per site id, its ``(start, stop)`` run slices in trace order."""
+        if self._site_slices is None:
+            slices: List[List[Tuple[int, int]]] = [[] for _ in range(self.n_sites)]
+            run_sites, run_starts, run_lengths = self.runs()
+            for sid, start, length in zip(run_sites, run_starts, run_lengths):
+                slices[sid].append((int(start), int(start) + int(length)))
+            self._site_slices = slices
+        return self._site_slices
+
+    # -- site grouping (CSR) ---------------------------------------------------
+
+    def grouped(self):
+        """``(sorted_ids, grouped_dirs, new_site)`` — events stably
+        sorted by site id (numpy path only).
+
+        ``new_site[i]`` is True where ``sorted_ids[i]`` starts a new
+        site's segment; each segment is that site's direction sequence
+        in original trace order.
+        """
+        if self._grouped is None:
+            np = self.np
+            if np is None:
+                raise RuntimeError("grouped() is numpy-path only")
+            perm = np.argsort(self.site_ids, kind="stable")
+            sorted_ids = self.site_ids[perm]
+            grouped_dirs = self.directions[perm]
+            new_site = np.empty(self.n_events, dtype=bool)
+            if self.n_events:
+                new_site[0] = True
+                np.not_equal(sorted_ids[1:], sorted_ids[:-1], out=new_site[1:])
+            self._grouped = (sorted_ids, grouped_dirs, new_site)
+        return self._grouped
+
+    def grouped_starts(self):
+        """Per grouped event, the index where its site's segment starts
+        (cached companion of :meth:`grouped` for history kernels)."""
+        if self._grouped_starts is None:
+            np = self.np
+            _, _, new_site = self.grouped()
+            starts = np.zeros(self.n_events, dtype=np.int64)
+            if self.n_events:
+                indices = self.event_indices()
+                starts[new_site] = indices[new_site]
+                np.maximum.accumulate(starts, out=starts)
+            self._grouped_starts = starts
+        return self._grouped_starts
+
+    def site_directions(self, sid: int) -> Sequence[int]:
+        """Site *sid*'s direction sequence, in trace order.
+
+        numpy path: a contiguous slice of the grouped direction column;
+        fallback: the site's run slices of the direction bytes, joined.
+        """
+        cached = self._site_dirs.get(sid)
+        if cached is None:
+            if self.np is not None:
+                sorted_ids, grouped_dirs, _ = self.grouped()
+                start, stop = self.np.searchsorted(sorted_ids, [sid, sid + 1])
+                cached = grouped_dirs[start:stop]
+            else:
+                dirs = self.directions
+                cached = b"".join(
+                    dirs[start:stop] for start, stop in self.site_run_slices()[sid]
+                )
+            self._site_dirs[sid] = cached
+        return cached
+
+    # -- shared bookkeeping ----------------------------------------------------
+
+    def site_executions(self) -> Dict[int, int]:
+        """``sid -> execution count`` for executed sites, in
+        first-occurrence order (the per-site result ordering the
+        sequential reference produces)."""
+        if self._executions is None:
+            executions: Dict[int, int] = {}
+            run_sites, _, run_lengths = self.runs()
+            for sid, length in zip(run_sites, run_lengths):
+                sid = int(sid)
+                executions[sid] = executions.get(sid, 0) + int(length)
+            self._executions = executions
+        return self._executions
+
+    def site_taken(self) -> List[int]:
+        """Per site id, how many of its events were taken."""
+        if self._taken is None:
+            np = self.np
+            if np is not None:
+                self._taken = [
+                    int(value)
+                    for value in np.bincount(
+                        self.site_ids, weights=self.directions, minlength=self.n_sites
+                    )
+                ]
+            else:
+                taken = [0] * self.n_sites
+                dirs = self.directions
+                run_sites, run_starts, run_lengths = self.runs()
+                for sid, start, length in zip(run_sites, run_starts, run_lengths):
+                    taken[sid] += dirs.count(1, start, start + length)
+                self._taken = taken
+        return self._taken

@@ -3,17 +3,119 @@
 A trace is the paper's instrumentation output: the ordered sequence of
 (branch number, direction) events of one program run, together with the
 table mapping branch numbers back to static branch sites.  Events are
-stored column-wise (an ``array`` of site indices plus a ``bytearray``
-of direction bits), which keeps a multi-million-event trace compact in
-memory and fast to scan.
+stored column-wise — an ``array`` of site indices plus a
+:class:`PackedDirections` holding the direction bits **bit-packed**, the
+same LSB-first layout the ``KBT1`` trace file uses on disk — which
+keeps a multi-million-event trace compact in memory (one bit per
+outcome, exactly the on-disk cost before compression) and lets
+:meth:`Trace.columns` hand the evaluation engine a zero-copy columnar
+view of both streams.
 """
 
 from __future__ import annotations
 
 from array import array
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..ir import BranchSite
+from .columns import TraceColumns, unpack_bits
+
+
+class PackedDirections:
+    """A mutable sequence of 0/1 direction bits, stored bit-packed.
+
+    The storage layout is the trace file's: LSB-first within each byte,
+    so bit *i* lives at ``data[i >> 3] & (1 << (i & 7))``.  The class
+    supports the small sequence surface the trace layer needs —
+    ``append``/``extend``, ``len``, indexing, slicing, iteration and
+    equality — plus :meth:`packed` (the raw bytes, trailing bits
+    zeroed) and :meth:`unpacked` (a cached one-byte-per-bit expansion
+    for the legacy per-event iteration paths).
+    """
+
+    __slots__ = ("_data", "_length", "_cache")
+
+    def __init__(self, bits: Iterable[int] = ()) -> None:
+        self._data = bytearray()
+        self._length = 0
+        self._cache: Optional[bytearray] = None
+        self.extend(bits)
+
+    @classmethod
+    def from_packed(cls, data: bytes, count: int) -> "PackedDirections":
+        """Wrap *count* bits of LSB-first packed *data*.
+
+        Only ``ceil(count / 8)`` bytes are kept and the unused high bits
+        of the final byte are zeroed, so two logically equal sequences
+        are also byte-equal regardless of any trailing garbage in the
+        source buffer.
+        """
+        if len(data) * 8 < count:
+            raise ValueError(
+                f"{count} bits need {(count + 7) // 8} bytes, got {len(data)}"
+            )
+        packed = cls()
+        packed._data = bytearray(data[: (count + 7) // 8])
+        packed._length = count
+        if count & 7 and packed._data:
+            packed._data[-1] &= (1 << (count & 7)) - 1
+        return packed
+
+    def packed(self) -> bytes:
+        """The raw LSB-first packed bytes (``ceil(len / 8)`` of them)."""
+        return bytes(self._data)
+
+    def unpacked(self) -> bytearray:
+        """One byte per bit (0 or 1), cached until the next mutation."""
+        if self._cache is None:
+            self._cache = unpack_bits(self._data, self._length)
+        return self._cache
+
+    def append(self, bit: int) -> None:
+        index = self._length
+        if index >> 3 == len(self._data):
+            self._data.append(0)
+        if bit:
+            self._data[index >> 3] |= 1 << (index & 7)
+        self._length = index + 1
+        self._cache = None
+
+    def extend(self, bits: Iterable[int]) -> None:
+        for bit in bits:
+            self.append(bit)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.unpacked())
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self._length)
+            if step == 1 and start == 0:
+                # The common prefix slice stays packed: byte copy + mask.
+                return PackedDirections.from_packed(
+                    self._data[: (stop + 7) // 8], stop
+                )
+            return PackedDirections(self.unpacked()[index])
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError("direction index out of range")
+        return (self._data[index >> 3] >> (index & 7)) & 1
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PackedDirections):
+            return self._length == other._length and self._data == other._data
+        if isinstance(other, (bytes, bytearray, list, tuple)):
+            return len(other) == self._length and bytes(self.unpacked()) == bytes(
+                bytearray(other)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"PackedDirections({list(self.unpacked())!r})"
 
 
 class Trace:
@@ -23,7 +125,8 @@ class Trace:
         self.sites: List[BranchSite] = []
         self._site_index: Dict[BranchSite, int] = {}
         self.site_ids = array("i")
-        self.directions = bytearray()
+        self.directions = PackedDirections()
+        self._columns: Optional[TraceColumns] = None
 
     # -- recording -------------------------------------------------------------
 
@@ -53,12 +156,25 @@ class Trace:
 
     def events(self) -> Iterator[Tuple[int, int]]:
         """Iterate (site_id, direction) pairs; direction is 0 or 1."""
-        return zip(self.site_ids, self.directions)
+        return zip(self.site_ids, self.directions.unpacked())
 
     def __iter__(self) -> Iterator[Tuple[BranchSite, bool]]:
         sites = self.sites
-        for sid, direction in zip(self.site_ids, self.directions):
+        for sid, direction in self.events():
             yield sites[sid], bool(direction)
+
+    def columns(self) -> TraceColumns:
+        """The cached columnar view of this trace's current events.
+
+        Rebuilt lazily whenever events were recorded since the last
+        call; the view itself is immutable (see
+        :class:`~repro.profiling.columns.TraceColumns`).
+        """
+        if self._columns is None or self._columns.n_events != len(self):
+            self._columns = TraceColumns(
+                self.sites, self.site_ids, self.directions.packed()
+            )
+        return self._columns
 
     def executed_sites(self) -> List[BranchSite]:
         """Sites that appear at least once, in first-appearance order."""
@@ -73,7 +189,7 @@ class Trace:
     def taken_counts(self) -> Dict[BranchSite, Tuple[int, int]]:
         """Per-site (not_taken, taken) totals."""
         counts = [[0, 0] for _ in self.sites]
-        for sid, direction in zip(self.site_ids, self.directions):
+        for sid, direction in self.events():
             counts[sid][direction] += 1
         return {
             self.sites[i]: (c[0], c[1])
@@ -87,7 +203,7 @@ class Trace:
         clone.sites = list(self.sites)
         clone._site_index = dict(self._site_index)
         clone.site_ids = self.site_ids[:max_events]
-        clone.directions = self.directions[:max_events]
+        clone.directions = self.directions[: len(clone.site_ids)]
         return clone
 
     @classmethod

@@ -12,19 +12,33 @@ The format is self-contained — a trace file plus the (separately saved)
 CFG description is everything the analysis tools need, mirroring the
 paper's tracer which "saves the description of branches, a control flow
 graph and loop information in a file".
+
+Loading is zero-copy where the format allows: path loads are
+``mmap``-ed and sliced through ``memoryview`` (no read copy of the
+compressed payload), the decompressed direction stream is adopted
+**bit-packed** as the trace's in-memory representation (the engine's
+columnar kernels expand it with ``numpy.frombuffer``/``unpackbits`` on
+demand), and single-byte site-id streams — any trace with at most 128
+sites — skip the varint loop entirely.
 """
 
 from __future__ import annotations
 
 import io
+import mmap
 import struct
 import zlib
+from array import array
 from typing import BinaryIO, Union
 
 from ..ir import BranchSite
-from .trace import Trace
+from .columns import get_numpy
+from .trace import PackedDirections, Trace
 
 MAGIC = b"KBT1"
+
+_HEADER = "<QQIII"
+_HEADER_SIZE = struct.calcsize(_HEADER)
 
 
 class TraceFormatError(Exception):
@@ -45,8 +59,23 @@ def _write_varints(values) -> bytes:
     return bytes(out)
 
 
-def _read_varints(data: bytes, count: int):
-    values = []
+def _decode_site_ids(data: bytes, count: int, site_count: int) -> array:
+    """The site-id column from its varint stream, validated.
+
+    Fast path: when every site id fits in seven bits the stream is one
+    byte per event, so it can be adopted wholesale (vectorized widening
+    under numpy) without the per-byte decode loop.
+    """
+    ids = array("i")
+    if count == 0:
+        return ids
+    if site_count <= 0x80 and len(data) == count and max(data) < site_count:
+        np = get_numpy()
+        if np is not None:
+            ids.frombytes(np.frombuffer(data, dtype=np.uint8).astype(np.intc).tobytes())
+        else:
+            ids.extend(data)
+        return ids
     value = 0
     shift = 0
     for byte in data:
@@ -54,30 +83,16 @@ def _read_varints(data: bytes, count: int):
         if byte & 0x80:
             shift += 7
         else:
-            values.append(value)
+            if value >= site_count:
+                raise TraceFormatError(f"event references unknown site {value}")
+            ids.append(value)
             value = 0
             shift = 0
-            if len(values) == count:
+            if len(ids) == count:
                 break
-    if len(values) != count:
-        raise TraceFormatError(f"expected {count} events, decoded {len(values)}")
-    return values
-
-
-def _pack_bits(bits: bytearray) -> bytes:
-    out = bytearray((len(bits) + 7) // 8)
-    for index, bit in enumerate(bits):
-        if bit:
-            out[index >> 3] |= 1 << (index & 7)
-    return bytes(out)
-
-
-def _unpack_bits(data: bytes, count: int) -> bytearray:
-    out = bytearray(count)
-    for index in range(count):
-        if data[index >> 3] & (1 << (index & 7)):
-            out[index] = 1
-    return out
+    if len(ids) != count:
+        raise TraceFormatError(f"expected {count} events, decoded {len(ids)}")
+    return ids
 
 
 def save_trace(trace: Trace, destination: Union[str, BinaryIO]) -> None:
@@ -89,11 +104,11 @@ def save_trace(trace: Trace, destination: Union[str, BinaryIO]) -> None:
     stream = destination
     site_blob = "\n".join(f"{s.function}:{s.block}" for s in trace.sites).encode()
     id_blob = zlib.compress(_write_varints(trace.site_ids), 6)
-    dir_blob = zlib.compress(_pack_bits(trace.directions), 6)
+    dir_blob = zlib.compress(trace.directions.packed(), 6)
     stream.write(MAGIC)
     stream.write(
         struct.pack(
-            "<QQIII",
+            _HEADER,
             len(trace.sites),
             len(trace),
             len(site_blob),
@@ -106,32 +121,12 @@ def save_trace(trace: Trace, destination: Union[str, BinaryIO]) -> None:
     stream.write(dir_blob)
 
 
-def load_trace(source: Union[str, BinaryIO]) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
-    if isinstance(source, str):
-        with open(source, "rb") as stream:
-            return load_trace(stream)
-    stream = source
-    magic = stream.read(4)
-    if magic != MAGIC:
-        raise TraceFormatError(f"bad magic {magic!r}")
-    header_size = struct.calcsize("<QQIII")
-    header = stream.read(header_size)
-    if len(header) != header_size:
-        raise TraceFormatError("truncated trace header")
-    site_count, event_count, site_len, id_len, dir_len = struct.unpack(
-        "<QQIII", header
-    )
-    site_blob = stream.read(site_len)
-    id_blob = stream.read(id_len)
-    dir_blob = stream.read(dir_len)
-    if len(site_blob) != site_len or len(id_blob) != id_len or len(dir_blob) != dir_len:
-        raise TraceFormatError("truncated trace file")
-
+def _build_trace(site_blob, id_blob, dir_blob, site_count: int, event_count: int) -> Trace:
+    """Assemble a trace from the three (still compressed) payloads."""
     trace = Trace()
-    if site_blob:
+    if len(site_blob):
         try:
-            lines = site_blob.decode().split("\n")
+            lines = bytes(site_blob).decode().split("\n")
         except UnicodeDecodeError as error:
             raise TraceFormatError(f"corrupt site table: {error}") from None
         for line in lines:
@@ -140,23 +135,80 @@ def load_trace(source: Union[str, BinaryIO]) -> Trace:
     if len(trace.sites) != site_count:
         raise TraceFormatError("site table length mismatch")
     try:
-        ids = _read_varints(zlib.decompress(id_blob), event_count)
+        trace.site_ids = _decode_site_ids(
+            zlib.decompress(id_blob), event_count, site_count
+        )
     except zlib.error as error:
         raise TraceFormatError(f"corrupt site-id stream: {error}") from None
-    for sid in ids:
-        if sid >= site_count:
-            raise TraceFormatError(f"event references unknown site {sid}")
-    trace.site_ids.extend(ids)
     try:
-        directions = _unpack_bits(zlib.decompress(dir_blob), event_count)
+        packed = zlib.decompress(dir_blob)
     except zlib.error as error:
         raise TraceFormatError(f"corrupt direction stream: {error}") from None
-    except IndexError:
+    try:
+        trace.directions = PackedDirections.from_packed(packed, event_count)
+    except ValueError:
         raise TraceFormatError(
             f"direction stream shorter than {event_count} events"
         ) from None
-    trace.directions.extend(directions)
     return trace
+
+
+def _parse_view(view) -> Trace:
+    """Parse one whole in-memory buffer (bytes, mmap view, ...)."""
+    total = len(view)
+    if total < 4 or bytes(view[:4]) != MAGIC:
+        raise TraceFormatError(f"bad magic {bytes(view[:4])!r}")
+    if total < 4 + _HEADER_SIZE:
+        raise TraceFormatError("truncated trace header")
+    site_count, event_count, site_len, id_len, dir_len = struct.unpack(
+        _HEADER, view[4 : 4 + _HEADER_SIZE]
+    )
+    offset = 4 + _HEADER_SIZE
+    if total < offset + site_len + id_len + dir_len:
+        raise TraceFormatError("truncated trace file")
+    site_blob = view[offset : offset + site_len]
+    offset += site_len
+    id_blob = view[offset : offset + id_len]
+    offset += id_len
+    dir_blob = view[offset : offset + dir_len]
+    return _build_trace(site_blob, id_blob, dir_blob, site_count, event_count)
+
+
+def load_trace(source: Union[str, BinaryIO]) -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    Paths are memory-mapped and parsed through ``memoryview`` slices so
+    the compressed payload is never copied before decompression; an
+    unmappable file (empty, or a pseudo-file) falls back to a plain
+    read.
+    """
+    if isinstance(source, str):
+        with open(source, "rb") as stream:
+            try:
+                mapped = mmap.mmap(stream.fileno(), 0, access=mmap.ACCESS_READ)
+            except (ValueError, OSError):
+                return _parse_view(memoryview(stream.read()))
+            try:
+                with memoryview(mapped) as view:
+                    return _parse_view(view)
+            finally:
+                mapped.close()
+    stream = source
+    magic = stream.read(4)
+    if magic != MAGIC:
+        raise TraceFormatError(f"bad magic {magic!r}")
+    header = stream.read(_HEADER_SIZE)
+    if len(header) != _HEADER_SIZE:
+        raise TraceFormatError("truncated trace header")
+    site_count, event_count, site_len, id_len, dir_len = struct.unpack(
+        _HEADER, header
+    )
+    site_blob = stream.read(site_len)
+    id_blob = stream.read(id_len)
+    dir_blob = stream.read(dir_len)
+    if len(site_blob) != site_len or len(id_blob) != id_len or len(dir_blob) != dir_len:
+        raise TraceFormatError("truncated trace file")
+    return _build_trace(site_blob, id_blob, dir_blob, site_count, event_count)
 
 
 def trace_to_bytes(trace: Trace) -> bytes:

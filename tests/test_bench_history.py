@@ -126,6 +126,75 @@ class TestCheck:
         assert failures == []
 
 
+class TestNonFiniteValues:
+    def test_append_rejects_nan_and_inf(self, history_file):
+        # One NaN row makes every later baseline median NaN, and NaN
+        # comparisons are silently False — the gate would never fire
+        # again.  Appending must refuse, and write nothing.
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="non-finite"):
+                history.append_row(
+                    "eval", {"speedup": bad}, history_path=history_file
+                )
+        assert not os.path.exists(history_file)
+
+    def test_bools_are_not_measurements(self, history_file):
+        row = history.append_row(
+            "eval",
+            {"speedup": True, "events_per_second": 1e6},
+            history_path=history_file,
+        )
+        assert row["metrics"] == {"events_per_second": 1e6}
+
+    def test_nan_baseline_rows_are_skipped_with_note(self, history_file):
+        # A poisoned row predating the append-time guard (or written by
+        # another tool) must not wedge the gate: it is dropped from the
+        # baseline with a visible note, and real regressions still fail.
+        seed(history_file, "eval", [{"speedup": 3.0}])
+        poisoned = history.make_row("eval", {"speedup": 1.0})
+        poisoned["metrics"]["speedup"] = float("nan")
+        with open(history_file, "a") as stream:
+            stream.write(json.dumps(poisoned) + "\n")
+        seed(history_file, "eval", [{"speedup": 1.0}])
+        failures, notes = history.check_history(history_file, threshold=0.30)
+        assert any("non-finite" in note for note in notes)
+        assert len(failures) == 1  # 1.0 vs baseline 3.0, NaN ignored
+
+    def test_nan_latest_row_skips_comparison_with_note(self, history_file):
+        seed(history_file, "eval", [{"speedup": 3.0}])
+        poisoned = history.make_row("eval", {"speedup": 1.0})
+        poisoned["metrics"]["speedup"] = float("nan")
+        with open(history_file, "a") as stream:
+            stream.write(json.dumps(poisoned) + "\n")
+        failures, notes = history.check_history(history_file, threshold=0.30)
+        assert failures == []
+        assert any("comparison skipped" in note for note in notes)
+
+
+class TestTimestampOrdering:
+    def test_stale_row_appended_late_is_not_latest(self, history_file):
+        # Histories merged across CI runs land out of file order; the
+        # current run is the newest *timestamp*, whatever line it is on.
+        seed(history_file, "eval", [{"speedup": 3.0}, {"speedup": 3.1}])
+        rows = history.load_history(history_file)
+        stale = history.make_row("eval", {"speedup": 0.5})
+        stale["timestamp"] = rows[0]["timestamp"] - 100.0
+        with open(history_file, "a") as stream:
+            stream.write(json.dumps(stale) + "\n")
+        failures, _ = history.check_history(history_file, threshold=0.30)
+        assert failures == []  # the 0.5 row is ancient history, not latest
+
+    def test_regressed_newest_row_fails_wherever_it_sits(self, history_file):
+        regressed = history.make_row("eval", {"speedup": 1.0})
+        regressed["timestamp"] += 1_000.0
+        with open(history_file, "w") as stream:
+            stream.write(json.dumps(regressed) + "\n")
+        seed(history_file, "eval", [{"speedup": 3.0}, {"speedup": 3.1}])
+        failures, _ = history.check_history(history_file, threshold=0.30)
+        assert len(failures) == 1
+        assert "eval.speedup" in failures[0]
+
+
 class TestCli:
     def test_append_then_check_via_main(self, history_file, tmp_path, capsys):
         report = tmp_path / "BENCH_eval.json"

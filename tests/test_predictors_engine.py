@@ -90,6 +90,19 @@ def test_evaluate_many_matches_sequential(events):
 
 @given(events_strategy)
 @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_evaluate_many_stepper_path_matches_sequential(events):
+    # batch=False pins every online predictor to the fused stepper
+    # scan — the batch kernels and the scan must agree exactly.
+    trace = build_trace(events)
+    predictors = predictor_families(trace)
+    expected = [evaluate(predictor, trace) for predictor in predictors]
+    actual = evaluate_many(predictors, trace, batch=False)
+    for act, exp in zip(actual, expected):
+        assert_results_identical(act, exp)
+
+
+@given(events_strategy)
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
 def test_evaluate_many_is_repeatable(events):
     # Fresh steppers per pass: a second pass over the same predictors
     # must not be polluted by the first pass's state.
@@ -112,28 +125,66 @@ def small_trace():
 
 def test_closed_form_set_does_not_scan():
     # All-order-independent predictor sets are scored from per-site
-    # counts alone; the trace is never replayed.
+    # counts alone; the trace is never replayed — and the events land
+    # in the closed_form_events bucket, not the scanned-events rate.
     reset_engine_stats()
     results = evaluate_many([AlwaysTaken(), AlwaysNotTaken()], small_trace())
     stats = engine_stats()
     assert stats.scans == 0
+    assert stats.events == 0
+    assert stats.closed_form_events == 6
     assert stats.closed_form_predictors == 2
     assert stats.online_predictors == 0
+    assert stats.batch_predictors == 0
     assert results[0].mispredictions == 3  # not-taken events
     assert results[1].mispredictions == 3  # taken events
 
 
-def test_mixed_set_scans_once():
+def test_mixed_set_uses_batch_kernels():
+    # The dynamic families score through their columnar kernels: no
+    # stepper scan runs, but the events still count as online work.
     reset_engine_stats()
     evaluate_many(
         [AlwaysTaken(), LastDirection(), SaturatingCounter(2)], small_trace()
     )
     stats = engine_stats()
+    assert stats.scans == 0
+    assert stats.events == 6
+    assert stats.closed_form_events == 0
+    assert stats.batch_predictors == 2
+    assert stats.online_predictors == 0
+    assert stats.closed_form_predictors == 1
+    assert stats.seconds > 0.0
+
+
+def test_mixed_set_scans_once_without_batch():
+    reset_engine_stats()
+    evaluate_many(
+        [AlwaysTaken(), LastDirection(), SaturatingCounter(2)],
+        small_trace(),
+        batch=False,
+    )
+    stats = engine_stats()
     assert stats.scans == 1
     assert stats.events == 6
+    assert stats.batch_predictors == 0
     assert stats.online_predictors == 2
     assert stats.closed_form_predictors == 1
     assert stats.seconds > 0.0
+
+
+def test_events_split_accumulates_across_calls():
+    # Regression: engine.events used to count every call's events even
+    # when no online work ran, inflating the --timings events/sec rate.
+    reset_engine_stats()
+    evaluate_many([AlwaysTaken()], small_trace())
+    evaluate_many([LastDirection()], small_trace())
+    evaluate_many([AlwaysNotTaken()], small_trace())
+    stats = engine_stats()
+    assert stats.events == 6
+    assert stats.closed_form_events == 12
+    assert stats.scans == 0
+    assert stats.batch_predictors == 1
 
 
 def test_empty_predictor_set():
@@ -151,6 +202,6 @@ def test_empty_trace():
 def test_stats_snapshot_is_independent():
     reset_engine_stats()
     before = engine_stats().snapshot()
-    evaluate_many([LastDirection()], small_trace())
+    evaluate_many([LastDirection()], small_trace(), batch=False)
     assert before.scans == 0
     assert engine_stats().scans == 1
