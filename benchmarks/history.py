@@ -49,6 +49,7 @@ TRACKED: Dict[str, Dict[str, str]] = {
     "service": {
         "req_per_s": "higher",
         "p95_ms": "lower",
+        "scaling_speedup": "higher",
     },
 }
 

@@ -27,6 +27,7 @@ from .core import (
     ObsSnapshot,
     SpanRecord,
     default_observer,
+    merge_snapshots,
 )
 from .export import (
     chrome_trace,
@@ -57,6 +58,7 @@ __all__ = [
     "SpanRecord",
     "chrome_trace",
     "default_observer",
+    "merge_snapshots",
     "parse_exposition",
     "quantile_from_counts",
     "render_prometheus",

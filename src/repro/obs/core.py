@@ -379,6 +379,24 @@ class Observer:
         )
 
 
+def merge_snapshots(snapshots: Iterable[ObsSnapshot]) -> ObsSnapshot:
+    """Fold many observer snapshots into one, in iteration order.
+
+    The fleet-wide aggregation primitive: counters **sum**, gauges are
+    **last-write-wins**, histograms merge **exactly** (bucket indices
+    are process-independent — see :mod:`repro.obs.hist`), so quantiles
+    computed from the merged snapshot equal quantiles over the
+    concatenated per-worker streams.  Spans are dropped (a metrics
+    merge is not a trace merge).  Merging K snapshots shipped through
+    the control socket must equal merging them in-process —
+    ``tests/test_obs_fleet_merge.py`` holds this to the bit.
+    """
+    merged = Observer()
+    for snapshot in snapshots:
+        merged.merge_snapshot(snapshot)
+    return merged.snapshot()
+
+
 #: The process-wide default observer every instrumented module reports to.
 OBS = Observer()
 

@@ -6,25 +6,47 @@ a JSON HTTP API (see :mod:`repro.service.handlers` for the endpoint
 contract), with an in-process LRU over the on-disk artifact cache,
 single-flight request coalescing, bounded-queue backpressure and
 graceful drain.  ``python -m repro serve`` runs the daemon;
-``python -m repro.service.loadgen`` drives it.
+``python -m repro serve --workers N`` runs the supervised pre-fork
+fleet (:mod:`repro.service.supervisor`): N processes behind one
+listening socket, artifact keys sharded by rendezvous hash
+(:mod:`repro.service.shard`), cross-shard requests proxied over
+per-worker control sockets (:mod:`repro.service.control`), and
+``/stats`` / ``/metrics`` merged exactly fleet-wide.
+``python -m repro.service.loadgen`` drives either shape.
 """
 
 from .client import ServiceClient, ServiceError
 from .coalesce import ComputeCache, LRUCache, SingleFlight
+from .control import (
+    ControlError,
+    ControlServer,
+    control_request,
+    fleet_snapshot,
+    fleet_statuses,
+    socket_path,
+)
 from .loadgen import run_load
 from .server import (
     ServiceServer,
     make_server,
     serve,
+    serve_worker,
     shutdown_gracefully,
     start_background,
     wait_until_ready,
+    write_ready_file,
 )
+from .shard import owner_shard, shard_counts, shard_key
 from .state import SERVICE_VERSION, ApiError, ServiceConfig, ServiceState
+from .supervisor import FleetHandle, FleetSupervisor, serve_fleet, spawn_fleet
 
 __all__ = [
     "ApiError",
     "ComputeCache",
+    "ControlError",
+    "ControlServer",
+    "FleetHandle",
+    "FleetSupervisor",
     "LRUCache",
     "SERVICE_VERSION",
     "ServiceClient",
@@ -33,10 +55,21 @@ __all__ = [
     "ServiceServer",
     "ServiceState",
     "SingleFlight",
+    "control_request",
+    "fleet_snapshot",
+    "fleet_statuses",
     "make_server",
+    "owner_shard",
     "run_load",
     "serve",
+    "serve_fleet",
+    "serve_worker",
+    "shard_counts",
+    "shard_key",
     "shutdown_gracefully",
+    "socket_path",
+    "spawn_fleet",
     "start_background",
     "wait_until_ready",
+    "write_ready_file",
 ]

@@ -10,14 +10,32 @@ Every request carries an ``X-Request-Id`` (a caller-supplied one, or a
 fresh 16-hex-char id per request); the id the server echoed back is
 kept on :attr:`ServiceClient.last_request_id` so a failure can be
 correlated with the server's access log and trace.
+
+429 handling is opt-in: construct with ``retries=N`` and the client
+sleeps out the server's ``Retry-After`` hint (stretched by capped
+exponential backoff plus jitter) before re-issuing a shed request, up
+to N times.  Only 429 is retried — it is the one status the server
+sends specifically to mean "same request, later, will work"; 5xx may
+not be idempotent-safe and 4xx will never succeed.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
+import time
 import uuid
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
+
+#: Default first-retry delay (seconds) when the server sent no usable
+#: ``Retry-After``; doubles per attempt up to :data:`BACKOFF_CAP`.
+BACKOFF_BASE = 0.1
+#: Ceiling on any single retry sleep, jitter included.
+BACKOFF_CAP = 5.0
+#: Jitter stretches a delay by up to this fraction (never shrinks it —
+#: the server's Retry-After is a promise about when capacity returns).
+JITTER_FRACTION = 0.25
 
 
 class ServiceError(Exception):
@@ -34,14 +52,41 @@ class ServiceError(Exception):
 class ServiceClient:
     """Thread-unsafe persistent-connection client (one per thread)."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8642, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        timeout: float = 30.0,
+        retries: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: extra attempts after a 429 (0 = never retry, the default)
+        self.retries = retries
+        #: injectable for tests; production callers leave the defaults
+        self._sleep = sleep
+        self._rng = rng or random.Random()
         self._connection: Optional[http.client.HTTPConnection] = None
         #: X-Request-Id echoed by the server on the most recent response
         #: (None before the first request).
         self.last_request_id: Optional[str] = None
+        #: parsed Retry-After (seconds) from the most recent response,
+        #: or None when the header was absent/unparseable.
+        self.last_retry_after: Optional[float] = None
+        #: 429s absorbed by retry sleeps over this client's lifetime.
+        self.retries_performed = 0
+
+    def _retry_delay(self, attempt: int) -> float:
+        """Sleep before retry *attempt* (0-based): honour the server's
+        ``Retry-After`` floor, back off exponentially, stretch by
+        jitter, and cap the result."""
+        floor = self.last_retry_after or 0.0
+        delay = max(floor, BACKOFF_BASE * (2.0 ** attempt))
+        delay *= 1.0 + JITTER_FRACTION * self._rng.random()
+        return min(BACKOFF_CAP, delay)
 
     # -- transport -----------------------------------------------------------
 
@@ -90,6 +135,13 @@ class ServiceClient:
                 if attempt:
                     raise
         self.last_request_id = response.getheader("X-Request-Id") or headers["X-Request-Id"]
+        retry_after = response.getheader("Retry-After")
+        try:
+            self.last_retry_after = (
+                max(0.0, float(retry_after)) if retry_after is not None else None
+            )
+        except ValueError:
+            self.last_retry_after = None  # HTTP-date form; treat as absent
         return response.status, raw
 
     def request_raw(
@@ -99,9 +151,20 @@ class ServiceClient:
         body: Optional[dict] = None,
         request_id: Optional[str] = None,
     ) -> Tuple[int, dict]:
-        """``(status, parsed_body)`` without raising on error statuses."""
+        """``(status, parsed_body)`` without raising on error statuses.
+
+        With ``retries > 0``, a 429 is retried after sleeping out
+        :meth:`_retry_delay`; any other status returns immediately.
+        """
         payload = None if body is None else json.dumps(body).encode()
-        status, raw = self._roundtrip(method, path, payload, request_id)
+        attempt = 0
+        while True:
+            status, raw = self._roundtrip(method, path, payload, request_id)
+            if status != 429 or attempt >= self.retries:
+                break
+            self._sleep(self._retry_delay(attempt))
+            self.retries_performed += 1
+            attempt += 1
         try:
             document = json.loads(raw) if raw else {}
         except json.JSONDecodeError:

@@ -1,0 +1,287 @@
+"""The fleet control plane: one unix control socket per worker.
+
+Every fleet worker runs a tiny :class:`ControlServer` next to its HTTP
+listener — a ``ThreadingUnixStreamServer`` speaking one JSON object per
+line, one request per connection.  The sockets live in the
+supervisor-owned ``control_dir`` (``worker-<shard>.sock``), so any
+worker (and the supervisor) can reach any specific peer even though
+the shared HTTP listening socket load-balances connections across the
+whole fleet.
+
+Operations:
+
+``ping``
+    Liveness + per-worker vitals: pid, shard, uptime, in-flight
+    requests, total requests served, latency p95.  ``GET /fleet`` and
+    the load generator's per-worker report are built from these.
+``snapshot``
+    The worker's full observer snapshot (counters, gauges, histograms —
+    :func:`~repro.obs.export.snapshot_to_dict` wire form) plus its live
+    rates.  The fleet-merged ``/stats`` and ``/metrics`` fold these
+    with :meth:`~repro.obs.core.Observer.merge_snapshot`: counters sum,
+    gauges are last-write-wins, histogram buckets merge **exactly**, so
+    fleet-wide p95/p99 are exact, not approximated.
+``invoke``
+    Run one JSON endpoint handler on this worker (cross-shard request
+    proxying).  The call funnels through the worker's own handler —
+    compute caches, single-flight and 429 backpressure all apply as if
+    the request had arrived over HTTP.
+``drain``
+    Flip the drain flag (supervisor-propagated graceful shutdown).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+from typing import Dict, List, Tuple
+
+from ..obs import OBS, ObsSnapshot, merge_snapshots, snapshot_from_dict, snapshot_to_dict
+from .state import ApiError, ServiceState
+
+#: A control request or response must fit one line of this many bytes
+#: (plan payloads with full trade-off curves are ~100KB; 8MB is sky-high).
+MAX_LINE_BYTES = 8 << 20
+
+#: Default per-call socket timeout; control peers are local processes.
+CONTROL_TIMEOUT = 10.0
+
+
+def socket_path(control_dir: str, shard: int) -> str:
+    """Where shard *shard*'s control socket lives under *control_dir*."""
+    return os.path.join(control_dir, f"worker-{shard}.sock")
+
+
+class ControlError(OSError):
+    """A control peer was unreachable or answered garbage."""
+
+
+# -- server ------------------------------------------------------------------
+
+
+def _op_ping(state: ServiceState, request: dict) -> dict:
+    hist = OBS.histogram("service.latency_seconds")
+    return {
+        "ok": True,
+        "pid": os.getpid(),
+        "shard": state.config.shard_index,
+        "uptime_seconds": round(state.uptime(), 3),
+        "inflight": state.inflight_requests,
+        "draining": state.draining,
+        "requests": OBS.counter("service.requests"),
+        "latency_p95_ms": round(hist.quantile(0.95) * 1e3, 3) if hist else 0.0,
+    }
+
+
+def _op_snapshot(state: ServiceState, request: dict) -> dict:
+    return {
+        "ok": True,
+        "pid": os.getpid(),
+        "shard": state.config.shard_index,
+        "snapshot": snapshot_to_dict(OBS.snapshot()),
+        "rates": OBS.rates(),
+    }
+
+
+def _op_invoke(state: ServiceState, request: dict) -> dict:
+    # Imported here: handlers imports this module for fleet aggregation.
+    from .handlers import ROUTES, enter_control_invoke, exit_control_invoke
+
+    method = request.get("method")
+    path = request.get("path")
+    handler = ROUTES.get((method, path))
+    if handler is None:
+        return {
+            "ok": False,
+            "error": {
+                "status": 404,
+                "code": "unknown_route",
+                "message": f"no such endpoint: {method} {path}",
+            },
+        }
+    body = request.get("body")
+    try:
+        OBS.add("service.shard.invoked")
+        enter_control_invoke()
+        try:
+            payload = handler(state, body)
+        finally:
+            exit_control_invoke()
+    except ApiError as error:
+        return {"ok": False, "error": error.body()["error"]}
+    return {"ok": True, "payload": payload}
+
+
+def _op_drain(state: ServiceState, request: dict) -> dict:
+    state.begin_drain()
+    return {"ok": True, "draining": True}
+
+
+_OPS = {
+    "ping": _op_ping,
+    "snapshot": _op_snapshot,
+    "invoke": _op_invoke,
+    "drain": _op_drain,
+}
+
+
+class _ControlHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        line = self.rfile.readline(MAX_LINE_BYTES)
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("control request must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as error:
+            self._reply({"ok": False, "error": {
+                "status": 400, "code": "bad_control_request",
+                "message": f"unparseable control request: {error}",
+            }})
+            return
+        op = _OPS.get(request.get("op"))
+        if op is None:
+            self._reply({"ok": False, "error": {
+                "status": 400, "code": "unknown_op",
+                "message": f"unknown control op {request.get('op')!r}",
+                "details": {"available": sorted(_OPS)},
+            }})
+            return
+        try:
+            response = op(self.server.state, request)  # type: ignore[attr-defined]
+        except Exception as error:  # noqa: BLE001 — must answer something
+            OBS.add("service.control.errors")
+            response = {"ok": False, "error": {
+                "status": 500, "code": "internal",
+                "message": f"{type(error).__name__}: {error}",
+            }}
+        self._reply(response)
+
+    def _reply(self, response: dict) -> None:
+        try:
+            self.wfile.write(json.dumps(response, default=str).encode() + b"\n")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # caller vanished; nothing to tell it
+
+
+class _UnixServer(socketserver.ThreadingUnixStreamServer):
+    daemon_threads = True
+    state: ServiceState
+
+
+class ControlServer:
+    """This worker's control listener; start once, close on shutdown."""
+
+    def __init__(self, state: ServiceState, path: str) -> None:
+        self.path = path
+        try:
+            os.unlink(path)  # a crashed predecessor's stale socket
+        except FileNotFoundError:
+            pass
+        self._server = _UnixServer(path, _ControlHandler)
+        self._server.state = state
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-control",
+            daemon=True,
+        )
+
+    def start(self) -> "ControlServer":
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+
+# -- client ------------------------------------------------------------------
+
+
+def control_request(
+    path: str, payload: dict, timeout: float = CONTROL_TIMEOUT
+) -> dict:
+    """One request/response round-trip against a peer's control socket."""
+    try:
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(timeout)
+            sock.connect(path)
+            sock.sendall(json.dumps(payload, default=str).encode() + b"\n")
+            with sock.makefile("rb") as stream:
+                line = stream.readline(MAX_LINE_BYTES)
+    except OSError as error:
+        raise ControlError(f"control peer {path}: {error}") from error
+    if not line:
+        raise ControlError(f"control peer {path}: empty response")
+    try:
+        response = json.loads(line)
+    except ValueError as error:
+        raise ControlError(f"control peer {path}: bad response: {error}") from error
+    if not isinstance(response, dict):
+        raise ControlError(f"control peer {path}: non-object response")
+    return response
+
+
+# -- fleet aggregation -------------------------------------------------------
+
+
+def fleet_statuses(state: ServiceState, timeout: float = 2.0) -> Tuple[List[dict], List[int]]:
+    """``(entries, unreachable shards)`` — one ``ping`` per worker.
+
+    This worker answers for itself in-process; peers over their control
+    sockets.  A dead/restarting peer lands in *unreachable* instead of
+    failing the whole listing — ``GET /fleet`` must stay useful mid-chaos.
+    """
+    entries = [_op_ping(state, {})]
+    unreachable: List[int] = []
+    control_dir = state.config.control_dir
+    if not state.is_fleet_worker or control_dir is None:
+        return entries, unreachable
+    for shard in state.peer_shards():
+        try:
+            reply = control_request(
+                socket_path(control_dir, shard), {"op": "ping"}, timeout
+            )
+        except ControlError:
+            OBS.add("service.fleet.peer_unreachable")
+            unreachable.append(shard)
+            continue
+        entries.append(reply)
+    entries.sort(key=lambda entry: entry.get("shard") or 0)
+    return entries, unreachable
+
+
+def fleet_snapshot(
+    state: ServiceState, timeout: float = 5.0
+) -> Tuple[ObsSnapshot, Dict[str, float], List[int]]:
+    """``(merged snapshot, summed rates, unreachable shards)`` fleet-wide.
+
+    Counters sum, gauges are last-write-wins, histogram buckets merge
+    exactly (see :func:`repro.obs.core.merge_snapshots`); rates sum
+    name-wise — fleet req/s is the sum of per-worker req/s.  Outside
+    fleet mode this degrades to the local snapshot.
+    """
+    snapshots = [OBS.snapshot()]
+    rates: Dict[str, float] = dict(OBS.rates())
+    unreachable: List[int] = []
+    control_dir = state.config.control_dir
+    if state.is_fleet_worker and control_dir is not None:
+        for shard in state.peer_shards():
+            try:
+                reply = control_request(
+                    socket_path(control_dir, shard), {"op": "snapshot"}, timeout
+                )
+                snapshots.append(snapshot_from_dict(reply["snapshot"]))
+            except (ControlError, KeyError, TypeError, ValueError):
+                OBS.add("service.fleet.peer_unreachable")
+                unreachable.append(shard)
+                continue
+            for name, value in dict(reply.get("rates", {})).items():
+                rates[name] = rates.get(name, 0.0) + float(value)
+    return merge_snapshots(snapshots), rates, unreachable

@@ -16,6 +16,7 @@ in-flight request ran it and we shared the result).
 from __future__ import annotations
 
 import json
+import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..ir import BranchSite
@@ -36,6 +37,14 @@ from ..statemachines import machine_to_json
 from ..statemachines.serialize import FORMAT_VERSION as MACHINE_FORMAT_VERSION
 from ..workloads import BENCHMARK_NAMES, artifacts as artifact_store
 from ..workloads.benchmarks import WORKLOADS, get_profile, get_program, get_trace
+from .control import (
+    ControlError,
+    control_request,
+    fleet_snapshot,
+    fleet_statuses,
+    socket_path,
+)
+from .shard import owner_shard, shard_key
 from .state import SERVICE_VERSION, ApiError, ServiceState
 
 #: Cap on sites echoed back by /artifacts (benchmarks are small, but
@@ -88,6 +97,75 @@ def _resolve_benchmark(body: Dict[str, Any]) -> Tuple[str, int, int]:
     return name, scale, seed_offset
 
 
+# -- fleet routing -----------------------------------------------------------
+
+
+#: Set while a handler runs on behalf of a control-socket ``invoke``.
+#: The *proxying* worker already made (and counted) the routing
+#: decision, so the owner must compute directly — re-entering
+#: ``_shard_route`` would double-count ``service.shard.local`` and, if
+#: ownership views ever disagreed mid-resize, proxy in a loop.
+_control_invoke = threading.local()
+
+
+def enter_control_invoke() -> None:
+    _control_invoke.active = True
+
+
+def exit_control_invoke() -> None:
+    _control_invoke.active = False
+
+
+def _shard_route(
+    state: ServiceState,
+    method: str,
+    path: str,
+    body: dict,
+    name: str,
+    scale: int,
+    seed_offset: int,
+) -> Optional[dict]:
+    """Proxy to the artifact's owning shard; ``None`` → compute here.
+
+    The shared listening socket hands a connection to *any* worker, but
+    each artifact triple has one rendezvous-hash owner whose caches stay
+    hot (see :mod:`repro.service.shard`).  Non-owners forward the call
+    over the owner's control socket; the owner's own backpressure and
+    error semantics pass through verbatim (a 429 on the owner is a 429
+    to the client).  If the owner is unreachable — killed mid-chaos,
+    restarting — the accepting worker computes locally instead of
+    failing, so a dead shard degrades cache locality, never requests.
+    """
+    if not state.is_fleet_worker:
+        return None
+    if getattr(_control_invoke, "active", False):
+        return None
+    owner = owner_shard(shard_key(name, scale, seed_offset), state.fleet_size)
+    if owner == state.config.shard_index:
+        OBS.add("service.shard.local")
+        return None
+    try:
+        reply = control_request(
+            socket_path(state.config.control_dir, owner),
+            {"op": "invoke", "method": method, "path": path, "body": body},
+        )
+    except ControlError:
+        OBS.add("service.shard.fallback_local")
+        return None
+    if reply.get("ok"):
+        OBS.add("service.shard.proxied")
+        payload = dict(reply.get("payload") or {})
+        payload["shard"] = {"owner": owner, "proxied_by": state.config.shard_index}
+        return payload
+    error = reply.get("error") or {}
+    raise ApiError(
+        int(error.get("status", 500)),
+        str(error.get("code", "internal")),
+        str(error.get("message", "proxied request failed")),
+        **dict(error.get("details") or {}),
+    )
+
+
 # -- light endpoints (served inline) -----------------------------------------
 
 
@@ -115,13 +193,19 @@ def handle_benchmarks(state: ServiceState, body: Optional[dict]) -> dict:
 
 
 def handle_stats(state: ServiceState, body: Optional[dict]) -> dict:
-    snapshot = OBS.snapshot()
-    return {
+    """Fleet-wide statistics (exact; see :func:`fleet_snapshot`).
+
+    In fleet mode, counters and rates are summed across every reachable
+    worker and histogram buckets are merged exactly, so p50/p95/p99 are
+    the true fleet-wide quantiles — not an average of per-worker
+    quantiles.  The ``service`` block stays local to the worker that
+    answered (its pool, its queue); ``fleet`` reports the merge.
+    """
+    snapshot, rates, unreachable = fleet_snapshot(state)
+    doc = {
         "uptime_seconds": round(state.uptime(), 3),
         "counters": snapshot.counters,
-        "rates": {
-            name: round(value, 3) for name, value in OBS.rates().items()
-        },
+        "rates": {name: round(value, 3) for name, value in rates.items()},
         "histograms": {
             name: {
                 "count": hist.count,
@@ -135,7 +219,7 @@ def handle_stats(state: ServiceState, body: Optional[dict]) -> dict:
         "service": {
             "in_flight": state.inflight_requests,
             "queue_depth": state.queue_depth,
-            "queue_capacity": state.config.workers + state.config.queue_limit,
+            "queue_capacity": state.config.queue_capacity,
             "draining": state.draining,
             "cache_sizes": {
                 cache.name: len(cache)
@@ -148,19 +232,57 @@ def handle_stats(state: ServiceState, body: Optional[dict]) -> dict:
             },
         },
     }
+    if state.is_fleet_worker:
+        doc["fleet"] = {
+            "workers": state.fleet_size,
+            "answered_by": state.config.shard_index,
+            "merged_workers": state.fleet_size - len(unreachable),
+            "unreachable": unreachable,
+        }
+    return doc
+
+
+def handle_fleet(state: ServiceState, body: Optional[dict]) -> dict:
+    """Per-worker fleet roster: who is alive, on which pid, how busy.
+
+    Outside fleet mode this is a one-row roster for the single process.
+    """
+    entries, unreachable = fleet_statuses(state)
+    return {
+        "workers": state.fleet_size,
+        "answered_by": state.config.shard_index,
+        "alive": len(entries),
+        "unreachable": unreachable,
+        "fleet": [
+            {
+                "shard": entry.get("shard"),
+                "pid": entry.get("pid"),
+                "uptime_seconds": entry.get("uptime_seconds"),
+                "inflight": entry.get("inflight"),
+                "draining": entry.get("draining"),
+                "requests": entry.get("requests"),
+                "latency_p95_ms": entry.get("latency_p95_ms"),
+            }
+            for entry in entries
+        ],
+    }
 
 
 def render_metrics(state: ServiceState) -> str:
     """The Prometheus text exposition body for ``GET /metrics``.
 
     Refreshes the level gauges (uptime, in-flight, queue depth) so a
-    scrape never reads a stale level, then renders the full snapshot
-    plus the live sliding-window rates.
+    scrape never reads a stale level, then renders the fleet-merged
+    snapshot plus the summed sliding-window rates.  Histogram buckets
+    merge exactly across workers, so quantiles derived from the
+    exposition are fleet-exact; gauges are last-write-wins and reflect
+    one worker (scrape ``/fleet`` for per-worker levels).
     """
     OBS.set_gauge("service.uptime_seconds", round(state.uptime(), 3))
     OBS.set_gauge("service.inflight_requests", state.inflight_requests)
     OBS.set_gauge("service.queue.depth", state.queue_depth)
-    return render_prometheus(OBS.snapshot(), rates=OBS.rates())
+    snapshot, rates, _ = fleet_snapshot(state)
+    return render_prometheus(snapshot, rates=rates)
 
 
 # -- heavy endpoints (worker pool + compute caches) --------------------------
@@ -195,6 +317,9 @@ def _artifact_summary(name: str, scale: int, seed_offset: int) -> dict:
 
 def handle_artifacts(state: ServiceState, body: dict) -> dict:
     name, scale, seed_offset = _resolve_benchmark(body)
+    proxied = _shard_route(state, "POST", "/artifacts", body, name, scale, seed_offset)
+    if proxied is not None:
+        return proxied
     key = (name, scale, seed_offset)
     summary, source = state.artifacts.get(
         key,
@@ -267,6 +392,9 @@ def _evaluate_predictor(
 
 def handle_predict(state: ServiceState, body: dict) -> dict:
     name, scale, seed_offset = _resolve_benchmark(body)
+    proxied = _shard_route(state, "POST", "/predict", body, name, scale, seed_offset)
+    if proxied is not None:
+        return proxied
     predictor_name = _get_str(body, "predictor")
     key = (name, scale, seed_offset, predictor_name)
     payload, source = state.predictions.get(
@@ -296,6 +424,9 @@ def _get_planner(
 
 def handle_machine(state: ServiceState, body: dict) -> dict:
     name, scale, seed_offset = _resolve_benchmark(body)
+    proxied = _shard_route(state, "POST", "/machine", body, name, scale, seed_offset)
+    if proxied is not None:
+        return proxied
     max_states = _get_int(body, "max_states", 6, 2, MAX_STATES_LIMIT)
     planner, source = _get_planner(state, name, scale, seed_offset, max_states)
     site_spec = body.get("site")
@@ -377,6 +508,9 @@ def _curve_payload(
 
 def handle_plan(state: ServiceState, body: dict) -> dict:
     name, scale, seed_offset = _resolve_benchmark(body)
+    proxied = _shard_route(state, "POST", "/plan", body, name, scale, seed_offset)
+    if proxied is not None:
+        return proxied
     max_states = _get_int(body, "max_states", 6, 2, MAX_STATES_LIMIT)
     max_size_factor = body.get("max_size_factor")
     if max_size_factor is not None:
@@ -416,6 +550,7 @@ ROUTES: Dict[Tuple[str, str], Handler] = {
     ("GET", "/healthz"): handle_healthz,
     ("GET", "/benchmarks"): handle_benchmarks,
     ("GET", "/stats"): handle_stats,
+    ("GET", "/fleet"): handle_fleet,
     ("POST", "/artifacts"): handle_artifacts,
     ("POST", "/predict"): handle_predict,
     ("POST", "/machine"): handle_machine,

@@ -15,7 +15,10 @@ latency includes the network and client scheduling; the server's
 histogram is what the daemon itself experienced — comparing the two
 localises where time went).  ``--spawn`` boots a throwaway in-process
 server on an ephemeral port first, which makes the module a
-self-contained smoke test.
+self-contained smoke test; ``--spawn --workers N`` boots the
+supervised pre-fork fleet as a subprocess instead and the report gains
+a per-worker breakdown (the server-side totals and quantiles are
+already fleet-exact — the fleet merges them before answering).
 
 Every request carries an ``X-Request-Id`` (generated per request by
 :class:`~repro.service.client.ServiceClient`), so any slow outlier in
@@ -156,6 +159,15 @@ def _server_counters(host: str, port: int) -> Dict[str, float]:
         return {}
 
 
+def _fleet_view(host: str, port: int) -> Optional[dict]:
+    """One ``GET /fleet`` roster scrape, or None if unavailable."""
+    try:
+        with ServiceClient(host, port, timeout=5.0) as client:
+            return client.request("GET", "/fleet")
+    except (ServiceError, OSError):
+        return None
+
+
 def _server_latency_buckets(host: str, port: int) -> Dict[float, float]:
     """Non-cumulative latency bucket counts from one ``/metrics`` scrape."""
     try:
@@ -243,6 +255,7 @@ def run_load(
     elapsed = time.perf_counter() - started
     after = _server_counters(host, port)
     buckets_after = _server_latency_buckets(host, port)
+    fleet_doc = _fleet_view(host, port)
 
     latencies = sorted(
         latency for result in results for latency in result.latencies
@@ -264,7 +277,7 @@ def run_load(
 
     coalesce_hits = delta("service.coalesce.hits")
     server_requests = delta("service.requests")
-    return {
+    report = {
         "host": host,
         "port": port,
         "clients": clients,
@@ -293,6 +306,19 @@ def run_load(
             "latency": server_quantiles_ms(buckets_before, buckets_after),
         },
     }
+    if fleet_doc is not None and fleet_doc.get("workers", 1) > 1:
+        # Against a fleet, /stats and /metrics already answer with the
+        # exact cross-worker merge, so every "server" figure above is
+        # fleet-wide; this block adds the per-worker breakdown.
+        report["fleet"] = {
+            "workers": fleet_doc.get("workers"),
+            "alive": fleet_doc.get("alive"),
+            "unreachable": fleet_doc.get("unreachable", []),
+            "proxied": delta("service.shard.proxied"),
+            "fallback_local": delta("service.shard.fallback_local"),
+            "per_worker": fleet_doc.get("fleet", []),
+        }
+    return report
 
 
 def format_report(report: dict) -> str:
@@ -324,6 +350,18 @@ def format_report(report: dict) -> str:
             f"server latency (/metrics delta, {server_latency['samples']} "
             f"sample(s)): p50 {server_latency['p50_ms']}ms, "
             f"p95 {server_latency['p95_ms']}ms, p99 {server_latency['p99_ms']}ms"
+        )
+    fleet = report.get("fleet")
+    if fleet:
+        per_worker = ", ".join(
+            f"shard {entry.get('shard')} (pid {entry.get('pid')}): "
+            f"{entry.get('requests', 0)} req"
+            for entry in fleet.get("per_worker", [])
+        )
+        lines.append(
+            f"fleet: {fleet['alive']}/{fleet['workers']} worker(s) alive, "
+            f"{fleet['proxied']:.0f} proxied, "
+            f"{fleet['fallback_local']:.0f} local fallback(s); {per_worker}"
         )
     return "\n".join(lines)
 
@@ -360,7 +398,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--spawn",
         action="store_true",
-        help="boot a throwaway in-process server on an ephemeral port first",
+        help="boot a throwaway server on an ephemeral port first "
+        "(in-process, or a subprocess fleet with --workers > 1)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="with --spawn: worker processes for the throwaway server "
+        "(> 1 spawns the supervised fleet and reports per-worker load)",
     )
     options = parser.parse_args(argv)
     if options.clients < 1:
@@ -373,8 +419,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(str(error))
 
     server = None
+    fleet_handle = None
     host, port = options.host, options.port
-    if options.spawn:
+    if options.spawn and options.workers > 1:
+        # A fleet is processes, not threads — always a subprocess (the
+        # supervisor must fork from a single-threaded parent, and this
+        # process is about to run N client threads).
+        from .supervisor import spawn_fleet
+
+        fleet_handle = spawn_fleet(workers=options.workers, threads=4)
+        host, port = fleet_handle.host, fleet_handle.port
+        print(
+            f"spawned fleet of {options.workers} worker(s) on port {port} "
+            f"(pids {fleet_handle.pids})",
+            file=sys.stderr,
+        )
+    elif options.spawn:
         from .server import ServiceConfig, start_background
 
         server, _ = start_background(ServiceConfig(host="127.0.0.1", port=0))
@@ -398,6 +458,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             from .server import shutdown_gracefully
 
             shutdown_gracefully(server)
+        if fleet_handle is not None:
+            fleet_handle.stop()
     print(format_report(report))
     if options.json:
         with open(options.json, "w") as stream:

@@ -31,6 +31,7 @@ worker pool and the listening socket.
 from __future__ import annotations
 
 import json
+import os
 import signal
 import socket
 import sys
@@ -42,8 +43,14 @@ from time import perf_counter
 from typing import Optional, Tuple
 
 from ..obs import OBS, PROMETHEUS_CONTENT_TYPE, write_chrome_trace
+from .control import ControlServer, socket_path
 from .handlers import KNOWN_PATHS, ROUTES, render_metrics, route_name
 from .state import ApiError, ServiceConfig, ServiceState
+
+#: Test hook: seconds to stall before binding the listener, so tests can
+#: deliver SIGTERM *during startup* deterministically.  The stall is
+#: interruptible — a stop signal during it exits immediately.
+BIND_DELAY_ENV = "REPRO_SERVE_TEST_BIND_DELAY"
 
 #: Request bodies above this are rejected with 413.
 MAX_BODY_BYTES = 1 << 20
@@ -79,16 +86,35 @@ def new_request_id() -> str:
 
 
 class ServiceServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying the shared :class:`ServiceState`."""
+    """ThreadingHTTPServer carrying the shared :class:`ServiceState`.
+
+    Pass ``sock`` to adopt an already-bound, already-listening socket
+    instead of binding a fresh one — fleet workers all accept from the
+    one listener their supervisor bound before forking (the supervisor
+    keeps its copy open, so a worker death never drops the accept
+    queue; see :mod:`repro.service.supervisor`).
+    """
 
     # Connection threads are daemonic; the drain logic in
     # shutdown_gracefully — not thread joining — bounds shutdown time.
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, config: ServiceConfig) -> None:
+    def __init__(
+        self, config: ServiceConfig, sock: Optional[socket.socket] = None
+    ) -> None:
         self.state = ServiceState(config)
-        super().__init__((config.host, config.port), _RequestHandler)
+        if sock is None:
+            super().__init__((config.host, config.port), _RequestHandler)
+            return
+        host, port = sock.getsockname()[:2]
+        super().__init__((host, port), _RequestHandler, bind_and_activate=False)
+        self.socket.close()  # the unbound placeholder TCPServer made
+        self.socket = sock
+        self.server_address = (host, port)
+        # what HTTPServer.server_bind would have derived on bind
+        self.server_name = host
+        self.server_port = port
 
     @property
     def port(self) -> int:
@@ -274,9 +300,28 @@ class _RequestHandler(BaseHTTPRequestHandler):
 # -- lifecycle ---------------------------------------------------------------
 
 
-def make_server(config: Optional[ServiceConfig] = None) -> ServiceServer:
-    """Bind a server (``port=0`` picks an ephemeral port); not started."""
-    return ServiceServer(config or ServiceConfig())
+def make_server(
+    config: Optional[ServiceConfig] = None,
+    sock: Optional[socket.socket] = None,
+) -> ServiceServer:
+    """Bind a server (``port=0`` picks an ephemeral port); not started.
+
+    With *sock*, adopt that listener instead of binding (fleet workers).
+    """
+    return ServiceServer(config or ServiceConfig(), sock=sock)
+
+
+def write_ready_file(path: str, document: dict) -> None:
+    """Atomically publish a JSON readiness document at *path*.
+
+    Written tmp-then-rename so a poller never reads a half-written
+    file: the document either is not there yet or is complete.
+    """
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=2)
+        stream.write("\n")
+    os.replace(tmp, path)
 
 
 def start_background(
@@ -311,39 +356,117 @@ def shutdown_gracefully(server: ServiceServer, drain_seconds: Optional[float] = 
 
 
 def serve(config: Optional[ServiceConfig] = None) -> int:
-    """Run the daemon in the foreground until SIGINT/SIGTERM."""
-    server = make_server(config)
-    state = server.state
+    """Run the daemon in the foreground until SIGINT/SIGTERM.
+
+    ``workers > 1`` runs the supervised pre-fork fleet; otherwise one
+    process serves directly.  (A fleet *worker* — ``shard_index`` set —
+    also lands in :func:`serve_worker`: the supervisor fills in its
+    shard before calling down.)
+    """
+    config = config or ServiceConfig()
+    if config.workers > 1 and config.shard_index is None:
+        from .supervisor import serve_fleet  # avoid a module cycle
+
+        return serve_fleet(config)
+    return serve_worker(config)
+
+
+def serve_worker(
+    config: ServiceConfig, sock: Optional[socket.socket] = None
+) -> int:
+    """One serving process, foreground, until SIGINT/SIGTERM.
+
+    Signal handlers are installed *before* the listener binds, so a
+    SIGTERM delivered during startup exits promptly instead of hitting
+    the default handler (kill) or — the old bug — arming the full drain
+    machinery against a server that never started accepting.
+    """
     stop_requested = threading.Event()
+    box = {"server": None, "serving": False}
 
     def request_stop(signum, frame) -> None:
-        if not stop_requested.is_set():
-            stop_requested.set()
+        stop_requested.set()
+        server = box["server"]
+        if server is not None and box["serving"]:
             # shutdown() must not run on the thread inside
-            # serve_forever (it would deadlock); hand it off.
+            # serve_forever (it would deadlock); hand it off.  Guarded
+            # by `serving`: shutdown() on a server whose accept loop
+            # never ran blocks forever on its is-shut-down event.
             threading.Thread(target=server.shutdown, daemon=True).start()
 
     previous = {}
     for signum in (signal.SIGINT, signal.SIGTERM):
-        previous[signum] = signal.signal(signum, request_stop)
+        try:
+            previous[signum] = signal.signal(signum, request_stop)
+        except ValueError:
+            pass  # not the main thread (tests calling serve_worker directly)
+
+    delay = float(os.environ.get(BIND_DELAY_ENV, "0") or 0.0)
+    if delay > 0 and stop_requested.wait(delay):
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+        print("repro-service stopped before binding", file=sys.stderr, flush=True)
+        return 0
+
+    server = make_server(config, sock=sock)
+    state = server.state
+    box["server"] = server
+    control: Optional[ControlServer] = None
+    if state.is_fleet_worker:
+        control = ControlServer(
+            state, socket_path(state.config.control_dir, state.config.shard_index)
+        ).start()
     if state.config.trace_out:
         OBS.enable()
+    if state.config.ready_file and not state.is_fleet_worker:
+        write_ready_file(
+            state.config.ready_file,
+            {
+                "host": state.config.host,
+                "port": server.port,
+                "workers": 1,
+                "pids": [os.getpid()],
+                "supervisor_pid": os.getpid(),
+                "control_dir": None,
+                "restarts": 0,
+            },
+        )
     host = state.config.host
+    shard = (
+        f", shard {state.config.shard_index}/{state.fleet_size}"
+        if state.is_fleet_worker
+        else ""
+    )
     print(
         f"repro-service listening on http://{host}:{server.port} "
-        f"(workers={state.config.workers}, "
+        f"(threads={state.config.threads}, "
         f"queue_limit={state.config.queue_limit}, "
-        f"lru_size={state.config.lru_size})",
+        f"lru_size={state.config.lru_size}{shard})",
         file=sys.stderr,
         flush=True,
     )
+    drained = True
     try:
-        server.serve_forever(poll_interval=0.2)
+        if not stop_requested.is_set():
+            box["serving"] = True
+            if stop_requested.is_set():
+                # Signal raced the flag: either its handler saw
+                # serving=False (no shutdown spawned) or it spawned a
+                # shutdown() that parks on a daemon thread; both are
+                # safe because serve_forever never runs.
+                box["serving"] = False
+            else:
+                server.serve_forever(poll_interval=0.2)
     finally:
         for signum, old in previous.items():
-            signal.signal(signum, old)
+            try:
+                signal.signal(signum, old)
+            except ValueError:
+                pass
         state.begin_drain()
         drained = state.wait_idle(state.config.drain_seconds)
+        if control is not None:
+            control.close()
         state.close()
         try:
             server.server_close()

@@ -1,0 +1,88 @@
+"""Consistent artifact-key sharding for the worker fleet.
+
+Fleet mode runs N worker processes behind one listening socket; any
+worker can *accept* any request, but each artifact key has exactly one
+**owner** whose in-process ``ComputeCache`` slice, single-flight table
+and disk-cache working set stay hot and non-overlapping.  A request
+that lands on the wrong worker is proxied to the owner over its
+control socket (see :mod:`repro.service.control`).
+
+Ownership uses **rendezvous (highest-random-weight) hashing**: every
+``(shard, key)`` pair gets a deterministic score — ``crc32`` of the
+key mixed with the shard index through a splitmix64 finalizer — and
+the shard with the highest score owns the key.  The finalizer matters:
+CRC is affine, so scoring ``crc32(f"{shard}|{key}")`` directly makes
+same-length keys' scores differ across shards by a *key-independent
+XOR constant*, which correlates the comparisons and skews ownership
+badly (one shard of three ends up owning ~half the keyspace).  The
+multiply-xor-shift finalizer breaks that linearity.
+
+* **Deterministic** — neither ``crc32`` nor the finalizer depends on
+  ``PYTHONHASHSEED`` (the same reason the two-level predictor's set
+  index moved off the builtin ``hash()`` in PR 4), so every worker,
+  every restart and every test computes the same owner.
+* **Balanced** — finalized scores are uniform: N shards each own ~1/N
+  of the keyspace (tests bound the skew).
+* **Minimal movement** — growing the fleet N → N+1 only introduces new
+  ``(N, key)`` scores; a key moves **only** when the new shard wins it,
+  so ~1/(N+1) of keys move and every moved key moves *to the new
+  shard*.  No other pair of shards exchanges keys, which is exactly the
+  property a warm per-worker cache wants from a resize.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, List
+
+__all__ = ["shard_key", "owner_shard", "shard_counts"]
+
+
+def shard_key(name: str, scale: int = 1, seed_offset: int = 0) -> str:
+    """The canonical shard key for one artifact triple.
+
+    All four heavy endpoints (``/artifacts``, ``/predict``,
+    ``/machine``, ``/plan``) shard on the *artifact* triple — a
+    predictor evaluation and a replication plan for the same run land
+    on the same worker as the run artifacts they derive from.
+    """
+    return f"{name}:{scale}:{seed_offset}"
+
+
+_MASK64 = (1 << 64) - 1
+#: golden-ratio increment, the standard splitmix64 stream constant
+_GAMMA = 0x9E3779B97F4A7C15
+
+
+def _score(shard: int, key: str) -> int:
+    # crc32 once per key; splitmix64 decorrelates the per-shard scores
+    x = (zlib.crc32(key.encode()) ^ (shard * _GAMMA)) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def owner_shard(key: str, workers: int) -> int:
+    """The shard index in ``[0, workers)`` owning *key*.
+
+    Rendezvous hashing: the shard whose ``crc32(shard | key)`` score is
+    highest wins; ties break toward the lowest index (deterministic).
+    O(workers) per call — fleet sizes are single digits.
+    """
+    if workers <= 1:
+        return 0
+    best_shard = 0
+    best_score = _score(0, key)
+    for shard in range(1, workers):
+        score = _score(shard, key)
+        if score > best_score:
+            best_shard, best_score = shard, score
+    return best_shard
+
+
+def shard_counts(keys: Iterable[str], workers: int) -> List[int]:
+    """How many of *keys* each shard owns (diagnostics and tests)."""
+    counts = [0] * max(1, workers)
+    for key in keys:
+        counts[owner_shard(key, workers)] += 1
+    return counts

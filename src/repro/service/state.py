@@ -19,7 +19,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
 from ..obs import OBS
 from .coalesce import ComputeCache
@@ -47,14 +47,22 @@ class ApiError(Exception):
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Every serve-time knob, in one value object."""
+    """Every serve-time knob, in one value object.
+
+    One config describes one *process*: ``threads`` is this process's
+    heavy-endpoint pool.  Fleet mode (``workers > 1``) spawns
+    ``workers`` processes, each carrying a copy of this config with its
+    own ``shard_index`` and the shared ``control_dir`` filled in by the
+    supervisor (see :mod:`repro.service.supervisor`).
+    """
 
     host: str = "127.0.0.1"
     port: int = 8642
-    #: threads executing heavy (POST) endpoint work
-    workers: int = 4
-    #: additional requests allowed to wait for a worker; beyond
-    #: ``workers + queue_limit`` concurrent heavy requests → 429
+    #: threads executing heavy (POST) endpoint work in this process
+    #: (named ``workers`` before fleet mode claimed that word)
+    threads: int = 4
+    #: additional requests allowed to wait for a pool thread; beyond
+    #: ``threads + queue_limit`` concurrent heavy requests → 429
     queue_limit: int = 16
     #: capacity of each in-process LRU layer
     lru_size: int = 128
@@ -68,6 +76,22 @@ class ServiceConfig:
     #: record spans for the daemon's lifetime and write them as Chrome
     #: trace_event JSON to this path on shutdown
     trace_out: Optional[str] = None
+    #: worker *processes*; > 1 runs the supervised pre-fork fleet
+    workers: int = 1
+    #: this process's shard index in ``[0, workers)``; set per worker
+    #: by the supervisor, ``None`` outside fleet mode
+    shard_index: Optional[int] = None
+    #: directory holding the per-worker control sockets; set by the
+    #: supervisor, ``None`` outside fleet mode
+    control_dir: Optional[str] = None
+    #: write a JSON readiness document (port, pids, control dir) here
+    #: once the listener is accepting; tests and the CI chaos job poll it
+    ready_file: Optional[str] = None
+
+    @property
+    def queue_capacity(self) -> int:
+        """Heavy requests this process admits before shedding with 429."""
+        return self.threads + self.queue_limit
 
 
 class ServiceState:
@@ -82,9 +106,9 @@ class ServiceState:
         self.planners = ComputeCache(max(8, config.lru_size // 4), "planner")
         self.plans = ComputeCache(config.lru_size, "plan")
         self._pool = ThreadPoolExecutor(
-            max_workers=config.workers, thread_name_prefix="repro-svc"
+            max_workers=config.threads, thread_name_prefix="repro-svc"
         )
-        self._slots = threading.BoundedSemaphore(config.workers + config.queue_limit)
+        self._slots = threading.BoundedSemaphore(config.queue_capacity)
         self._depth_lock = threading.Lock()
         self._queue_depth = 0
         self._http_lock = threading.Lock()
@@ -106,7 +130,7 @@ class ServiceState:
                 429,
                 "overloaded",
                 "server is at capacity; retry shortly",
-                queue_capacity=self.config.workers + self.config.queue_limit,
+                queue_capacity=self.config.queue_capacity,
             )
         self._bump_depth(+1)
         try:
@@ -159,6 +183,27 @@ class ServiceState:
                     return False
                 self._idle.wait(remaining)
         return True
+
+    # -- fleet topology -------------------------------------------------------
+
+    @property
+    def fleet_size(self) -> int:
+        """Worker processes in the fleet (1 outside fleet mode)."""
+        return max(1, self.config.workers)
+
+    @property
+    def is_fleet_worker(self) -> bool:
+        """True when this process is one shard of a supervised fleet."""
+        return (
+            self.fleet_size > 1
+            and self.config.shard_index is not None
+            and self.config.control_dir is not None
+        )
+
+    def peer_shards(self) -> List[int]:
+        """Every shard index except this process's own."""
+        own = self.config.shard_index
+        return [i for i in range(self.fleet_size) if i != own]
 
     # -- lifecycle -----------------------------------------------------------
 

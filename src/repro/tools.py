@@ -17,7 +17,7 @@ back as text.
 `serve` runs the prediction-as-a-service daemon (no IR file — it works
 on the built-in benchmark suite over HTTP; see :mod:`repro.service`):
 
-    python -m repro serve --port 8642 --workers 4
+    python -m repro serve --port 8642 --workers 4 --threads 4
 
 `obs-export` renders a snapshot saved by a CLI run
 (``python -m repro.experiments ... --snapshot-out obs.json``) as
@@ -192,6 +192,7 @@ def cmd_serve(options) -> int:
         ServiceConfig(
             host=options.host,
             port=options.port,
+            threads=options.threads,
             workers=options.workers,
             queue_limit=options.queue_limit,
             lru_size=options.lru_size,
@@ -199,6 +200,7 @@ def cmd_serve(options) -> int:
             verbose=options.verbose,
             log_json=options.log_json,
             trace_out=options.trace_out,
+            ready_file=options.ready_file,
         )
     )
 
@@ -276,10 +278,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("serve", help="run the prediction-as-a-service daemon")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8642)
-    p.add_argument("--workers", type=int, default=4,
-                   help="threads executing heavy endpoint work")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes; > 1 runs the supervised "
+                        "pre-fork fleet behind one listening socket")
+    p.add_argument("--threads", type=int, default=4,
+                   help="threads executing heavy endpoint work, per process")
     p.add_argument("--queue-limit", type=int, default=16,
                    help="extra requests allowed to queue before 429")
+    p.add_argument("--ready-file", default=None, metavar="PATH",
+                   help="write a JSON readiness document (port, pids, "
+                        "control dir) here once accepting")
     p.add_argument("--lru-size", type=int, default=128,
                    help="capacity of each in-process result cache")
     p.add_argument("--drain-seconds", type=float, default=10.0,

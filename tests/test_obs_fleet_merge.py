@@ -1,0 +1,129 @@
+"""Property: the control-socket wire format loses nothing in a merge.
+
+Fleet mode merges per-worker observer snapshots that travelled as JSON
+over unix control sockets (``snapshot_to_dict`` → ``json`` →
+``snapshot_from_dict``); :func:`repro.obs.merge_snapshots` folds them
+into the fleet-wide view.  Hypothesis generates K arbitrary worker
+observers and asserts the round-tripped merge equals the in-process
+merge **exactly**:
+
+* counters sum,
+* gauges are last-write-wins in worker order,
+* histogram bucket maps are bit-identical (bucket indices are
+  process-independent), so merged quantiles are exact, not
+  approximately re-estimated.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    Observer,
+    merge_snapshots,
+    snapshot_from_dict,
+    snapshot_to_dict,
+)
+
+metric_names = st.sampled_from(
+    [
+        "service.requests",
+        "service.shard.local",
+        "service.shard.proxied",
+        "eval.events",
+        "cache.lru.hits",
+    ]
+)
+gauge_names = st.sampled_from(
+    ["service.inflight", "service.queue_depth", "predictor.best_score"]
+)
+hist_names = st.sampled_from(["service.latency_ms", "plan.cost"])
+counter_values = st.integers(min_value=0, max_value=10**9)
+gauge_values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+observations = st.lists(
+    st.floats(
+        min_value=1e-6, max_value=1e7, allow_nan=False, allow_infinity=False
+    ),
+    max_size=30,
+)
+
+worker_states = st.fixed_dictionaries(
+    {
+        "counters": st.dictionaries(metric_names, counter_values, max_size=5),
+        "gauges": st.dictionaries(gauge_names, gauge_values, max_size=3),
+        "hists": st.dictionaries(hist_names, observations, max_size=2),
+    }
+)
+
+
+def observer_from_state(state) -> Observer:
+    observer = Observer()
+    for name, value in state["counters"].items():
+        observer.add(name, value)
+    for name, value in state["gauges"].items():
+        observer.set_gauge(name, value)
+    for name, values in state["hists"].items():
+        for value in values:
+            observer.observe(name, value)
+    return observer
+
+
+def hist_buckets(snapshot):
+    """Bit-exact comparable view: buckets plus every summary field."""
+    return {
+        name: (
+            dict(hist.buckets),
+            hist.zero,
+            hist.count,
+            hist.sum,
+            hist.min,
+            hist.max,
+        )
+        for name, hist in sorted(snapshot.hists.items())
+    }
+
+
+class TestWireMergeEqualsInProcessMerge:
+    @given(st.lists(worker_states, min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_round_tripped_snapshots_merge_identically(self, states):
+        snapshots = [observer_from_state(s).snapshot() for s in states]
+        # exactly what the control plane does: serialize on the worker,
+        # ship JSON text, parse on the aggregating worker
+        wired = [
+            snapshot_from_dict(json.loads(json.dumps(snapshot_to_dict(s))))
+            for s in snapshots
+        ]
+        direct = merge_snapshots(snapshots)
+        via_wire = merge_snapshots(wired)
+
+        assert via_wire.counters == direct.counters
+        assert via_wire.gauges == direct.gauges
+        assert hist_buckets(via_wire) == hist_buckets(direct)
+
+    @given(st.lists(worker_states, min_size=2, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_merged_counters_are_the_worker_sums(self, states):
+        snapshots = [observer_from_state(s).snapshot() for s in states]
+        merged = merge_snapshots(snapshots)
+        for snapshot in snapshots:
+            for name in snapshot.counters:
+                if name in snapshot.gauges:
+                    continue
+                expected = sum(s.counters.get(name, 0) for s in snapshots)
+                assert merged.counters[name] == expected
+
+    @given(st.lists(worker_states, min_size=2, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_gauges_are_last_write_wins_in_worker_order(self, states):
+        snapshots = [observer_from_state(s).snapshot() for s in states]
+        merged = merge_snapshots(snapshots)
+        for name in merged.gauges:
+            last = None
+            for snapshot in snapshots:
+                if name in snapshot.gauges:
+                    last = snapshot.counters[name]
+            assert merged.counters[name] == last

@@ -30,7 +30,7 @@ BENCH = "compress"
 
 @pytest.fixture(scope="module")
 def server():
-    server, _ = start_background(ServiceConfig(port=0, workers=2, queue_limit=8))
+    server, _ = start_background(ServiceConfig(port=0, threads=2, queue_limit=8))
     yield server
     shutdown_gracefully(server, drain_seconds=5)
 
@@ -209,7 +209,7 @@ class TestErrors:
         assert b"413" in response.split(b"\r\n", 1)[0]
 
     def test_internal_errors_return_structured_500(self, fresh_server, monkeypatch):
-        server = fresh_server(workers=2, queue_limit=4)
+        server = fresh_server(threads=2, queue_limit=4)
 
         def explode(name, scale, seed_offset):
             raise ValueError("synthetic failure")
@@ -228,7 +228,7 @@ class TestCoalescing:
     def test_concurrent_identical_requests_compute_once(
         self, fresh_server, monkeypatch
     ):
-        server = fresh_server(workers=4, queue_limit=16)
+        server = fresh_server(threads=4, queue_limit=16)
         # The obs counters are process-global and other tests in this
         # module already touched the artifact cache — assert on deltas.
         with ServiceClient(port=server.port) as probe:
@@ -276,7 +276,7 @@ class TestCoalescing:
 
 class TestBackpressure:
     def test_overload_sheds_with_429(self, fresh_server, monkeypatch):
-        server = fresh_server(workers=1, queue_limit=0)
+        server = fresh_server(threads=1, queue_limit=0)
         release = threading.Event()
         real = handlers_module._artifact_summary
 
@@ -325,7 +325,7 @@ class TestBackpressure:
         assert counters["service.rejected.overload"] >= 1
 
     def test_draining_returns_structured_503(self, fresh_server):
-        server = fresh_server(workers=2, queue_limit=4)
+        server = fresh_server(threads=2, queue_limit=4)
         server.state.begin_drain()
         with ServiceClient(port=server.port) as client:
             status, document = client.request_raw("GET", "/healthz")
@@ -335,7 +335,7 @@ class TestBackpressure:
 
 class TestGracefulShutdown:
     def test_shutdown_drains_in_flight_requests(self, fresh_server, monkeypatch):
-        server = fresh_server(workers=2, queue_limit=4)
+        server = fresh_server(threads=2, queue_limit=4)
         entered = threading.Event()
         real = handlers_module._artifact_summary
 

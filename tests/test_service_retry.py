@@ -1,0 +1,181 @@
+"""ServiceClient 429 retry: Retry-After honoured, backoff capped.
+
+The server side is a tiny scripted HTTP server that answers each
+request from a canned list of (status, retry_after) — no service
+stack involved, so the tests pin down exactly the client's contract:
+
+* retries are **opt-in** (default behaviour returns the 429);
+* only 429 is retried (503 and 500 are not);
+* the sleep before each retry is at least the server's Retry-After
+  and never exceeds the cap;
+* attempts stop at ``retries`` and the last response wins.
+
+Sleeps are injected, so the suite runs in milliseconds.
+"""
+
+import json
+import random
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.service.client import (
+    BACKOFF_BASE,
+    BACKOFF_CAP,
+    ServiceClient,
+    ServiceError,
+)
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *args):
+        pass
+
+    def _answer(self) -> None:
+        script = self.server.script  # type: ignore[attr-defined]
+        with self.server.lock:  # type: ignore[attr-defined]
+            index = min(self.server.hits, len(script) - 1)
+            self.server.hits += 1
+        status, retry_after = script[index]
+        body = json.dumps(
+            {"ok": True}
+            if status < 400
+            else {"error": {"status": status, "code": "overloaded", "message": "later"}}
+        ).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = _answer
+    do_POST = _answer
+
+
+@pytest.fixture
+def scripted_server():
+    """``boot(script)`` → port; each request consumes one script entry
+    (the last entry repeats if the client keeps asking)."""
+    servers = []
+
+    def boot(script):
+        server = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+        server.script = list(script)
+        server.hits = 0
+        server.lock = threading.Lock()
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        servers.append(server)
+        return server
+
+    yield boot
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+
+
+def _client(port, retries, sleeps):
+    return ServiceClient(
+        "127.0.0.1",
+        port,
+        timeout=5.0,
+        retries=retries,
+        sleep=sleeps.append,
+        rng=random.Random(7),
+    )
+
+
+class TestOptIn:
+    def test_default_client_does_not_retry(self, scripted_server):
+        server = scripted_server([(429, 1), (200, None)])
+        sleeps = []
+        with _client(server.server_port, 0, sleeps) as client:
+            status, _ = client.request_raw("GET", "/anything")
+        assert status == 429
+        assert sleeps == []
+        assert server.hits == 1
+
+    def test_request_raises_service_error_without_retries(self, scripted_server):
+        server = scripted_server([(429, 1)])
+        with _client(server.server_port, 0, []) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.request("GET", "/anything")
+        assert excinfo.value.status == 429
+
+
+class TestRetry:
+    def test_429_then_200_succeeds_after_one_sleep(self, scripted_server):
+        server = scripted_server([(429, 2), (200, None)])
+        sleeps = []
+        with _client(server.server_port, 3, sleeps) as client:
+            document = client.request("GET", "/anything")
+        assert document == {"ok": True}
+        assert server.hits == 2
+        assert len(sleeps) == 1
+        assert client.retries_performed == 1
+
+    def test_sleep_honours_retry_after_floor(self, scripted_server):
+        server = scripted_server([(429, 2), (200, None)])
+        sleeps = []
+        with _client(server.server_port, 3, sleeps) as client:
+            client.request("GET", "/anything")
+        # at least the server's hint, at most hint + jitter (≤ 25%)
+        assert 2.0 <= sleeps[0] <= 2.0 * 1.25
+
+    def test_sleep_never_exceeds_cap(self, scripted_server):
+        server = scripted_server([(429, 3600), (200, None)])
+        sleeps = []
+        with _client(server.server_port, 3, sleeps) as client:
+            client.request("GET", "/anything")
+        assert sleeps[0] == BACKOFF_CAP
+
+    def test_backoff_grows_without_retry_after(self, scripted_server):
+        server = scripted_server([(429, None)] * 3 + [(200, None)])
+        sleeps = []
+        with _client(server.server_port, 5, sleeps) as client:
+            client.request("GET", "/anything")
+        assert len(sleeps) == 3
+        # exponential base doubling, jitter only stretches
+        for attempt, slept in enumerate(sleeps):
+            base = BACKOFF_BASE * (2.0 ** attempt)
+            assert base <= slept <= base * 1.25
+        assert sleeps[0] < sleeps[1] < sleeps[2]
+
+    def test_attempts_are_bounded(self, scripted_server):
+        server = scripted_server([(429, 0.01)])  # never recovers
+        sleeps = []
+        with _client(server.server_port, 2, sleeps) as client:
+            status, _ = client.request_raw("GET", "/anything")
+        assert status == 429
+        assert server.hits == 3  # 1 try + 2 retries
+        assert len(sleeps) == 2
+
+
+class TestOnly429:
+    @pytest.mark.parametrize("status", [500, 503])
+    def test_other_statuses_are_not_retried(self, scripted_server, status):
+        server = scripted_server([(status, 1), (200, None)])
+        sleeps = []
+        with _client(server.server_port, 3, sleeps) as client:
+            got, _ = client.request_raw("GET", "/anything")
+        assert got == status
+        assert sleeps == []
+        assert server.hits == 1
+
+
+class TestRetryAfterParsing:
+    def test_last_retry_after_is_recorded(self, scripted_server):
+        server = scripted_server([(429, 7)])
+        with _client(server.server_port, 0, []) as client:
+            client.request_raw("GET", "/anything")
+        assert client.last_retry_after == 7.0
+
+    def test_absent_header_clears_the_field(self, scripted_server):
+        server = scripted_server([(429, 7), (200, None)])
+        with _client(server.server_port, 1, []) as client:
+            client.request_raw("GET", "/anything")
+        assert client.last_retry_after is None

@@ -1,0 +1,106 @@
+"""Consistent-hash sharding: the contract fleet mode stands on.
+
+Three load-bearing properties of :mod:`repro.service.shard`:
+
+* **balance** — N shards each own roughly 1/N of a large keyspace;
+* **minimal movement** — growing N → N+1 moves only ~1/(N+1) of keys,
+  and every moved key moves *to the new shard* (no other pair of
+  shards exchanges keys, so warm caches survive a resize);
+* **hash-seed independence** — the owner is a pure crc32 function of
+  the key, so two worker processes launched with different
+  ``PYTHONHASHSEED`` values (as fleet workers inevitably are) compute
+  identical owners.  Proved by actually running interpreters with
+  pinned seeds, the same way ``tests/test_repl_determinism.py`` does.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.service.shard import owner_shard, shard_counts, shard_key
+
+
+def _keyspace(count: int) -> list:
+    return [
+        shard_key(f"bench-{i % 17}", scale=1 + i % 4, seed_offset=i)
+        for i in range(count)
+    ]
+
+
+class TestOwnerShard:
+    def test_single_worker_owns_everything(self):
+        assert owner_shard("anything", 1) == 0
+        assert owner_shard("anything", 0) == 0
+
+    def test_owner_is_in_range_and_stable(self):
+        for workers in (2, 3, 4, 8):
+            for key in _keyspace(50):
+                owner = owner_shard(key, workers)
+                assert 0 <= owner < workers
+                assert owner == owner_shard(key, workers)  # pure function
+
+    def test_shard_key_includes_the_whole_triple(self):
+        assert shard_key("a", 2, 3) == "a:2:3"
+        # distinct triples must not collide into one shard key
+        assert shard_key("a", 1, 23) != shard_key("a", 12, 3)
+
+
+class TestBalance:
+    @pytest.mark.parametrize("workers", [2, 3, 4, 8])
+    def test_keyspace_splits_roughly_evenly(self, workers):
+        keys = _keyspace(4000)
+        counts = shard_counts(keys, workers)
+        expected = len(keys) / workers
+        for count in counts:
+            # crc32 scores are uniform enough for ±35% at 4000 keys;
+            # a broken hash (everything on shard 0) fails by a mile.
+            assert 0.65 * expected <= count <= 1.35 * expected, counts
+
+
+class TestMinimalMovement:
+    @pytest.mark.parametrize("workers", [2, 3, 4])
+    def test_growing_the_fleet_moves_few_keys_and_only_to_the_new_shard(
+        self, workers
+    ):
+        keys = _keyspace(4000)
+        moved = 0
+        for key in keys:
+            before = owner_shard(key, workers)
+            after = owner_shard(key, workers + 1)
+            if before != after:
+                moved += 1
+                # rendezvous hashing: a key only moves when the NEW
+                # shard out-scores its old owner
+                assert after == workers, (key, before, after)
+        expected_fraction = 1.0 / (workers + 1)
+        fraction = moved / len(keys)
+        assert fraction <= expected_fraction * 1.5, fraction
+        assert fraction >= expected_fraction * 0.5, fraction
+
+
+_OWNER_SCRIPT = """
+from repro.service.shard import owner_shard, shard_key
+keys = [shard_key(f"b{i}", 1 + i % 3, i) for i in range(200)]
+print(",".join(str(owner_shard(k, 4)) for k in keys))
+"""
+
+
+class TestHashSeedIndependence:
+    def _owners_with_seed(self, seed: str) -> str:
+        env = dict(os.environ, PYTHONHASHSEED=seed)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        result = subprocess.run(
+            [sys.executable, "-c", _OWNER_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        return result.stdout.strip()
+
+    def test_owners_identical_across_interpreter_hash_seeds(self):
+        owners = {self._owners_with_seed(seed) for seed in ("0", "1", "31337")}
+        assert len(owners) == 1, "owner assignment depends on PYTHONHASHSEED"

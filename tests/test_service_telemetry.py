@@ -28,7 +28,7 @@ BENCH = "compress"
 @pytest.fixture(scope="module")
 def server():
     server, _ = start_background(
-        ServiceConfig(port=0, workers=2, queue_limit=8, log_json=True)
+        ServiceConfig(port=0, threads=2, queue_limit=8, log_json=True)
     )
     yield server
     shutdown_gracefully(server, drain_seconds=5)

@@ -130,16 +130,20 @@ def test_serve_subcommand_registered_with_defaults():
     assert options.func is cmd_serve
     assert options.host == "127.0.0.1"
     assert options.port == 8642
-    assert options.workers == 4
+    assert options.workers == 1  # processes; > 1 boots the fleet
+    assert options.threads == 4  # per-worker heavy-request pool
     assert options.queue_limit == 16
     assert options.lru_size == 128
     assert options.drain_seconds == 10.0
+    assert options.ready_file is None
     assert options.verbose is False
     custom = build_parser().parse_args(
-        ["serve", "--port", "0", "--workers", "2", "--queue-limit", "1",
-         "--lru-size", "8", "--drain-seconds", "0.5", "--verbose"]
+        ["serve", "--port", "0", "--workers", "2", "--threads", "3",
+         "--queue-limit", "1", "--lru-size", "8", "--drain-seconds", "0.5",
+         "--ready-file", "ready.json", "--verbose"]
     )
-    assert (custom.port, custom.workers, custom.queue_limit) == (0, 2, 1)
+    assert (custom.port, custom.workers, custom.threads) == (0, 2, 3)
+    assert (custom.queue_limit, custom.ready_file) == (1, "ready.json")
     assert custom.verbose is True
 
 
