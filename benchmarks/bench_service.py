@@ -69,6 +69,10 @@ from repro.service import (
 #: sustained phase uses, so the server's LRU is guaranteed cold for it.
 BURST_SEED_OFFSET = 7321
 
+#: seed_offset base for the predict-batch phase — disjoint from every
+#: other phase so the first pass is provably cold, the replay warm.
+BATCH_SEED_BASE = 9_000
+
 #: seed_offset base + jitter for the agreement phase — far from both
 #: the burst key and the sustained phase, and wide enough that nearly
 #: every request computes.
@@ -234,6 +238,32 @@ def coalesce_burst(
     }
 
 
+def predict_batch(host: str, port: int, benchmark: str, count: int = 8) -> dict:
+    """Cold batch then warm replay over one keep-alive connection.
+
+    Exercises :meth:`ServiceClient.predict_many` end to end: the replay
+    of an identical batch must come back entirely from the LRU.
+    """
+    keys = [
+        {"name": benchmark, "predictor": "profile", "seed_offset": BATCH_SEED_BASE + i}
+        for i in range(count)
+    ]
+    with ServiceClient(host, port, timeout=120.0) as client:
+        started = time.perf_counter()
+        client.predict_many(keys)
+        cold_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = client.predict_many(keys)
+        warm_seconds = time.perf_counter() - started
+    return {
+        "keys": count,
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "warm_lru": sum(1 for payload in warm if payload.get("source") == "lru"),
+        "speedup": round(cold_seconds / warm_seconds, 1) if warm_seconds else 0.0,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default="BENCH_service.json")
@@ -282,6 +312,13 @@ def main(argv=None) -> int:
             f"{burst['computed']:.0f} computation(s), "
             f"{burst['coalesce_hits']:.0f} coalesce hit(s) "
             f"in {burst['seconds']}s"
+        )
+        print("predict-batch phase (predict_many: cold batch + warm replay)...")
+        batch = predict_batch(host, port, args.benchmark)
+        print(
+            f"batch: {batch['keys']} keys cold in {batch['cold_seconds']}s, "
+            f"warm replay in {batch['warm_seconds']}s "
+            f"({batch['warm_lru']} lru hit(s))"
         )
         print(f"sustained phase ({args.duration}s)...")
         sustained = run_load(
@@ -334,6 +371,7 @@ def main(argv=None) -> int:
         else 0.0,
         "min_rps": args.min_rps,
         "burst": burst,
+        "predict_batch": batch,
         "sustained": sustained,
         "agreement": agreement,
     }
@@ -393,6 +431,13 @@ def main(argv=None) -> int:
         return 1
     if not report["coalesce_hits"]:
         print("FAIL: no request ever coalesced", file=sys.stderr)
+        return 1
+    if batch["warm_lru"] != batch["keys"]:
+        print(
+            f"FAIL: predict_many warm replay served only "
+            f"{batch['warm_lru']}/{batch['keys']} key(s) from the LRU",
+            file=sys.stderr,
+        )
         return 1
     if not agreement["agrees"]:
         print(

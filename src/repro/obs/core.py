@@ -151,6 +151,7 @@ class Observer:
         self._spans: List[SpanRecord] = []
         self._record_spans = record_spans
         self._local = threading.local()
+        self._epoch = 0
 
     # -- span recording ------------------------------------------------------
 
@@ -221,6 +222,7 @@ class Observer:
         """Increment counter *name* (creating it at 0); thread-safe."""
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + value
+            self._epoch += 1
 
     def set_gauge(self, name: str, value: Number) -> None:
         """Set gauge *name* to *value* (last write wins).
@@ -231,6 +233,7 @@ class Observer:
         with self._lock:
             self._counters[name] = value
             self._gauge_names.add(name)
+            self._epoch += 1
 
     # -- histograms and rates ------------------------------------------------
 
@@ -246,6 +249,7 @@ class Observer:
             if hist is None:
                 hist = self._hists[name] = Histogram()
             hist.observe(value)
+            self._epoch += 1
 
     def histogram(self, name: str) -> Optional[Histogram]:
         """A private copy of histogram *name*, or ``None``."""
@@ -269,6 +273,7 @@ class Observer:
             if window is None:
                 window = self._rates[name] = RateWindow()
             window.mark(n)
+            self._epoch += 1
 
     def rate(self, name: str) -> float:
         """Live events/sec of rate *name* (0.0 when never marked)."""
@@ -288,6 +293,17 @@ class Observer:
     def counter(self, name: str, default: Number = 0) -> Number:
         with self._lock:
             return self._counters.get(name, default)
+
+    def epoch(self) -> int:
+        """Monotonic mutation sequence: bumps on every write.
+
+        Two equal readings with no mutation in between mean every state
+        read between them came from the *same* logical version — the
+        torn-read detector the QA layer's merged-vs-per-worker snapshot
+        comparisons rely on (``as_of`` in control-socket replies).
+        """
+        with self._lock:
+            return self._epoch
 
     def counters(self, prefix: str = "") -> Dict[str, Number]:
         """A snapshot copy of the counters (optionally prefix-filtered)."""
@@ -323,6 +339,7 @@ class Observer:
                     del self._hists[name]
                 for name in [n for n in self._rates if n.startswith(prefix)]:
                     del self._rates[name]
+            self._epoch += 1
 
     def snapshot(self) -> ObsSnapshot:
         """Counters, gauge names, histograms and spans, copied atomically."""
@@ -367,6 +384,7 @@ class Observer:
                 merge_histogram_maps(self._hists, hists, counter_prefix)
             if self._record_spans:
                 self._spans.extend(spans)
+            self._epoch += 1
 
     def merge_snapshot(self, snapshot: ObsSnapshot, counter_prefix: str = "") -> None:
         """:meth:`merge`, taking a whole :class:`ObsSnapshot`."""

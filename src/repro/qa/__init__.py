@@ -1,0 +1,51 @@
+"""Invariant-driven journey QA + chaos harness for the service layer.
+
+``python -m repro qa run`` drives real end-to-end journeys against a
+live daemon/fleet subprocess while evaluating a catalog of
+cross-system invariants after every step, then repeats them under
+injected faults (worker kill, cache corruption, pool saturation).
+See ``docs/architecture.md`` ("Journey QA & chaos") for the anatomy.
+"""
+
+from .chaos import CHAOS_SCENARIOS, ChaosScenario
+from .core import (
+    CRITICAL,
+    SKIP,
+    WARNING,
+    Invariant,
+    JourneyError,
+    Skip,
+    Violation,
+    check_invariants,
+    expect,
+)
+from .invariants import default_invariants, sabotage_invariant
+from .journeys import JOURNEYS, Journey
+from .report import render_text, write_json
+from .runner import JourneyResult, run_journey, run_suite
+from .world import CallRecord, LiveWorld
+
+__all__ = [
+    "CHAOS_SCENARIOS",
+    "CRITICAL",
+    "ChaosScenario",
+    "CallRecord",
+    "Invariant",
+    "JOURNEYS",
+    "Journey",
+    "JourneyError",
+    "JourneyResult",
+    "LiveWorld",
+    "SKIP",
+    "Skip",
+    "Violation",
+    "WARNING",
+    "check_invariants",
+    "default_invariants",
+    "expect",
+    "render_text",
+    "run_journey",
+    "run_suite",
+    "sabotage_invariant",
+    "write_json",
+]

@@ -1,0 +1,180 @@
+"""Chaos scenarios: inject real faults mid-journey, keep checking.
+
+A scenario rides on a base journey.  After each base step's invariant
+sweep, ``on_step`` may act (kill a worker, corrupt the cache...);
+``extra_steps`` appends fault-specific traffic to the journey; and
+``finalize`` asserts the system *recovered* (supervisor respawned the
+worker, the poisoned key still answers).
+
+Faults withdraw world conditions rather than disabling invariants:
+killing a worker withdraws ``stable_fleet`` (its in-memory counters
+died, so exact counter==log equalities are no longer decidable — the
+access-log lines it wrote persist), corrupting the cache withdraws
+``pristine_cache``.  Everything *not* predicated on a withdrawn
+condition keeps being enforced through the fault — that is the point.
+Pool saturation withdraws nothing: a saturated pool must satisfy the
+whole catalog, 429s included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .core import expect
+from .journeys import BENCH, Step
+from .world import LiveWorld
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    name: str
+    description: str
+    base_journey: str
+    workers_min: int = 1
+    #: LiveWorld overrides (threads/queue_limit) applied to this run.
+    world_kwargs: Dict[str, int] = field(default_factory=dict)
+    on_step: Optional[Callable[[LiveWorld, str], None]] = None
+    extra_steps: Optional[Callable[[LiveWorld], List[Step]]] = None
+    finalize: Optional[Callable[[LiveWorld], None]] = None
+
+
+# -- worker kill -------------------------------------------------------------
+
+
+def _kill_on_step(world: LiveWorld, step: str) -> None:
+    if step != "burst-identical":
+        return
+    ready = world.handle.refresh_ready()
+    world.notes["pids_before_kill"] = [int(p) for p in ready["pids"]]
+    world.kill_worker(1)
+
+
+def _kill_extra_steps(world: LiveWorld) -> List[Step]:
+    def traffic_through_the_hole() -> None:
+        # The dead shard's keys fall back to local compute on the
+        # accepting worker: degraded locality, zero failed requests.
+        for offset in range(400, 404):
+            record = world.call(
+                "POST", "/artifacts", {"name": BENCH, "seed_offset": offset}
+            )
+            expect(record.status == 200,
+                   "request failed while a worker was down",
+                   status=record.status, seed_offset=offset)
+
+    return [("traffic-through-the-hole", traffic_through_the_hole)]
+
+
+def _kill_finalize(world: LiveWorld) -> None:
+    old_pids = world.notes.get("pids_before_kill", [])
+    expect(world.wait_for_respawn(old_pids),
+           "supervisor did not respawn the killed worker",
+           old_pids=old_pids, killed=world.notes.get("killed_pid"))
+    health = world.probe_healthz()
+    expect(health.get("status") == "ok", "fleet unhealthy after respawn",
+           health=health)
+
+
+# -- cache corruption --------------------------------------------------------
+
+
+def _corrupt_on_step(world: LiveWorld, step: str) -> None:
+    if step != "artifacts-cold":
+        return
+    world.notes["corrupted_files"] = world.corrupt_disk_cache()
+
+
+def _corrupt_extra_steps(world: LiveWorld) -> List[Step]:
+    def poisoned_entry() -> None:
+        # Plant garbage at the exact cache path of a key nobody asked
+        # for yet; the daemon must shrug it off and recompute.
+        world.plant_garbage_entry(BENCH, 1, 777)
+        record = world.call(
+            "POST", "/artifacts", {"name": BENCH, "seed_offset": 777}
+        )
+        expect(record.status == 200, "poisoned entry broke the request",
+               status=record.status, body=repr(record.document)[:200])
+        data = record.data
+        source = data.get("source") if isinstance(data, dict) else None
+        expect(source == "computed",
+               "poisoned entry was not recomputed", source=source)
+
+    def recover_lru() -> None:
+        record = world.call(
+            "POST", "/artifacts", {"name": BENCH, "seed_offset": 777}
+        )
+        expect(record.status == 200, "recovered key failed",
+               status=record.status)
+        data = record.data
+        source = data.get("source") if isinstance(data, dict) else None
+        expect(source == "lru", "recovered key not in lru", source=source)
+
+    return [("poisoned-entry", poisoned_entry), ("recover-lru", recover_lru)]
+
+
+# -- pool saturation ---------------------------------------------------------
+
+
+def _saturate_extra_steps(world: LiveWorld) -> List[Step]:
+    def saturate() -> None:
+        # 8 barrier-started distinct heavy keys against capacity 1 per
+        # worker (threads=1, queue_limit=0): the semaphore acquire is
+        # non-blocking, so most of the burst must shed as instant 429s.
+        specs = [
+            {
+                "path": "/artifacts",
+                "body": {"name": BENCH, "scale": 3, "seed_offset": 500 + i},
+            }
+            for i in range(8)
+        ]
+        records = world.parallel(specs, timeout=180.0)
+        statuses = sorted(r.status for r in records if r.status is not None)
+        expect(set(statuses) <= {200, 429},
+               "saturation produced a status outside {200, 429}",
+               statuses=statuses)
+        expect(statuses.count(429) >= 1, "saturation never shed a request",
+               statuses=statuses)
+        expect(statuses.count(200) >= 1, "saturation starved every request",
+               statuses=statuses)
+
+    def post_saturation() -> None:
+        record = world.call(
+            "POST", "/artifacts", {"name": BENCH, "scale": 3, "seed_offset": 500}
+        )
+        expect(record.status == 200, "pool did not recover after saturation",
+               status=record.status)
+
+    return [("saturate", saturate), ("post-saturation", post_saturation)]
+
+
+# -- catalog -----------------------------------------------------------------
+
+
+CHAOS_SCENARIOS: Dict[str, ChaosScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        ChaosScenario(
+            "worker_kill",
+            "SIGKILL a worker mid-burst; traffic keeps flowing, supervisor respawns",
+            base_journey="cold_burst",
+            workers_min=2,
+            on_step=_kill_on_step,
+            extra_steps=_kill_extra_steps,
+            finalize=_kill_finalize,
+        ),
+        ChaosScenario(
+            "cache_corruption",
+            "corrupt every disk-cache entry and plant a poisoned key; service recomputes",
+            base_journey="pipeline",
+            on_step=_corrupt_on_step,
+            extra_steps=_corrupt_extra_steps,
+        ),
+        ChaosScenario(
+            "pool_saturation",
+            "threads=1/queue=0 + a barrier-started burst forces 429s; full catalog holds",
+            base_journey="pipeline",
+            world_kwargs={"threads": 1, "queue_limit": 0},
+            extra_steps=_saturate_extra_steps,
+        ),
+    )
+}

@@ -1,0 +1,181 @@
+"""Invariant machinery: named cross-system checks over a ``World``.
+
+The venomqa idea: a journey drives *real* traffic against a composition
+of live systems (the ``World``), and after every step a catalog of
+:class:`Invariant` objects is evaluated against everything the world
+can see — client-observed responses, the daemon's merged ``/stats``
+counters, the Prometheus exposition, per-worker control-socket
+snapshots, the on-disk artifact cache, the JSON access-log stream.  An
+invariant is a *relationship between systems* ("requests counted ==
+access-log lines written"), not a unit assertion, so a violation means
+two components disagree about what just happened.
+
+An invariant's ``check(world)`` returns:
+
+``True`` / ``None``
+    holds.
+``False``
+    violated (no extra detail).
+a ``dict``
+    violated, with the dict as the divergent-values detail.
+:data:`SKIP`
+    not evaluable right now (e.g. a torn read was detected) — recorded
+    as a skip, not a pass.
+raises
+    violated; the exception is captured as detail.
+
+``requires`` names world *conditions* that must all be present for the
+check to be meaningful; chaos scenarios withdraw conditions (killing a
+worker withdraws ``stable_fleet``: that worker's in-memory counters
+died with it, so exact counter==log equalities no longer hold while
+the access-log lines it wrote persist).  A check whose requirements
+are not met is recorded as a skip with the missing conditions named.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+#: Sentinel an invariant check returns when the current world state is
+#: not evaluable (torn read, no samples yet); recorded as a skip.
+SKIP = object()
+
+CRITICAL = "critical"
+WARNING = "warning"
+
+#: World conditions invariants may require.  Chaos withdraws them:
+#:
+#: ``accepting``
+#:     the daemon answers JSON endpoints (withdrawn while draining).
+#: ``stable_fleet``
+#:     no worker died since the journey started (exact counter
+#:     equalities need every worker's in-memory state to have survived).
+#: ``pristine_cache``
+#:     nobody corrupted/evicted disk-cache entries behind the daemon's
+#:     back, so disk accounting is exact.
+#: ``fleet``
+#:     more than one worker (per-worker vs merged comparisons).
+CONDITIONS = ("accepting", "stable_fleet", "pristine_cache", "fleet")
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One named cross-system check evaluated after every journey step."""
+
+    name: str
+    check: Callable[[Any], Any]
+    severity: str = CRITICAL
+    description: str = ""
+    requires: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.severity not in (CRITICAL, WARNING):
+            raise ValueError(f"severity must be critical|warning, got {self.severity!r}")
+        object.__setattr__(self, "requires", frozenset(self.requires))
+
+
+@dataclass
+class Violation:
+    """An invariant that did not hold after a journey step."""
+
+    journey: str
+    step: str
+    invariant: str
+    severity: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "journey": self.journey,
+            "step": self.step,
+            "invariant": self.invariant,
+            "severity": self.severity,
+            "detail": self.detail,
+        }
+
+    def __str__(self) -> str:
+        parts = [f"[{self.severity}] {self.journey}/{self.step}: {self.invariant}"]
+        if self.detail:
+            kv = ", ".join(f"{k}={v!r}" for k, v in sorted(self.detail.items()))
+            parts.append(f"({kv})")
+        return " ".join(parts)
+
+
+@dataclass
+class Skip:
+    """An invariant that could not be evaluated after a journey step."""
+
+    journey: str
+    step: str
+    invariant: str
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "journey": self.journey,
+            "step": self.step,
+            "invariant": self.invariant,
+            "reason": self.reason,
+        }
+
+
+def check_invariants(
+    world: Any,
+    invariants: Iterable[Invariant],
+    journey: str,
+    step: str,
+) -> Tuple[List[Violation], List[Skip], List[str]]:
+    """Evaluate *invariants* against *world*; nothing raises out.
+
+    Returns ``(violations, skips, checked_names)`` where
+    *checked_names* lists the invariants that actually ran (passed or
+    violated — skips excluded).
+    """
+    violations: List[Violation] = []
+    skips: List[Skip] = []
+    checked: List[str] = []
+    conditions = getattr(world, "conditions", frozenset())
+    for invariant in invariants:
+        missing = invariant.requires - frozenset(conditions)
+        if missing:
+            skips.append(
+                Skip(journey, step, invariant.name,
+                     f"missing conditions: {', '.join(sorted(missing))}")
+            )
+            continue
+        try:
+            result = invariant.check(world)
+        except Exception as error:  # noqa: BLE001 — a crashed check is a finding
+            violations.append(
+                Violation(journey, step, invariant.name, invariant.severity,
+                          {"check_raised": f"{type(error).__name__}: {error}"})
+            )
+            checked.append(invariant.name)
+            continue
+        if result is SKIP:
+            skips.append(Skip(journey, step, invariant.name, "check not evaluable"))
+            continue
+        checked.append(invariant.name)
+        if result is True or result is None:
+            continue
+        detail = dict(result) if isinstance(result, dict) else {}
+        violations.append(
+            Violation(journey, step, invariant.name, invariant.severity, detail)
+        )
+    return violations, skips, checked
+
+
+class JourneyError(Exception):
+    """A journey step's own expectation failed (distinct from an
+    invariant violation: the journey could not even do what it set out
+    to do, so downstream invariant results are unreliable)."""
+
+
+def expect(condition: bool, message: str, **detail: Any) -> None:
+    """Journey-level assertion; raises :class:`JourneyError`."""
+    if not condition:
+        if detail:
+            kv = ", ".join(f"{k}={v!r}" for k, v in sorted(detail.items()))
+            message = f"{message} ({kv})"
+        raise JourneyError(message)

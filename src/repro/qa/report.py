@@ -1,0 +1,59 @@
+"""Render a QA suite report for humans (text) and machines (JSON)."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+
+def render_text(report: dict) -> str:
+    """The human-facing summary: one line per journey, every violation
+    spelled out with its step, invariant and divergent values."""
+    lines: List[str] = []
+    totals = report.get("totals", {})
+    for journey in report.get("journeys", []):
+        label = journey["journey"] + (
+            f"+{journey['chaos']}" if journey.get("chaos") else ""
+        )
+        mark = "ok " if journey.get("ok") else "FAIL"
+        lines.append(
+            f"{mark} {label:32s} workers={journey.get('workers')} "
+            f"steps={len(journey.get('steps', []))} "
+            f"checks={journey.get('checks', 0)} "
+            f"violations={len(journey.get('violations', []))} "
+            f"skips={len(journey.get('skips', []))} "
+            f"({journey.get('duration_s', 0):.1f}s)"
+        )
+        if journey.get("error"):
+            lines.append(f"     journey error: {journey['error'].strip()}")
+        for violation in journey.get("violations", []):
+            lines.append(
+                f"     VIOLATION [{violation.get('severity')}] "
+                f"step={violation.get('step')!r} "
+                f"invariant={violation.get('invariant')!r}"
+            )
+            for key, value in sorted(violation.get("detail", {}).items()):
+                lines.append(f"         {key} = {value!r}")
+    for skipped in report.get("journeys_skipped", []):
+        lines.append(
+            f"--  {skipped['journey']:32s} skipped: {skipped['reason']}"
+        )
+    lines.append(
+        f"{'PASS' if report.get('ok') else 'FAIL'}: "
+        f"{totals.get('journeys', 0)} journeys, "
+        f"{totals.get('steps', 0)} steps, "
+        f"{totals.get('checks', 0)} invariant checks "
+        f"({len(report.get('invariants_checked', []))} distinct invariants), "
+        f"{totals.get('critical_violations', 0)} critical violations, "
+        f"{totals.get('skips', 0)} skips, "
+        f"{totals.get('errors', 0)} journey errors"
+    )
+    return "\n".join(lines)
+
+
+def write_json(report: dict, path: Optional[str]) -> None:
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(report, stream, indent=2, sort_keys=True)
+        stream.write("\n")

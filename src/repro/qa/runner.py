@@ -1,0 +1,204 @@
+"""The journey runner: fresh world per journey, invariants after every
+step, violations collected into a machine- and human-readable report.
+
+Each (journey, chaos) pair gets its *own* :class:`LiveWorld` — a fresh
+daemon subprocess, cache directory and access log — so baselines start
+at zero, chaos cannot leak across runs, and counter expectations are
+deterministic.  The suite's exit status is non-zero when any CRITICAL
+invariant was violated or a journey could not complete.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from .chaos import CHAOS_SCENARIOS, ChaosScenario
+from .core import CRITICAL, Invariant, JourneyError, Skip, Violation, check_invariants
+from .invariants import default_invariants, sabotage_invariant
+from .journeys import JOURNEYS, Journey
+from .world import LiveWorld
+
+
+@dataclass
+class JourneyResult:
+    journey: str
+    chaos: Optional[str]
+    workers: int
+    steps: List[str] = field(default_factory=list)
+    checks: int = 0
+    checked_invariants: Set[str] = field(default_factory=set)
+    violations: List[Violation] = field(default_factory=list)
+    skips: List[Skip] = field(default_factory=list)
+    error: Optional[str] = None
+    duration_s: float = 0.0
+
+    @property
+    def label(self) -> str:
+        return f"{self.journey}+{self.chaos}" if self.chaos else self.journey
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not any(
+            v.severity == CRITICAL for v in self.violations
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "journey": self.journey,
+            "chaos": self.chaos,
+            "workers": self.workers,
+            "steps": self.steps,
+            "checks": self.checks,
+            "checked_invariants": sorted(self.checked_invariants),
+            "violations": [v.to_dict() for v in self.violations],
+            "skips": [s.to_dict() for s in self.skips],
+            "error": self.error,
+            "duration_s": round(self.duration_s, 3),
+            "ok": self.ok,
+        }
+
+
+def run_journey(
+    journey: Journey,
+    invariants: Sequence[Invariant],
+    workers: int,
+    chaos: Optional[ChaosScenario] = None,
+    keep_root: bool = False,
+) -> JourneyResult:
+    """One journey (optionally under chaos) against a fresh world."""
+    effective_workers = max(
+        workers, journey.workers_min, chaos.workers_min if chaos else 1
+    )
+    world_kwargs: Dict[str, int] = dict(chaos.world_kwargs) if chaos else {}
+    result = JourneyResult(
+        journey=journey.name,
+        chaos=chaos.name if chaos else None,
+        workers=effective_workers,
+    )
+    started = time.monotonic()
+    world = LiveWorld(workers=effective_workers, keep_root=keep_root, **world_kwargs)
+    try:
+        world.start()
+        steps = journey.build(world)
+        if chaos is not None and chaos.extra_steps is not None:
+            steps = steps + chaos.extra_steps(world)
+        for step_name, action in steps:
+            world.current_step = step_name
+            action()
+            world.settle()
+            result.steps.append(step_name)
+            violations, skips, checked = check_invariants(
+                world, invariants, result.label, step_name
+            )
+            result.violations.extend(violations)
+            result.skips.extend(skips)
+            result.checks += len(checked)
+            result.checked_invariants.update(checked)
+            if chaos is not None and chaos.on_step is not None:
+                chaos.on_step(world, step_name)
+        if chaos is not None and chaos.finalize is not None:
+            step_name = "chaos-finalize"
+            world.current_step = step_name
+            chaos.finalize(world)
+            world.settle()
+            result.steps.append(step_name)
+            violations, skips, checked = check_invariants(
+                world, invariants, result.label, step_name
+            )
+            result.violations.extend(violations)
+            result.skips.extend(skips)
+            result.checks += len(checked)
+            result.checked_invariants.update(checked)
+    except JourneyError as error:
+        result.error = str(error)
+    except Exception:  # noqa: BLE001 — the report must survive any journey
+        result.error = traceback.format_exc(limit=8)
+    finally:
+        try:
+            world.stop()
+        except Exception:  # noqa: BLE001 — teardown must not mask results
+            pass
+    result.duration_s = time.monotonic() - started
+    return result
+
+
+def run_suite(
+    journey_names: Optional[Sequence[str]] = None,
+    chaos_names: Optional[Sequence[str]] = None,
+    workers: int = 2,
+    inject_failure: bool = False,
+    keep_root: bool = False,
+    progress: Optional[callable] = None,
+) -> dict:
+    """Run the selected journeys healthy, then each chaos scenario on
+    its base journey.  Returns the full report document."""
+    selected = list(journey_names or JOURNEYS)
+    unknown = [name for name in selected if name not in JOURNEYS]
+    if unknown:
+        raise ValueError(f"unknown journeys: {unknown}; have {sorted(JOURNEYS)}")
+    chaos_selected = list(chaos_names or [])
+    unknown = [name for name in chaos_selected if name not in CHAOS_SCENARIOS]
+    if unknown:
+        raise ValueError(
+            f"unknown chaos scenarios: {unknown}; have {sorted(CHAOS_SCENARIOS)}"
+        )
+    invariants = default_invariants()
+    if inject_failure:
+        invariants = invariants + [sabotage_invariant()]
+
+    results: List[JourneyResult] = []
+    skipped_journeys: List[dict] = []
+    for name in selected:
+        journey = JOURNEYS[name]
+        if journey.workers_min > workers:
+            skipped_journeys.append(
+                {"journey": name, "reason":
+                 f"needs >= {journey.workers_min} workers, running with {workers}"}
+            )
+            continue
+        if progress:
+            progress(f"journey {name} (healthy, workers={workers})")
+        results.append(run_journey(journey, invariants, workers, keep_root=keep_root))
+    for name in chaos_selected:
+        scenario = CHAOS_SCENARIOS[name]
+        journey = JOURNEYS[scenario.base_journey]
+        if progress:
+            progress(
+                f"journey {scenario.base_journey}+{name} "
+                f"(chaos, workers={max(workers, scenario.workers_min, journey.workers_min)})"
+            )
+        results.append(
+            run_journey(journey, invariants, workers, chaos=scenario,
+                        keep_root=keep_root)
+        )
+
+    checked: Set[str] = set()
+    for result in results:
+        checked.update(result.checked_invariants)
+    report = {
+        "ok": all(result.ok for result in results) and bool(results),
+        "workers": workers,
+        "inject_failure": inject_failure,
+        "journeys": [result.to_dict() for result in results],
+        "journeys_skipped": skipped_journeys,
+        "invariants_defined": [inv.name for inv in invariants],
+        "invariants_checked": sorted(checked),
+        "totals": {
+            "journeys": len(results),
+            "steps": sum(len(result.steps) for result in results),
+            "checks": sum(result.checks for result in results),
+            "violations": sum(len(result.violations) for result in results),
+            "critical_violations": sum(
+                1
+                for result in results
+                for violation in result.violations
+                if violation.severity == CRITICAL
+            ),
+            "skips": sum(len(result.skips) for result in results),
+            "errors": sum(1 for result in results if result.error),
+        },
+    }
+    return report

@@ -26,7 +26,7 @@ import json
 import random
 import time
 import uuid
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 #: Default first-retry delay (seconds) when the server sent no usable
 #: ``Retry-After``; doubles per attempt up to :data:`BACKOFF_CAP`.
@@ -39,14 +39,44 @@ JITTER_FRACTION = 0.25
 
 
 class ServiceError(Exception):
-    """A structured (non-2xx) response from the service."""
+    """A structured (non-2xx) response from the service.
 
-    def __init__(self, status: int, code: str, message: str, details: Optional[dict] = None):
+    ``retry_after`` carries the envelope's in-band backpressure hint
+    (seconds) when the server sent one (429/503), else ``None``.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        details: Optional[dict] = None,
+        retry_after: Optional[float] = None,
+    ):
         super().__init__(f"[{status} {code}] {message}")
         self.status = status
         self.code = code
         self.message = message
         self.details = details or {}
+        self.retry_after = retry_after
+
+
+#: One /predict key: ``(name, predictor)``, ``(name, predictor, scale)``,
+#: ``(name, predictor, scale, seed_offset)`` or an explicit body dict.
+PredictKey = Union[Tuple[str, ...], Dict[str, Any]]
+
+
+def unwrap_envelope(document: Any) -> Any:
+    """The ``data`` payload of a v1 success envelope; pass-through for
+    anything else (legacy ``?raw=1`` bodies, non-dict documents)."""
+    if (
+        isinstance(document, dict)
+        and document.get("v") == 1
+        and document.get("ok") is True
+        and "data" in document
+    ):
+        return document["data"]
+    return document
 
 
 class ServiceClient:
@@ -185,16 +215,22 @@ class ServiceClient:
         body: Optional[dict] = None,
         request_id: Optional[str] = None,
     ) -> dict:
-        """Like :meth:`request_raw` but raises :class:`ServiceError` on non-2xx."""
+        """Like :meth:`request_raw` but envelope-aware: unwraps the v1
+        success envelope to its ``data`` payload and raises a typed
+        :class:`ServiceError` on non-2xx (envelope or legacy body)."""
         status, document = self.request_raw(method, path, body, request_id)
         if 200 <= status < 300:
-            return document
+            return unwrap_envelope(document)
         error = document.get("error", {}) if isinstance(document, dict) else {}
+        retry_after = error.get("retry_after")
+        if not isinstance(retry_after, (int, float)) or isinstance(retry_after, bool):
+            retry_after = self.last_retry_after
         raise ServiceError(
             status,
             error.get("code", "unknown"),
             error.get("message", f"HTTP {status}"),
             error.get("details"),
+            retry_after=retry_after,
         )
 
     # -- endpoint conveniences -----------------------------------------------
@@ -235,6 +271,39 @@ class ServiceClient:
                 "seed_offset": seed_offset,
             },
         )
+
+    def predict_many(self, keys: Iterable[PredictKey]) -> List[dict]:
+        """Evaluate many ``/predict`` keys over the one keep-alive
+        connection, returning payloads in input order.
+
+        Each key is ``(name, predictor[, scale[, seed_offset]])`` or an
+        explicit request-body dict.  Errors raise :class:`ServiceError`
+        naming the offending key in ``details["key"]`` — partial results
+        are not returned (the caller retries the whole batch or narrows
+        it), matching the all-or-nothing contract of :meth:`request`.
+        """
+        results: List[dict] = []
+        for key in keys:
+            if isinstance(key, dict):
+                body = dict(key)
+            else:
+                parts = tuple(key)
+                if not 2 <= len(parts) <= 4:
+                    raise ValueError(
+                        "predict key must be (name, predictor[, scale[, seed_offset]])"
+                        f", got {key!r}"
+                    )
+                body = {"name": parts[0], "predictor": parts[1]}
+                if len(parts) > 2:
+                    body["scale"] = parts[2]
+                if len(parts) > 3:
+                    body["seed_offset"] = parts[3]
+            try:
+                results.append(self.request("POST", "/predict", body))
+            except ServiceError as error:
+                error.details = dict(error.details, key=body)
+                raise
+        return results
 
     def machine(
         self,

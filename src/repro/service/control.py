@@ -68,6 +68,7 @@ def _op_ping(state: ServiceState, request: dict) -> dict:
         "ok": True,
         "pid": os.getpid(),
         "shard": state.config.shard_index,
+        "as_of": OBS.epoch(),
         "uptime_seconds": round(state.uptime(), 3),
         "inflight": state.inflight_requests,
         "draining": state.draining,
@@ -77,10 +78,14 @@ def _op_ping(state: ServiceState, request: dict) -> dict:
 
 
 def _op_snapshot(state: ServiceState, request: dict) -> dict:
+    # ``as_of`` is read *before* the snapshot: if the two epochs a caller
+    # brackets a scrape with are equal, the snapshot in between is not torn.
+    as_of = OBS.epoch()
     return {
         "ok": True,
         "pid": os.getpid(),
         "shard": state.config.shard_index,
+        "as_of": as_of,
         "snapshot": snapshot_to_dict(OBS.snapshot()),
         "rates": OBS.rates(),
     }

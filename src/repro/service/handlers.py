@@ -47,6 +47,9 @@ from .control import (
 from .shard import owner_shard, shard_key
 from .state import SERVICE_VERSION, ApiError, ServiceState
 
+#: Version of the JSON response envelope every endpoint answers with.
+ENVELOPE_VERSION = 1
+
 #: Cap on sites echoed back by /artifacts (benchmarks are small, but
 #: the contract should not grow linearly with arbitrary programs).
 MAX_TOP_SITES = 20
@@ -56,6 +59,32 @@ MAX_CURVE_POINTS = 100
 #: per-request work, or one request DoSes the pool).
 MAX_SCALE = 16
 MAX_STATES_LIMIT = 10
+
+
+# -- response envelope -------------------------------------------------------
+
+
+def envelope(payload: Any) -> dict:
+    """Wrap a handler payload in the versioned success envelope.
+
+    Every JSON endpoint answers ``{"v": 1, "ok": true, "data": ...}``;
+    handlers keep returning plain payload dicts and the HTTP layer wraps
+    at send time (``?raw=1`` skips the wrapping for one release).
+    """
+    return {"v": ENVELOPE_VERSION, "ok": True, "data": payload}
+
+
+def error_envelope(error: Dict[str, Any], retry_after: Optional[int] = None) -> dict:
+    """Wrap an error body (``ApiError.body()["error"]`` shape) in the v1
+    envelope: ``{"v": 1, "ok": false, "error": {"code", "message", ...}}``.
+
+    *retry_after* (seconds) is included for backpressure/drain errors so
+    clients can honour it without parsing HTTP headers.
+    """
+    err = dict(error)
+    if retry_after is not None:
+        err["retry_after"] = retry_after
+    return {"v": ENVELOPE_VERSION, "ok": False, "error": err}
 
 
 # -- validation helpers ------------------------------------------------------
@@ -251,12 +280,14 @@ def handle_fleet(state: ServiceState, body: Optional[dict]) -> dict:
     return {
         "workers": state.fleet_size,
         "answered_by": state.config.shard_index,
+        "as_of": OBS.epoch(),
         "alive": len(entries),
         "unreachable": unreachable,
         "fleet": [
             {
                 "shard": entry.get("shard"),
                 "pid": entry.get("pid"),
+                "as_of": entry.get("as_of"),
                 "uptime_seconds": entry.get("uptime_seconds"),
                 "inflight": entry.get("inflight"),
                 "draining": entry.get("draining"),

@@ -393,6 +393,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="spread per-request seed_offset over [seed-offset, "
         "seed-offset + N] (cold keys: measures compute, not cache)",
     )
+    parser.add_argument(
+        "--warmup-keys",
+        type=int,
+        default=0,
+        help="pre-warm N predict keys (one predict_many batch over "
+        "[seed-offset, seed-offset + N)) before the measured window",
+    )
     parser.add_argument("--seed", type=int, default=0, help="mix-selection RNG seed")
     parser.add_argument("--json", metavar="FILE", help="also write the report as JSON")
     parser.add_argument(
@@ -441,6 +448,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         host, port = "127.0.0.1", server.port
         print(f"spawned in-process server on port {port}", file=sys.stderr)
     try:
+        if options.warmup_keys > 0:
+            # One keep-alive batch outside the measured window, so the
+            # run measures warm-cache latency instead of first-compute.
+            keys = [
+                {
+                    "name": options.benchmark,
+                    "predictor": "profile",
+                    "scale": options.scale,
+                    "seed_offset": options.seed_offset + index,
+                }
+                for index in range(options.warmup_keys)
+            ]
+            with ServiceClient(host, port, timeout=120.0) as warm_client:
+                warmed = warm_client.predict_many(keys)
+            print(f"warmed {len(warmed)} predict key(s)", file=sys.stderr)
         report = run_load(
             host,
             port,

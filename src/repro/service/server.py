@@ -42,9 +42,18 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
 from typing import Optional, Tuple
 
+from urllib.parse import parse_qs
+
 from ..obs import OBS, PROMETHEUS_CONTENT_TYPE, write_chrome_trace
 from .control import ControlServer, socket_path
-from .handlers import KNOWN_PATHS, ROUTES, render_metrics, route_name
+from .handlers import (
+    KNOWN_PATHS,
+    ROUTES,
+    envelope,
+    error_envelope,
+    render_metrics,
+    route_name,
+)
 from .state import ApiError, ServiceConfig, ServiceState
 
 #: Test hook: seconds to stall before binding the listener, so tests can
@@ -137,6 +146,10 @@ class _RequestHandler(BaseHTTPRequestHandler):
     #: connection thread; set at the top of _dispatch.
     _request_id: str = "-"
 
+    #: ``?raw=1`` was requested: answer with the legacy (pre-envelope)
+    #: body shape.  Kept for one release as a migration escape hatch.
+    _raw: bool = False
+
     # -- plumbing ------------------------------------------------------------
 
     def log_message(self, format: str, *args) -> None:
@@ -199,7 +212,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         state = self.server.state
-        path = self.path.split("?", 1)[0]
+        path, _, query = self.path.partition("?")
+        self._raw = parse_qs(query).get("raw", ["0"])[-1] in ("1", "true")
         if path != "/" and path.endswith("/"):
             path = path.rstrip("/")
         name = route_name(path)
@@ -274,27 +288,36 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 )
             body = self._read_body() if method == "POST" else None
             payload = handler(state, body)
-            self._send_json(200, payload)
+            self._send_json(200, payload if self._raw else envelope(payload))
             return 200
         except ApiError as error:
-            self._send_json(error.status, error.body())
+            self._send_json(error.status, self._error_body(error.status, error.body()))
             return error.status
         except (BrokenPipeError, ConnectionResetError):
             self.close_connection = True
             return 499
         except Exception as error:  # noqa: BLE001 — must answer something
             OBS.add("service.errors.internal")
-            self._send_json(
-                500,
-                {
-                    "error": {
-                        "status": 500,
-                        "code": "internal",
-                        "message": f"{type(error).__name__}: {error}",
-                    }
-                },
-            )
+            body = {
+                "error": {
+                    "status": 500,
+                    "code": "internal",
+                    "message": f"{type(error).__name__}: {error}",
+                }
+            }
+            self._send_json(500, self._error_body(500, body))
             return 500
+
+    def _error_body(self, status: int, legacy: dict) -> dict:
+        """Envelope an error body (legacy shape verbatim under ``?raw=1``).
+
+        ``retry_after`` mirrors the Retry-After header _send_body puts
+        on 429/503 so envelope-only clients never have to parse headers.
+        """
+        if self._raw:
+            return legacy
+        retry_after = 1 if status in (429, 503) else None
+        return error_envelope(legacy["error"], retry_after=retry_after)
 
 
 # -- lifecycle ---------------------------------------------------------------

@@ -266,6 +266,9 @@ class FleetHandle:
     process: subprocess.Popen
     ready: dict
     ready_file: str
+    #: Where the subprocess's stderr (startup banner + ``--log-json``
+    #: access log) is being captured, when ``spawn_fleet(log_path=...)``.
+    log_path: Optional[str] = None
 
     @property
     def port(self) -> int:
@@ -314,6 +317,7 @@ def spawn_fleet(
     extra_args: Optional[List[str]] = None,
     extra_env: Optional[Dict[str, str]] = None,
     startup_timeout: float = 30.0,
+    log_path: Optional[str] = None,
 ) -> FleetHandle:
     """Launch ``python -m repro serve`` as a subprocess; await readiness.
 
@@ -321,6 +325,9 @@ def spawn_fleet(
     runner or benchmark would clone held locks into every worker.  The
     child inherits this interpreter's ``sys.path`` via ``PYTHONPATH``,
     so it runs the same checkout regardless of install state.
+
+    *log_path* redirects the subprocess's stderr to that file — the QA
+    layer pairs it with ``--log-json`` to read the access-log stream.
     """
     fd, ready_file = tempfile.mkstemp(prefix="repro-ready-", suffix=".json")
     os.close(fd)
@@ -344,7 +351,14 @@ def spawn_fleet(
     ]
     env = dict(os.environ, **(extra_env or {}))
     env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
-    process = subprocess.Popen(command, env=env)
+    stderr_stream = None
+    if log_path is not None:
+        stderr_stream = open(log_path, "ab", buffering=0)
+    try:
+        process = subprocess.Popen(command, env=env, stderr=stderr_stream)
+    finally:
+        if stderr_stream is not None:
+            stderr_stream.close()  # the child holds its own copy of the fd
     deadline = time.monotonic() + startup_timeout
     while time.monotonic() < deadline:
         if process.poll() is not None:
@@ -354,7 +368,12 @@ def spawn_fleet(
         if os.path.exists(ready_file):
             with open(ready_file, "r", encoding="utf-8") as stream:
                 ready = json.load(stream)
-            return FleetHandle(process=process, ready=ready, ready_file=ready_file)
+            return FleetHandle(
+                process=process,
+                ready=ready,
+                ready_file=ready_file,
+                log_path=log_path,
+            )
         time.sleep(0.05)
     process.kill()
     raise RuntimeError(f"serve subprocess not ready within {startup_timeout}s")

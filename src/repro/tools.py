@@ -205,6 +205,49 @@ def cmd_serve(options) -> int:
     )
 
 
+def cmd_qa(options) -> int:
+    """Journey QA: real journeys against a live daemon, cross-system
+    invariants after every step, optional chaos (see ``repro.qa``)."""
+    from .qa import CHAOS_SCENARIOS, JOURNEYS, render_text, run_suite, write_json
+    from .qa.invariants import default_invariants
+
+    if options.qa_command == "list":
+        print("journeys:")
+        for journey in JOURNEYS.values():
+            extra = f" (needs >= {journey.workers_min} workers)" \
+                if journey.workers_min > 1 else ""
+            print(f"  {journey.name:20s} {journey.description}{extra}")
+        print("chaos scenarios:")
+        for scenario in CHAOS_SCENARIOS.values():
+            print(f"  {scenario.name:20s} {scenario.description} "
+                  f"[rides on {scenario.base_journey}]")
+        print("invariants:")
+        for invariant in default_invariants():
+            requires = ", ".join(sorted(invariant.requires)) or "-"
+            print(f"  {invariant.name:32s} [{invariant.severity}] "
+                  f"requires: {requires}")
+        return 0
+
+    chaos = list(options.chaos or [])
+    if chaos == ["all"]:
+        chaos = sorted(CHAOS_SCENARIOS)
+    elif chaos == ["none"]:
+        chaos = []
+    report = run_suite(
+        journey_names=options.journeys or None,
+        chaos_names=chaos,
+        workers=options.workers,
+        inject_failure=options.inject_failure,
+        keep_root=options.keep,
+        progress=lambda message: print(f"qa: {message}", file=sys.stderr, flush=True),
+    )
+    write_json(report, options.report)
+    print(render_text(report))
+    if options.report:
+        print(f"qa: report written to {options.report}", file=sys.stderr)
+    return 0 if report["ok"] else 1
+
+
 def cmd_obs_export(options) -> int:
     """Render a saved observer snapshot as Prometheus text.
 
@@ -301,6 +344,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record spans for the daemon's lifetime and write "
                         "a Chrome trace_event JSON file on shutdown")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "qa",
+        help="invariant-driven journey QA + chaos against a live daemon",
+    )
+    qa_sub = p.add_subparsers(dest="qa_command", required=True)
+    q = qa_sub.add_parser("run", help="run the journey suite")
+    q.add_argument("--workers", type=int, default=2,
+                   help="fleet size for journeys (journeys declaring a "
+                        "higher minimum raise it for themselves)")
+    q.add_argument("--journeys", nargs="*", default=None, metavar="NAME",
+                   help="journeys to run (default: all)")
+    q.add_argument("--chaos", nargs="*", default=None, metavar="NAME",
+                   help="chaos scenarios to run after the healthy pass "
+                        "('all' = every scenario; default: none)")
+    q.add_argument("--report", default=None, metavar="PATH",
+                   help="also write the full JSON report here")
+    q.add_argument("--inject-failure", action="store_true",
+                   help="add a deliberately wrong invariant to prove a "
+                        "violation fails the run with a named report")
+    q.add_argument("--keep", action="store_true",
+                   help="keep each world's temp dir (cache + daemon log)")
+    q.set_defaults(func=cmd_qa)
+    q = qa_sub.add_parser("list", help="list journeys, chaos scenarios, invariants")
+    q.set_defaults(func=cmd_qa)
 
     p = sub.add_parser(
         "obs-export",

@@ -1,0 +1,82 @@
+"""End-to-end QA harness tests against a real fleet subprocess.
+
+Each :func:`run_journey` call boots a private single-worker fleet on an
+ephemeral port with its own cache directory, exactly like
+``python -m repro qa run`` does, so these tests cover the full
+journey → settle → invariant-sweep loop including one chaos scenario
+and the deliberately-broken ``--inject-failure`` path.
+"""
+
+import pytest
+
+from repro.qa import (
+    CHAOS_SCENARIOS,
+    JOURNEYS,
+    default_invariants,
+    run_journey,
+    sabotage_invariant,
+)
+
+
+@pytest.fixture(scope="module")
+def invariants():
+    return default_invariants()
+
+
+class TestHealthyJourney:
+    def test_pipeline_runs_green(self, invariants):
+        result = run_journey(JOURNEYS["pipeline"], invariants, workers=1)
+        assert result.error is None
+        assert result.ok, [str(v) for v in result.violations]
+        assert result.steps == [
+            "artifacts-cold", "predict", "machine", "plan", "replay-warm",
+        ]
+        # every step ran the catalog; fleet-only invariants skip at workers=1
+        assert result.checks >= 5 * 8
+        assert "counters.cache_accounting" in result.checked_invariants
+        assert "envelope.v1_contract" in result.checked_invariants
+        # skips are only the two legitimate kinds: fleet-only invariants
+        # at workers=1, and checks whose state is not evaluable (e.g.
+        # drain.contract while nothing is draining)
+        assert all(
+            skip.reason.startswith("missing conditions")
+            or skip.reason == "check not evaluable"
+            for skip in result.skips
+        )
+
+
+class TestChaosJourney:
+    def test_cache_corruption_recovers(self, invariants):
+        scenario = CHAOS_SCENARIOS["cache_corruption"]
+        result = run_journey(
+            JOURNEYS[scenario.base_journey], invariants, workers=1, chaos=scenario
+        )
+        assert result.error is None
+        assert result.ok, [str(v) for v in result.violations]
+        # the chaos extra steps ran after the base journey
+        assert "poisoned-entry" in result.steps
+        # disk accounting is withdrawn once the cache is corrupted, so
+        # the disk invariant must appear among the skips, not the checks
+        assert any(
+            skip.invariant == "disk.cache_consistent"
+            and "pristine_cache" in skip.reason
+            for skip in result.skips
+        )
+
+
+class TestInjectFailure:
+    def test_sabotage_produces_named_critical_violation(self, invariants):
+        result = run_journey(
+            JOURNEYS["pipeline"],
+            invariants + [sabotage_invariant()],
+            workers=1,
+        )
+        assert not result.ok
+        assert result.error is None  # the journey itself still completes
+        sabotaged = [
+            v for v in result.violations if v.invariant == "sabotage.skewed_counter"
+        ]
+        assert sabotaged
+        # the report names the divergent values, not just pass/fail
+        detail = sabotaged[0].detail
+        assert detail["expected_with_injected_skew"] != detail["observed_counter_delta"]

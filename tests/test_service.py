@@ -402,3 +402,64 @@ class TestLoadgen:
         assert set(report["statuses"]) == {"200"}
         assert report["p99_ms"] >= report["p50_ms"] >= 0
         assert report["server"]["requests"] >= report["requests"]
+
+
+class TestEnvelopeContract:
+    """The v1 response envelope on the wire, and the client's view of it."""
+
+    def test_success_envelope_shape(self, client):
+        status, document = client.request_raw("GET", "/healthz")
+        assert status == 200
+        assert document["v"] == 1
+        assert document["ok"] is True
+        assert document["data"]["status"] == "ok"
+
+    def test_raw_flag_returns_legacy_body(self, client):
+        status, document = client.request_raw("GET", "/healthz?raw=1")
+        assert status == 200
+        assert "v" not in document
+        assert document["status"] == "ok"
+
+    def test_error_envelope_keeps_inner_error_shape(self, client):
+        status, document = client.request_raw("GET", "/bogus")
+        assert status == 404
+        assert document["v"] == 1
+        assert document["ok"] is False
+        assert document["error"]["code"] == "unknown_route"
+        # retry_after is reserved for backpressure/drain statuses
+        assert "retry_after" not in document["error"]
+
+    def test_raw_flag_returns_legacy_error_body(self, client):
+        status, document = client.request_raw("GET", "/bogus?raw=1")
+        assert status == 404
+        assert "v" not in document
+        assert document["error"]["code"] == "unknown_route"
+
+    def test_draining_503_carries_retry_after_in_band(self, fresh_server):
+        server = fresh_server(threads=2, queue_limit=8)
+        server.state.begin_drain()
+        with ServiceClient(port=server.port) as client:
+            status, document = client.request_raw("GET", "/healthz")
+            assert status == 503
+            assert document["error"]["code"] == "draining"
+            assert document["error"]["retry_after"] == 1
+            with pytest.raises(ServiceError) as excinfo:
+                client.request("GET", "/healthz")
+            assert excinfo.value.code == "draining"
+            assert excinfo.value.retry_after == 1
+
+    def test_request_unwraps_to_payload(self, client):
+        payload = client.request("GET", "/healthz")
+        assert "v" not in payload
+        assert payload["status"] == "ok"
+
+    def test_predict_many_round_trip(self, client):
+        results = client.predict_many(
+            [
+                (BENCH, "profile"),
+                {"name": BENCH, "predictor": "profile", "seed_offset": 31},
+            ]
+        )
+        assert len(results) == 2
+        assert all(r["predictor"] == "profile" for r in results)
+        assert all(r["events"] > 0 for r in results)
