@@ -51,6 +51,10 @@ TRACKED: Dict[str, Dict[str, str]] = {
         "p95_ms": "lower",
         "scaling_speedup": "higher",
     },
+    "learn": {
+        "train_events_per_second": "higher",
+        "infer_events_per_second": "higher",
+    },
 }
 
 

@@ -10,12 +10,15 @@ from . import (
     alignment,
     costfn,
     crossdata,
+    crosseval,
     figures,
     instper,
     joint,
+    learned,
     scheduling,
     statics,
     tracelen,
+    transfer,
     twolevel_zoo,
     table1,
     table2,
@@ -43,12 +46,14 @@ __all__ = [
     "all_experiments",
     "costfn",
     "crossdata",
+    "crosseval",
     "evaluate_rows",
     "experiment_names",
     "figures",
     "get_experiment",
     "instper",
     "joint",
+    "learned",
     "pct",
     "register",
     "scheduling",
@@ -56,6 +61,7 @@ __all__ = [
     "tables_to_csv",
     "tables_to_json",
     "tracelen",
+    "transfer",
     "twolevel_zoo",
     "table1",
     "table2",

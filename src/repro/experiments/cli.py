@@ -49,7 +49,7 @@ from ..obs import (
 from ..predictors import engine_stats
 from ..workloads import BENCHMARK_NAMES, artifacts as artifact_store
 from ..workloads.artifacts import cache_stats, generate_artifacts
-from . import crossdata
+from . import crosseval
 from .registry import RunContext, all_experiments, get_experiment
 from .report import Table, tables_to_csv, tables_to_json
 
@@ -98,10 +98,7 @@ def _run_cache_command(action: str) -> int:
 
 def _prewarm_specs(targets: List[str], names: List[str], scale: int):
     """Artifact specs every scheduled target will need."""
-    specs = [(name, scale, 0) for name in names]
-    if "crossdata" in targets:
-        specs.extend((name, scale, crossdata.DEFAULT_SEED_OFFSET) for name in names)
-    return specs
+    return crosseval.prewarm_specs(targets, names, scale)
 
 
 def _all_targets() -> List[str]:

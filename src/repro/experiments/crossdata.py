@@ -20,13 +20,11 @@ from typing import List, Optional
 from ..predictors import LoopCorrelationPredictor, ProfilePredictor
 from ..replication import ReplicationPlanner, apply_replication, measure_annotated
 from ..workloads import BENCHMARK_NAMES, get_profile, get_program, get_trace, get_workload
+from .crosseval import DEFAULT_SEED_OFFSET
 from .registry import evaluate_rows, register
 from .report import Table, pct
 
-
-#: Seed perturbation of the "run B" dataset; the CLI prewarms artifacts
-#: for this offset when the crossdata experiment is scheduled.
-DEFAULT_SEED_OFFSET = 1_000_003
+__all__ = ["DEFAULT_SEED_OFFSET", "run"]
 
 
 def run(

@@ -1,0 +1,37 @@
+"""Shared train-on-A / evaluate-on-B machinery.
+
+Two experiments deploy state trained on one run against a different
+run: ``crossdata`` (same workload, perturbed input seed) and
+``transfer`` (learned models moved across workloads, with the same
+perturbed-seed evaluation traces).  Both use the same seed perturbation
+and the same CLI artifact prewarming, kept here so neither duplicates
+the other's scheduling logic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+#: Seed perturbation of the "run B" dataset shared by every
+#: cross-evaluation experiment.
+DEFAULT_SEED_OFFSET = 1_000_003
+
+#: Experiment targets whose evaluation traces use the perturbed seed —
+#: the CLI prewarms offset artifacts when any of these is scheduled.
+SEED_OFFSET_TARGETS = ("crossdata", "transfer")
+
+
+def prewarm_specs(
+    targets: Iterable[str],
+    names: Iterable[str],
+    scale: int,
+    seed_offset: int = DEFAULT_SEED_OFFSET,
+) -> List[Tuple[str, int, int]]:
+    """Artifact ``(name, scale, seed_offset)`` specs every scheduled
+    target will need: the reference run for all of them, plus the
+    perturbed run when a cross-evaluation target is scheduled."""
+    names = list(names)
+    specs = [(name, scale, 0) for name in names]
+    if any(target in SEED_OFFSET_TARGETS for target in targets):
+        specs.extend((name, scale, seed_offset) for name in names)
+    return specs

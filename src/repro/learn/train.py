@@ -1,0 +1,151 @@
+"""Deterministic offline training over :class:`TraceColumns`.
+
+The protocol mirrors the paper's profile-then-deploy split: the first
+``split`` fraction of a trace (in event order) is the "profiling run"
+the model learns from; the remaining suffix is the deployment the
+frozen model is judged on.  History registers start at zero for both
+phases — the holdout is evaluated as its own fresh trace, so a
+learned predictor and a pattern-table predictor see identical inputs.
+
+Determinism: training is a fixed-order sequential pass over the event
+columns using pure-Python integer/float arithmetic, keyed throughout by
+dense site ids (never ``hash()``), so the resulting weights are
+byte-identical across ``PYTHONHASHSEED`` values and across the numpy /
+``REPRO_NO_NUMPY=1`` column representations.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import List, Tuple
+
+from ..profiling.trace import Trace
+from .models import LearnedConfig, LearnedModel, ModelWeights, margin
+
+#: Default train/eval split: first half trains, second half judges.
+DEFAULT_SPLIT = 0.5
+
+
+def training_cut(n_events: int, split: float) -> int:
+    """How many leading events the training prefix spans.
+
+    ``split`` must be in ``(0, 1]``; ``1.0`` trains on the whole trace
+    (what the transfer experiment does — its holdout is a *different*
+    workload).
+    """
+    if isinstance(split, bool) or not isinstance(split, (int, float)):
+        raise ValueError("split must be a number in (0, 1]")
+    split = float(split)
+    if not math.isfinite(split) or not 0.0 < split <= 1.0:
+        raise ValueError(f"split must be in (0, 1], got {split!r}")
+    return int(n_events * split)
+
+
+def holdout_trace(trace: Trace, split: float = DEFAULT_SPLIT) -> Trace:
+    """The evaluation suffix as a fresh trace (histories restart at the
+    boundary, matching the documented protocol)."""
+    cut = training_cut(len(trace), split)
+    suffix = Trace()
+    for sid, direction in itertools.islice(trace.events(), cut, None):
+        suffix.record(trace.sites[sid], bool(direction))
+    return suffix
+
+
+def _event_lists(columns, cut: int) -> Tuple[List[int], List[int]]:
+    """The training prefix as plain Python ints regardless of whether
+    the columns are numpy arrays or stdlib fallbacks — the training
+    arithmetic must not see numpy scalars."""
+    site_ids = columns.site_ids[:cut]
+    directions = columns.directions[:cut]
+    if columns.np is not None:
+        return site_ids.tolist(), directions.tolist()
+    return list(site_ids), list(directions)
+
+
+def _update_perceptron(
+    model: ModelWeights, pattern: int, y: int, theta: int, limit: int
+) -> None:
+    total = margin(model, pattern)
+    taken = total >= 0
+    if taken == (y > 0) and (total if total >= 0 else -total) > theta:
+        return
+    bias = model.bias + y
+    model.bias = max(-limit, min(limit, bias))
+    weights = model.weights
+    for j in range(len(weights)):
+        step = y if (pattern >> j) & 1 else -y
+        weights[j] = max(-limit, min(limit, weights[j] + step))
+
+
+def _update_logistic(
+    model: ModelWeights, pattern: int, target: int, rate: float
+) -> None:
+    total = margin(model, pattern)
+    clamped = max(-60.0, min(60.0, total))
+    probability = 1.0 / (1.0 + math.exp(-clamped))
+    gradient = rate * (float(target) - probability)
+    model.bias += gradient
+    weights = model.weights
+    for j in range(len(weights)):
+        weights[j] += gradient if (pattern >> j) & 1 else -gradient
+
+
+def fit(columns, config: LearnedConfig, split: float = DEFAULT_SPLIT) -> LearnedModel:
+    """Train a :class:`LearnedModel` on the leading ``split`` fraction
+    of the columns.
+
+    One sequential pass per epoch, registers reset at each epoch start.
+    Every event trains the shared global-history model; the event's own
+    site trains its per-site model over the scope's pattern.  Returns
+    per-site weights for every site seen in the prefix (first-seen
+    order) — unseen sites will route to the shared model at prediction
+    time.
+    """
+    cut = training_cut(columns.n_events, split)
+    site_ids, directions = _event_lists(columns, cut)
+    bits = config.history_bits
+    feature_bits = config.feature_bits
+    mask = (1 << bits) - 1
+    scope = config.scope
+    perceptron = config.kind == "perceptron"
+    zero = 0 if perceptron else 0.0
+    theta_shared = config.resolved_theta(bits)
+    theta_site = config.resolved_theta(feature_bits)
+    rate = config.learning_rate
+    limit = config.weight_limit
+
+    shared = ModelWeights(bias=zero, weights=[zero] * bits)
+    n_sites = columns.n_sites
+    site_models: List[ModelWeights] = [None] * n_sites  # type: ignore[list-item]
+    seen_order: List[int] = []
+
+    for _ in range(config.epochs):
+        ghist = 0
+        lhists = [0] * n_sites
+        for sid, direction in zip(site_ids, directions):
+            y = 1 if direction else -1
+            entry = site_models[sid]
+            if entry is None:
+                entry = ModelWeights(bias=zero, weights=[zero] * feature_bits)
+                site_models[sid] = entry
+                seen_order.append(sid)
+            if scope == "global":
+                pattern = ghist
+            elif scope == "peraddr":
+                pattern = lhists[sid]
+            else:
+                pattern = (lhists[sid] << bits) | ghist
+            if perceptron:
+                _update_perceptron(shared, ghist, y, theta_shared, limit)
+                _update_perceptron(entry, pattern, y, theta_site, limit)
+            else:
+                _update_logistic(shared, ghist, direction, rate)
+                _update_logistic(entry, pattern, direction, rate)
+            ghist = ((ghist << 1) | direction) & mask
+            lhists[sid] = ((lhists[sid] << 1) | direction) & mask
+
+    # seen_order can accumulate duplicates only across epochs resets —
+    # it cannot: entries persist across epochs, so each sid appears once.
+    sites = {columns.sites[sid]: site_models[sid] for sid in seen_order}
+    return LearnedModel(config=config, shared=shared, sites=sites)

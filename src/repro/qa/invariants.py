@@ -47,10 +47,15 @@ MERGE_COMPARED_COUNTERS = tuple(
     [f"service.requests.{route}" for route in HEAVY_ROUTES]
     + [
         f"service.cache.{cache}.{kind}"
-        for cache in ("artifacts", "predict", "planner", "plan")
+        for cache in ("artifacts", "predict", "planner", "plan", "models")
         for kind in ("hits", "misses", "coalesced")
     ]
-    + ["service.coalesce.hits", "artifacts.cache.stores"]
+    + [
+        "service.coalesce.hits",
+        "artifacts.cache.stores",
+        "learn.train.requests",
+        "learn.train.fits",
+    ]
 )
 
 #: /machine error codes raised *after* the planner cache was consulted
@@ -246,6 +251,56 @@ def check_cache_accounting(world: LiveWorld) -> Any:
         return {
             "cache": "planner", "machine_transactions": machine_valid,
             "plan_misses": plan_misses, "cache_transactions": observed,
+        }
+    return True
+
+
+def check_learn_accounting(world: LiveWorld) -> Any:
+    """The training pipeline's three ledgers agree: successful client
+    ``/train`` calls == access-log train 200s == ``learn.train.requests``;
+    every models-cache miss ran exactly one fit; and models-cache
+    transactions are exactly the train 200s plus the learned ``/predict``
+    responses that actually computed (lru/coalesced predicts reuse the
+    model without consulting the models cache)."""
+    train_records = world.calls_for("train")
+    if any(record.status is None for record in train_records):
+        return SKIP  # transport-failed train: server-side count unknowable
+    train_200 = len(world.calls_for("train", statuses=(200,)))
+    counters = world.counters()
+    requested = world.counter_delta(counters, "learn.train.requests")
+    logged = sum(
+        1
+        for entry in world.access_entries()
+        if entry.get("route") == "train" and entry.get("status") == 200
+    )
+    if not (train_200 == requested == logged):
+        return {
+            "client_train_200s": train_200,
+            "learn_train_requests_delta": requested,
+            "access_log_train_200s": logged,
+        }
+    fits = world.counter_delta(counters, "learn.train.fits")
+    model_misses = world.counter_delta(counters, "service.cache.models.misses")
+    if fits != model_misses:
+        return {"train_fits_delta": fits, "models_cache_misses_delta": model_misses}
+    learned_computed = sum(
+        1
+        for record in world.calls_for("predict", statuses=(200,))
+        if isinstance(record.body, dict)
+        and str(record.body.get("predictor", "")).startswith("learned-")
+        and isinstance(record.data, dict)
+        and record.data.get("source") == "computed"
+    )
+    model_total = sum(
+        world.counter_delta(counters, f"service.cache.models.{kind}")
+        for kind in ("hits", "misses", "coalesced")
+    )
+    expected = train_200 + learned_computed
+    if model_total != expected:
+        return {
+            "train_200s": train_200,
+            "learned_predicts_computed": learned_computed,
+            "models_cache_transactions": model_total,
         }
     return True
 
@@ -467,6 +522,11 @@ def default_invariants() -> List[Invariant]:
         Invariant(
             "counters.cache_accounting", check_cache_accounting,
             description="hits+misses+coalesced == successful requests per cache",
+            requires=frozenset({"accepting", "stable_fleet"}),
+        ),
+        Invariant(
+            "counters.learn_accounting", check_learn_accounting,
+            description="train 200s == learn.train.requests == log; fits == model misses",
             requires=frozenset({"accepting", "stable_fleet"}),
         ),
         Invariant(

@@ -290,6 +290,75 @@ def build_drain_while_loaded(world: LiveWorld) -> List[Step]:
     ]
 
 
+# -- journey: train_then_predict ---------------------------------------------
+
+#: The learned model the training journey exercises end to end.
+LEARNED = "learned-perceptron-global-8bit"
+
+
+def build_train_then_predict(world: LiveWorld) -> List[Step]:
+    """Train-as-a-service: POST /train produces a versioned model,
+    /predict deploys it, a replayed /train is a cache hit — and the
+    machine/plan pipeline is provably untouched throughout."""
+
+    def train_cold() -> None:
+        record = world.call("POST", "/train", {"name": BENCH, "predictor": LEARNED})
+        data = _expect_200(record)
+        expect(_source(record) == "computed", "first train not computed",
+               source=_source(record))
+        expect(data.get("model_format_version") == 1, "wrong model format version",
+               version=data.get("model_format_version"))
+        model = data.get("model")
+        expect(isinstance(model, dict) and model.get("version") == 1,
+               "model document missing its version stamp",
+               model_keys=sorted(model) if isinstance(model, dict) else model)
+        expect(data.get("sites_learned", 0) > 0, "trained model learned no sites",
+               sites_learned=data.get("sites_learned"))
+        expect(data.get("holdout", {}).get("events", 0) > 0,
+               "train reported no holdout evaluation", holdout=data.get("holdout"))
+
+    def predict_learned() -> None:
+        record = world.call(
+            "POST", "/predict", {"name": BENCH, "predictor": LEARNED}
+        )
+        data = _expect_200(record)
+        expect(data.get("predictor") == LEARNED, "wrong predictor echoed",
+               predictor=data.get("predictor"))
+        expect(data.get("events", 0) > 0, "learned predict saw no events",
+               events=data.get("events"))
+        expect(data.get("learned", {}).get("model_format_version") == 1,
+               "learned predict missing model metadata", learned=data.get("learned"))
+
+    def train_warm() -> None:
+        # Same stable-fleet caveat as cold_burst's rewarm: a respawned
+        # worker legitimately recomputes.
+        warm_sources = ("lru", "coalesced")
+        if "stable_fleet" not in world.conditions:
+            warm_sources = ("lru", "coalesced", "computed")
+        record = world.call("POST", "/train", {"name": BENCH, "predictor": LEARNED})
+        _expect_200(record)
+        expect(_source(record) in warm_sources, "replayed train recomputed",
+               source=_source(record))
+
+    def machine_plan_untouched() -> None:
+        counters = world.counters()
+        for cache in ("planner", "plan"):
+            for kind in ("hits", "misses", "coalesced"):
+                delta = world.counter_delta(
+                    counters, f"service.cache.{cache}.{kind}"
+                )
+                expect(delta == 0,
+                       "training traffic reached the machine/plan pipeline",
+                       cache=cache, kind=kind, delta=delta)
+
+    return [
+        ("train-cold", train_cold),
+        ("predict-learned", predict_learned),
+        ("train-warm", train_warm),
+        ("machine-plan-untouched", machine_plan_untouched),
+    ]
+
+
 # -- catalog -----------------------------------------------------------------
 
 
@@ -310,6 +379,11 @@ JOURNEYS: Dict[str, Journey] = {
             "error_paths",
             "every error class of the v1 contract, plus the ?raw=1 escape hatch",
             build_error_paths,
+        ),
+        Journey(
+            "train_then_predict",
+            "POST /train → learned /predict → warm replay; machine/plan untouched",
+            build_train_then_predict,
         ),
         Journey(
             "shard_spread",

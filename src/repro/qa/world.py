@@ -40,7 +40,7 @@ from ..service.supervisor import FleetHandle, spawn_fleet
 from .core import expect
 
 #: Routes that run real pipeline work through the compute caches.
-HEAVY_ROUTES = ("artifacts", "predict", "machine", "plan")
+HEAVY_ROUTES = ("artifacts", "predict", "machine", "plan", "train")
 
 #: How long ``settle()`` waits for the access log to catch up with the
 #: recorded calls.  The log line is written *after* the counters bump

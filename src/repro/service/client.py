@@ -272,6 +272,27 @@ class ServiceClient:
             },
         )
 
+    def train(
+        self,
+        name: str,
+        predictor: str,
+        scale: int = 1,
+        seed_offset: int = 0,
+        split: Optional[float] = None,
+    ) -> dict:
+        """Train (or fetch the cached) learned model for *predictor* on
+        the benchmark's trace prefix; the payload carries the versioned
+        model document."""
+        body: Dict[str, Any] = {
+            "name": name,
+            "predictor": predictor,
+            "scale": scale,
+            "seed_offset": seed_offset,
+        }
+        if split is not None:
+            body["split"] = split
+        return self.request("POST", "/train", body)
+
     def predict_many(self, keys: Iterable[PredictKey]) -> List[dict]:
         """Evaluate many ``/predict`` keys over the one keep-alive
         connection, returning payloads in input order.

@@ -20,6 +20,18 @@ import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..ir import BranchSite
+from ..learn import (
+    DEFAULT_SPLIT,
+    LearnedPredictor,
+    default_learned_configs,
+    fit,
+    holdout_trace,
+    model_from_json,
+    model_to_json,
+    parse_learned_name,
+    training_cut,
+)
+from ..learn.serialize import FORMAT_VERSION as MODEL_FORMAT_VERSION
 from ..obs import OBS, render_prometheus
 from ..predictors import (
     LastDirection,
@@ -257,6 +269,7 @@ def handle_stats(state: ServiceState, body: Optional[dict]) -> dict:
                     state.predictions,
                     state.planners,
                     state.plans,
+                    state.models,
                 )
             },
         },
@@ -428,12 +441,160 @@ def handle_predict(state: ServiceState, body: dict) -> dict:
         return proxied
     predictor_name = _get_str(body, "predictor")
     key = (name, scale, seed_offset, predictor_name)
+    if _learned_config(predictor_name) is not None:
+        payload, source = state.predictions.get(
+            key,
+            lambda: state.run_heavy(
+                lambda: _learned_prediction(
+                    state, name, scale, seed_offset, predictor_name
+                )
+            ),
+        )
+        return dict(payload, source=source)
     payload, source = state.predictions.get(
         key,
         lambda: state.run_heavy(
             lambda: _evaluate_predictor(name, scale, seed_offset, predictor_name)
         ),
     )
+    return dict(payload, source=source)
+
+
+# -- learned models (train-as-a-service) -------------------------------------
+
+
+def _learned_config(predictor_name: str):
+    """Parse a ``learned-*`` predictor name; names in the learned
+    namespace with invalid parameters are a 400, anything else is
+    ``None`` (→ the classic zoo)."""
+    try:
+        return parse_learned_name(predictor_name)
+    except ValueError as error:
+        raise _bad_request(str(error), predictor=predictor_name)
+
+
+def _get_split(body: Dict[str, Any]) -> float:
+    value = body.get("split", DEFAULT_SPLIT)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _bad_request("'split' must be a number in (0, 1]", got=repr(value))
+    value = float(value)
+    if not 0.0 < value <= 1.0:
+        raise _bad_request("'split' must be in (0, 1]", got=value)
+    return value
+
+
+def _train_model(
+    name: str, scale: int, seed_offset: int, config, split: float
+) -> dict:
+    """Train one model and summarise it (runs on the worker pool; the
+    result is what the models cache stores)."""
+    from time import perf_counter
+
+    trace = get_trace(name, scale, seed_offset)
+    started = perf_counter()
+    model = fit(trace.columns(), config, split)
+    OBS.observe("learn.train_seconds", perf_counter() - started)
+    OBS.add("learn.train.fits")
+    train_events = training_cut(len(trace), split)
+    OBS.add("learn.train.events", train_events)
+    payload = {
+        "benchmark": name,
+        "scale": scale,
+        "seed_offset": seed_offset,
+        "predictor": config.name,
+        "split": split,
+        "train_events": train_events,
+        "sites_learned": len(model.sites),
+        "model_format_version": MODEL_FORMAT_VERSION,
+        "model": json.loads(model_to_json(model)),
+    }
+    if split < 1.0:
+        holdout = holdout_trace(trace, split)
+        result = evaluate(LearnedPredictor(model), holdout)
+        payload["holdout"] = {
+            "events": result.events,
+            "mispredictions": result.mispredictions,
+            "misprediction_rate": round(result.misprediction_rate, 6),
+            "accuracy": round(result.accuracy, 6),
+        }
+    return payload
+
+
+def _learned_prediction(
+    state: ServiceState, name: str, scale: int, seed_offset: int, predictor_name: str
+) -> dict:
+    """Evaluate a learned predictor on the holdout suffix, training (or
+    fetching) the model through the models cache.
+
+    Already running on the worker pool, so the nested cache compute must
+    not re-enter ``run_heavy`` — a second slot acquisition under load
+    would turn one admitted request into a spurious 429.
+    """
+    config = _learned_config(predictor_name)
+    key = (name, scale, seed_offset, predictor_name, DEFAULT_SPLIT)
+    trained, _ = state.models.get(
+        key,
+        lambda: _train_model(name, scale, seed_offset, config, DEFAULT_SPLIT),
+    )
+    # Deploy from the wire format, not a live object: the cache holds
+    # the JSON-able /train payload (it may have crossed a shard proxy),
+    # and round-tripping guarantees served predictions match what a
+    # client downloading the model would compute.
+    model = model_from_json(json.dumps(trained["model"]))
+    trace = get_trace(name, scale, seed_offset)
+    result = evaluate(LearnedPredictor(model), holdout_trace(trace, DEFAULT_SPLIT))
+    return {
+        "benchmark": name,
+        "scale": scale,
+        "seed_offset": seed_offset,
+        "predictor": predictor_name,
+        "order_independent": False,
+        "events": result.events,
+        "mispredictions": result.mispredictions,
+        "misprediction_rate": round(result.misprediction_rate, 6),
+        "accuracy": round(result.accuracy, 6),
+        "sites": [
+            {
+                "site": str(site),
+                "executions": result.per_site[site].executions,
+                "mispredictions": result.per_site[site].mispredictions,
+                "rate": round(result.per_site[site].rate, 6),
+            }
+            for site in sorted(result.per_site, key=str)
+        ],
+        "learned": {
+            "split": trained["split"],
+            "train_events": trained["train_events"],
+            "sites_learned": trained["sites_learned"],
+            "model_format_version": trained["model_format_version"],
+        },
+    }
+
+
+def handle_train(state: ServiceState, body: dict) -> dict:
+    name, scale, seed_offset = _resolve_benchmark(body)
+    proxied = _shard_route(state, "POST", "/train", body, name, scale, seed_offset)
+    if proxied is not None:
+        return proxied
+    predictor_name = _get_str(body, "predictor")
+    config = _learned_config(predictor_name)
+    if config is None:
+        raise ApiError(
+            404,
+            "unknown_predictor",
+            f"{predictor_name!r} is not a learned predictor "
+            "(expected learned-<kind>-<scope>-<k>bit)",
+            available=[config.name for config in default_learned_configs()],
+        )
+    split = _get_split(body)
+    key = (name, scale, seed_offset, predictor_name, split)
+    payload, source = state.models.get(
+        key,
+        lambda: state.run_heavy(
+            lambda: _train_model(name, scale, seed_offset, config, split)
+        ),
+    )
+    OBS.add("learn.train.requests")
     return dict(payload, source=source)
 
 
@@ -586,6 +747,7 @@ ROUTES: Dict[Tuple[str, str], Handler] = {
     ("POST", "/predict"): handle_predict,
     ("POST", "/machine"): handle_machine,
     ("POST", "/plan"): handle_plan,
+    ("POST", "/train"): handle_train,
 }
 
 #: Paths that exist (for 405-vs-404 discrimination).  /metrics is

@@ -105,6 +105,7 @@ class ServiceState:
         self.predictions = ComputeCache(config.lru_size, "predict")
         self.planners = ComputeCache(max(8, config.lru_size // 4), "planner")
         self.plans = ComputeCache(config.lru_size, "plan")
+        self.models = ComputeCache(max(8, config.lru_size // 4), "models")
         self._pool = ThreadPoolExecutor(
             max_workers=config.threads, thread_name_prefix="repro-svc"
         )

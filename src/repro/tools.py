@@ -383,7 +383,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    options = build_parser().parse_args(argv)
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and not args[0].startswith("-"):
+        # Experiment names double as top-level commands, so
+        # ``python -m repro transfer --format json`` works without the
+        # ``.experiments`` spelling.  Registered experiment targets
+        # never collide with the subcommands above (both are tested).
+        from .experiments import all_experiments
+        from .experiments import cli as experiments_cli
+
+        if args[0] in all_experiments() or args[0] in ("all", "cache"):
+            return experiments_cli.main(args)
+    options = build_parser().parse_args(args)
     return options.func(options)
 
 

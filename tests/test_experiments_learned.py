@@ -1,0 +1,101 @@
+"""Learned-zoo and transfer experiments, plus the shared cross-eval
+prewarm helpers and the top-level experiment CLI forwarding."""
+
+import json
+
+import pytest
+
+from repro.experiments import all_experiments, crosseval, learned, transfer
+from repro.experiments.crossdata import DEFAULT_SEED_OFFSET
+from repro import tools
+
+NAMES = ["compress", "predict"]
+
+
+def test_crosseval_owns_the_shared_seed_offset():
+    assert crosseval.DEFAULT_SEED_OFFSET == DEFAULT_SEED_OFFSET
+    assert set(crosseval.SEED_OFFSET_TARGETS) == {"crossdata", "transfer"}
+
+
+@pytest.mark.parametrize("target", ["crossdata", "transfer"])
+def test_prewarm_specs_cover_cross_eval_targets(target):
+    specs = crosseval.prewarm_specs([target], NAMES, 1)
+    assert ("compress", 1, 0) in specs
+    assert ("compress", 1, DEFAULT_SEED_OFFSET) in specs
+    assert len(specs) == 2 * len(NAMES)
+
+
+def test_prewarm_specs_skip_offset_without_cross_eval_targets():
+    specs = crosseval.prewarm_specs(["table1", "figures"], NAMES, 1)
+    assert specs == [(name, 1, 0) for name in NAMES]
+
+
+def test_learned_zoo_table_shape():
+    table = learned.run(scale=1, names=NAMES)
+    assert list(table.columns) == NAMES
+    labels = list(table.data)
+    assert labels[:3] == ["profile", "loop-corr", "two-level-4k"]
+    assert "learned-perceptron-global-8bit" in labels
+    assert "learned-logistic-global-8bit" in labels
+    for values in table.data.values():
+        assert len(values) == len(NAMES)
+        assert all(0.0 <= value <= 1.0 for value in values)
+
+
+def test_transfer_matrix_rows_and_baselines():
+    table = transfer.run(scale=1, names=NAMES)
+    assert list(table.columns) == NAMES
+    labels = list(table.data)
+    assert labels == [
+        "train:compress",
+        "train:predict",
+        "profile (self-trained)",
+        "loop-corr (self-trained)",
+    ]
+    for values in table.data.values():
+        assert len(values) == len(NAMES)
+        assert all(0.0 <= value <= 1.0 for value in values)
+    # The diagonal (trained on the same workload) should beat the
+    # worst off-diagonal transfer in each column — per-site weights
+    # apply on the diagonal only.
+    for column, name in enumerate(NAMES):
+        diagonal = table.data[f"train:{name}"][column]
+        others = [
+            table.data[f"train:{other}"][column]
+            for other in NAMES
+            if other != name
+        ]
+        assert diagonal <= max(others)
+
+
+def test_experiments_registered():
+    registry = all_experiments()
+    assert "learned-zoo" in registry
+    assert "transfer" in registry
+
+
+def test_experiment_names_do_not_shadow_tools_subcommands():
+    """`python -m repro <experiment>` forwards by name, so the two
+    namespaces must stay disjoint."""
+    subcommands = {
+        "validate", "run", "trace", "analyze", "profile", "optimize",
+        "machines", "serve", "qa", "obs-export",
+    }
+    overlap = subcommands & (set(all_experiments()) | {"all", "cache"})
+    assert not overlap
+
+
+def test_tools_main_forwards_transfer_json(capsys):
+    exit_code = tools.main(["transfer", "--format", "json", "--names", ",".join(NAMES)])
+    assert exit_code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["columns"] == NAMES
+    assert "train:compress" in document["rows"]
+    assert "profile (self-trained)" in document["rows"]
+    for row in document["rows"]:
+        assert len(document["data"][row]) == len(NAMES)
+
+
+def test_tools_main_still_dispatches_subcommands(capsys):
+    with pytest.raises(SystemExit):
+        tools.main(["validate", "--help"])

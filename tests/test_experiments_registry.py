@@ -49,8 +49,10 @@ EXPECTED_TARGETS = {
     "figures",
     "instper",
     "joint",
+    "learned-zoo",
     "scheduling",
     "statics",
+    "transfer",
     "table1",
     "table2",
     "table3",

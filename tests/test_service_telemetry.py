@@ -97,14 +97,22 @@ class TestRequestIds:
         assert attrs and attrs[0]["route"] == "healthz"
 
     def test_access_log_line_is_json_with_request_id(self, client, capfd):
+        # The log line is written by the server thread after the
+        # response goes out — poll briefly instead of racing it.
         client.request("GET", "/healthz", request_id="logged-id-9")
-        stderr = capfd.readouterr().err
-        records = [
-            json.loads(line)
-            for line in stderr.splitlines()
-            if line.startswith("{")
-        ]
-        match = [r for r in records if r["request_id"] == "logged-id-9"]
+        stderr = ""
+        match = []
+        deadline = time.monotonic() + 5.0
+        while not match and time.monotonic() < deadline:
+            stderr += capfd.readouterr().err
+            records = [
+                json.loads(line)
+                for line in stderr.splitlines()
+                if line.startswith("{")
+            ]
+            match = [r for r in records if r["request_id"] == "logged-id-9"]
+            if not match:
+                time.sleep(0.01)
         assert match, f"no access-log line for logged-id-9 in: {stderr!r}"
         record = match[0]
         assert record["route"] == "healthz"
