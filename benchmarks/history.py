@@ -50,6 +50,7 @@ TRACKED: Dict[str, Dict[str, str]] = {
         "req_per_s": "higher",
         "p95_ms": "lower",
         "scaling_speedup": "higher",
+        "trace_overhead_ratio": "higher",
     },
     "learn": {
         "train_events_per_second": "higher",

@@ -1,5 +1,5 @@
 """Pipeline-wide observability: spans, counters/gauges, histograms,
-rates, trace export and Prometheus exposition.
+rates, distributed tracing, trace export and Prometheus exposition.
 
 Instrumented modules report to the process-wide default observer::
 
@@ -13,7 +13,12 @@ Instrumented modules report to the process-wide default observer::
 
 Span recording is opt-in (``OBS.enable()``, or the experiment CLI's
 ``--timings`` / ``--trace-out`` flags); counters, histograms and rates
-are always live.  See :mod:`repro.obs.core` for the model,
+are always live.  The service daemon additionally runs every request
+under an :class:`~repro.obs.tracing.ActiveTrace` feeding the always-on
+:class:`~repro.obs.flight.FlightRecorder` — see :mod:`repro.obs.core`
+for the model, :mod:`repro.obs.tracing` for trace-context propagation,
+:mod:`repro.obs.flight` for tail-sampled request traces,
+:mod:`repro.obs.profiler` for the sampling wall-clock profiler,
 :mod:`repro.obs.hist` for the log-bucketed histogram and rate window,
 :mod:`repro.obs.export` for the human-readable summary, JSON and Chrome
 ``trace_event`` exporters, and :mod:`repro.obs.promtext` for the
@@ -31,41 +36,69 @@ from .core import (
 )
 from .export import (
     chrome_trace,
+    format_span_tree,
     snapshot_from_dict,
     snapshot_to_dict,
     snapshot_to_json,
     summary_lines,
+    trace_chrome_doc,
     write_chrome_trace,
     write_snapshot,
 )
+from .flight import FlightRecorder, sample_decision
 from .hist import GROWTH, Histogram, RateWindow, quantile_from_counts
+from .profiler import ProfilerBusy, StackSampler, collapsed_stacks, profile_collapsed
 from .promtext import (
     CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+    parse_exemplars,
     parse_exposition,
     render_prometheus,
     validate_exposition,
 )
+from .tracing import (
+    ActiveTrace,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    span_to_dict,
+)
 
 __all__ = [
     "GROWTH",
+    "ActiveTrace",
+    "FlightRecorder",
     "Histogram",
     "NULL_SPAN",
     "OBS",
     "Observer",
     "ObsSnapshot",
     "PROMETHEUS_CONTENT_TYPE",
+    "ProfilerBusy",
     "RateWindow",
     "SpanRecord",
+    "StackSampler",
     "chrome_trace",
+    "collapsed_stacks",
     "default_observer",
+    "format_span_tree",
+    "format_traceparent",
     "merge_snapshots",
+    "new_span_id",
+    "new_trace_id",
+    "parse_exemplars",
     "parse_exposition",
+    "parse_traceparent",
+    "profile_collapsed",
     "quantile_from_counts",
     "render_prometheus",
+    "sample_decision",
     "snapshot_from_dict",
     "snapshot_to_dict",
     "snapshot_to_json",
+    "span_to_dict",
     "summary_lines",
+    "trace_chrome_doc",
     "validate_exposition",
     "write_chrome_trace",
     "write_snapshot",

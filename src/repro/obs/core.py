@@ -46,13 +46,19 @@ from time import perf_counter
 from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Union
 
 from .hist import Histogram, RateWindow, merge_histogram_maps
+from .tracing import ActiveTrace, new_span_id
 
 Number = Union[int, float]
 
 
 @dataclass(frozen=True)
 class SpanRecord:
-    """One finished span: a named, attributed slice of wall-clock time."""
+    """One finished span: a named, attributed slice of wall-clock time.
+
+    The three trailing trace-context fields are ``None`` for spans
+    finished outside an active trace (the experiment CLI's opt-in
+    recording), and carry the distributed-tracing identity otherwise.
+    """
 
     name: str
     start: float  #: raw ``perf_counter`` seconds (exporters normalise)
@@ -61,6 +67,9 @@ class SpanRecord:
     pid: int
     tid: int
     attrs: Mapping[str, Any] = field(default_factory=dict)
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
 
     @property
     def end(self) -> float:
@@ -105,7 +114,16 @@ NULL_SPAN = _NullSpan()
 class _Span:
     """A live span; use as a context manager (exception-safe)."""
 
-    __slots__ = ("_observer", "name", "attrs", "_start", "_depth")
+    __slots__ = (
+        "_observer",
+        "name",
+        "attrs",
+        "_start",
+        "_depth",
+        "_trace",
+        "_span_id",
+        "_parent_id",
+    )
 
     def __init__(self, observer: "Observer", name: str, attrs: Dict[str, Any]):
         self._observer = observer
@@ -113,6 +131,9 @@ class _Span:
         self.attrs = attrs
         self._start = 0.0
         self._depth = 0
+        self._trace: Optional[ActiveTrace] = None
+        self._span_id: Optional[str] = None
+        self._parent_id: Optional[str] = None
 
     def set(self, **attrs) -> "_Span":
         """Attach (or overwrite) attributes; chainable."""
@@ -122,6 +143,21 @@ class _Span:
     def __enter__(self) -> "_Span":
         stack = self._observer._stack()
         self._depth = len(stack)
+        trace = self._observer.current_trace()
+        if trace is not None:
+            # Parent: the enclosing span on this thread, else the span
+            # the trace was adopted under (a pool-thread hop), else the
+            # remote caller's span (an HTTP/control hop).
+            self._trace = trace
+            self._span_id = new_span_id()
+            parent = None
+            for enclosing in reversed(stack):
+                if enclosing._span_id is not None:
+                    parent = enclosing._span_id
+                    break
+            if parent is None:
+                parent = self._observer._trace_parent() or trace.remote_parent_id
+            self._parent_id = parent
         stack.append(self)
         self._start = perf_counter()
         return self
@@ -130,12 +166,57 @@ class _Span:
         duration = perf_counter() - self._start
         stack = self._observer._stack()
         # Pop *this* span even if an intervening frame misbehaved, so
-        # one leak cannot corrupt every later depth.
-        if self in stack:
+        # one leak cannot corrupt every later depth.  (Fast path: we
+        # are the innermost span, the overwhelmingly common case.)
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:
             del stack[stack.index(self) :]
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
-        self._observer._finish(self.name, self._start, duration, self._depth, self.attrs)
+        self._observer._finish(
+            self.name,
+            self._start,
+            duration,
+            self._depth,
+            self.attrs,
+            trace=self._trace,
+            span_id=self._span_id,
+            parent_id=self._parent_id,
+        )
+        return False
+
+
+class _TraceAdoption:
+    """Scoped trace adoption for a worker thread (see ``adopt_trace``)."""
+
+    __slots__ = ("_observer", "_trace", "_hint", "_saved")
+
+    def __init__(
+        self,
+        observer: "Observer",
+        trace: Optional[ActiveTrace],
+        parent_hint: Optional[str],
+    ) -> None:
+        self._observer = observer
+        self._trace = trace
+        self._hint = parent_hint
+        self._saved: tuple = (None, None)
+
+    def __enter__(self) -> Optional[ActiveTrace]:
+        local = self._observer._local
+        self._saved = (
+            getattr(local, "trace", None),
+            getattr(local, "trace_parent", None),
+        )
+        if self._trace is not None:
+            local.trace = self._trace
+            local.trace_parent = self._hint
+        return self._trace
+
+    def __exit__(self, *exc_info) -> bool:
+        local = self._observer._local
+        local.trace, local.trace_parent = self._saved
         return False
 
 
@@ -173,17 +254,79 @@ class Observer:
             stack = self._local.stack = []
         return stack
 
+    # -- distributed trace context --------------------------------------------
+    #
+    # At most one ActiveTrace per thread.  The service's request thread
+    # starts one per HTTP request; pool threads and control-invoke
+    # handler threads *adopt* it so every span of one request — across
+    # threads and (via the control socket) processes — collects under
+    # one trace_id.  Trace-context state is thread-local, so none of it
+    # takes the observer lock.
+
+    def current_trace(self) -> Optional[ActiveTrace]:
+        """This thread's active trace, or ``None``."""
+        return getattr(self._local, "trace", None)
+
+    def _trace_parent(self) -> Optional[str]:
+        """The span id top-level spans on this thread parent under."""
+        return getattr(self._local, "trace_parent", None)
+
+    def start_trace(
+        self,
+        trace_id: Optional[str] = None,
+        remote_parent_id: Optional[str] = None,
+    ) -> ActiveTrace:
+        """Begin a trace on this thread (honouring inbound context).
+
+        While a trace is active, :meth:`span` returns real spans even
+        with full recording off; they collect on the trace only, so an
+        always-on flight recorder never grows the process-wide span
+        list.  Balance with :meth:`end_trace`.
+        """
+        trace = ActiveTrace(trace_id, remote_parent_id)
+        self._local.trace = trace
+        self._local.trace_parent = None
+        return trace
+
+    def end_trace(self) -> Optional[ActiveTrace]:
+        """Detach and return this thread's active trace (``None`` if none)."""
+        trace = getattr(self._local, "trace", None)
+        self._local.trace = None
+        self._local.trace_parent = None
+        return trace
+
+    def adopt_trace(
+        self, trace: Optional[ActiveTrace], parent_hint: Optional[str] = None
+    ) -> "_TraceAdoption":
+        """Context manager: run a block under *trace* on this thread.
+
+        *parent_hint* is the caller's innermost span id — top-level
+        spans opened inside the block parent under it, keeping the tree
+        connected across the thread hop.  ``trace=None`` is a no-op
+        adoption, so call sites need no conditional.
+        """
+        return _TraceAdoption(self, trace, parent_hint)
+
+    def current_span_id(self) -> Optional[str]:
+        """The innermost traced span id on this thread, or ``None``."""
+        for span in reversed(self._stack()):
+            if span._span_id is not None:
+                return span._span_id
+        return None
+
     def span(self, name: str, **attrs: Any):
         """Open a timed span; use as a context manager.
 
         Attributes identify the work (``benchmark="doduc"``,
         ``scale=2``); more can be attached mid-flight with
-        :meth:`_Span.set`.  While recording is disabled this returns
-        the shared no-op span.
+        :meth:`_Span.set`.  While recording is disabled *and* no trace
+        is active on this thread, this returns the shared no-op span.
         """
-        if not self._record_spans:
+        if not self._record_spans and getattr(self._local, "trace", None) is None:
             return NULL_SPAN
-        return _Span(self, name, dict(attrs))
+        # ``attrs`` is already a fresh dict owned by this call — hand it
+        # over without copying.
+        return _Span(self, name, attrs)
 
     def _finish(
         self,
@@ -192,12 +335,49 @@ class Observer:
         duration: float,
         depth: int,
         attrs: Dict[str, Any],
+        trace: Optional[ActiveTrace] = None,
+        span_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
     ) -> None:
+        if trace is not None and not self._record_spans:
+            # Hot path (always-on flight recorder): collect a bare
+            # tuple — ~99% of traces are dropped by tail-sampling, so
+            # deferring dict construction to ``span_dicts()`` (which
+            # only the kept 1% ever reach) keeps the per-request tax
+            # minimal.  Field order must match
+            # ``repro.obs.tracing.SPAN_TUPLE_KEYS``.
+            trace.add_span(
+                (
+                    name,
+                    trace.trace_id,
+                    span_id,
+                    parent_id,
+                    start,
+                    duration,
+                    depth,
+                    trace.pid,
+                    threading.get_ident(),
+                    attrs,
+                )
+            )
+            return
         record = SpanRecord(
-            name, start, duration, depth, os.getpid(), threading.get_ident(), attrs
+            name,
+            start,
+            duration,
+            depth,
+            os.getpid(),
+            threading.get_ident(),
+            attrs,
+            None if trace is None else trace.trace_id,
+            span_id,
+            parent_id,
         )
-        with self._lock:
-            self._spans.append(record)
+        if trace is not None:
+            trace.add_span(record)
+        if self._record_spans:
+            with self._lock:
+                self._spans.append(record)
 
     def spans(self) -> List[SpanRecord]:
         """A copy of the finished spans, in completion order."""

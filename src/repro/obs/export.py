@@ -99,6 +99,15 @@ def snapshot_to_dict(snapshot: ObsSnapshot) -> Dict[str, Any]:
                 "pid": span.pid,
                 "tid": span.tid,
                 "attrs": dict(span.attrs),
+                **(
+                    {
+                        "trace_id": span.trace_id,
+                        "span_id": span.span_id,
+                        "parent_id": span.parent_id,
+                    }
+                    if span.trace_id is not None
+                    else {}
+                ),
             }
             for span in snapshot.spans
         ],
@@ -124,6 +133,9 @@ def snapshot_from_dict(payload: Mapping[str, Any]) -> ObsSnapshot:
             int(span.get("pid", 0)),
             int(span.get("tid", 0)),
             dict(span.get("attrs", {})),
+            span.get("trace_id"),
+            span.get("span_id"),
+            span.get("parent_id"),
         )
         for span in payload.get("spans", [])
     ]
@@ -202,3 +214,82 @@ def write_chrome_trace(path: str, snapshot: ObsSnapshot) -> None:
     with open(path, "w") as stream:
         json.dump(chrome_trace(snapshot), stream, indent=1)
         stream.write("\n")
+
+
+# -- stitched distributed traces ---------------------------------------------
+
+
+def trace_chrome_doc(
+    trace_id: str, spans: List[Mapping[str, Any]]
+) -> Dict[str, Any]:
+    """One stitched request trace as a Chrome/Perfetto ``trace_event`` doc.
+
+    *spans* are span dicts (:func:`repro.obs.tracing.span_to_dict`
+    shape) collected from every worker that touched the request —
+    ``perf_counter`` is system-wide monotonic on the platforms we
+    target, so per-process start times line up on one timeline.  Span
+    and parent ids ride in ``args`` so the causal tree survives the
+    export.
+    """
+    events: List[Dict[str, Any]] = []
+    epoch = min((float(span.get("start", 0.0)) for span in spans), default=0.0)
+    for span in spans:
+        args = {key: _jsonable(value) for key, value in dict(span.get("attrs", {})).items()}
+        args["trace_id"] = trace_id
+        args["span_id"] = span.get("span_id")
+        args["parent_id"] = span.get("parent_id")
+        name = str(span.get("name", "?"))
+        events.append(
+            {
+                "name": name,
+                "cat": name.split(".", 1)[0],
+                "ph": "X",
+                "ts": int((float(span.get("start", 0.0)) - epoch) * 1_000_000),
+                "dur": max(int(float(span.get("duration", 0.0)) * 1_000_000), 1),
+                "pid": int(span.get("pid", 0)),
+                "tid": int(span.get("tid", 0)),
+                "args": args,
+            }
+        )
+    metadata = dict(TRACE_METADATA)
+    metadata["trace_id"] = trace_id
+    return {"traceEvents": events, "displayTimeUnit": "ms", "metadata": metadata}
+
+
+def format_span_tree(spans: List[Mapping[str, Any]]) -> List[str]:
+    """A stitched span set as an indented text tree (one line per span).
+
+    Children attach via ``parent_id``; spans whose parent is absent
+    from the set (the remote caller's span on a partially-stitched
+    trace) render as roots.  Siblings order by start time.
+    """
+    by_id: Dict[str, Mapping[str, Any]] = {
+        span["span_id"]: span for span in spans if span.get("span_id")
+    }
+    children: Dict[Any, List[Mapping[str, Any]]] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        key = parent if parent in by_id else None
+        children.setdefault(key, []).append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda span: float(span.get("start", 0.0)))
+
+    lines: List[str] = []
+
+    def walk(span: Mapping[str, Any], depth: int) -> None:
+        duration_ms = float(span.get("duration", 0.0)) * 1e3
+        detail = f"pid={span.get('pid')}"
+        error = dict(span.get("attrs", {})).get("error")
+        if error:
+            detail += f" error={error}"
+        lines.append(
+            f"{'  ' * depth}{span.get('name')}  {duration_ms:.1f}ms  ({detail})"
+        )
+        span_id = span.get("span_id")
+        if span_id:  # never recurse through the None root bucket
+            for child in children.get(span_id, []):
+                walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return lines

@@ -40,10 +40,14 @@ NAMESPACE = "repro"
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+# A sample line, optionally carrying an OpenMetrics exemplar suffix:
+#   name{labels} value [# {exemplar_labels} exemplar_value [timestamp]]
 _SAMPLE_LINE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?:\{(?P<labels>[^}]*)\})?"
-    r"\s+(?P<value>\S+)$"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+#\s+\{(?P<exemplar_labels>[^}]*)\}"
+    r"\s+(?P<exemplar_value>\S+)(?:\s+(?P<exemplar_ts>\S+))?)?$"
 )
 _LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
 
@@ -69,13 +73,22 @@ def _format_value(value: float) -> str:
 
 
 def render_prometheus(
-    snapshot: ObsSnapshot, rates: Optional[Mapping[str, float]] = None
+    snapshot: ObsSnapshot,
+    rates: Optional[Mapping[str, float]] = None,
+    exemplars: Optional[Mapping[str, Mapping[float, Tuple[str, float]]]] = None,
 ) -> str:
     """The snapshot as Prometheus text exposition (see module docstring).
 
     *rates* (name → events/sec, from ``Observer.rates()``) render as
     additional ``_per_second`` gauges — they are live, window-derived
     values and therefore never part of the snapshot itself.
+
+    *exemplars* maps a histogram's dotted name to
+    ``{bucket upper bound: (trace_id, observed value)}`` (the
+    :meth:`~repro.obs.flight.FlightRecorder.exemplars` shape); matching
+    ``_bucket`` samples gain an OpenMetrics exemplar suffix
+    ``# {trace_id="..."} value`` linking the bucket to a trace
+    resolvable via ``GET /trace/{id}``.
     """
     lines: List[str] = []
     used: set = set()
@@ -95,10 +108,14 @@ def render_prometheus(
     for name in sorted(snapshot.hists):
         hist = snapshot.hists[name]
         family = emit(name, "histogram", name)
+        bucket_exemplars = dict((exemplars or {}).get(name, {}))
         for bound, cumulative in hist.cumulative_buckets():
-            lines.append(
-                f'{family}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
-            )
+            line = f'{family}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            exemplar = bucket_exemplars.get(bound)
+            if exemplar is not None:
+                trace_id, value = exemplar
+                line += f' # {{trace_id="{trace_id}"}} {_format_value(float(value))}'
+            lines.append(line)
         lines.append(f'{family}_bucket{{le="+Inf"}} {hist.count}')
         lines.append(f"{family}_sum {_format_value(hist.sum)}")
         lines.append(f"{family}_count {hist.count}")
@@ -138,13 +155,26 @@ def _parse_float(text: str) -> float:
         raise ExpositionError(f"unparseable sample value {text!r}") from None
 
 
+def _parse_labels(label_text: Optional[str], raw: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    if label_text:
+        for part in label_text.split(","):
+            label = _LABEL.match(part.strip())
+            if label is None:
+                raise ExpositionError(f"unparseable label in line {raw!r}")
+            labels[label.group("key")] = label.group("value")
+    return labels
+
+
 def parse_exposition(text: str) -> Dict[str, List[Sample]]:
     """Parse exposition text into ``{sample name: [(labels, value)]}``.
 
     ``_bucket``/``_sum``/``_count`` samples keep their suffixed names;
     types declared by ``# TYPE`` lines land under the reserved key
-    ``"__types__"`` mapping family name to type.  Raises
-    :class:`ExpositionError` on any malformed line.
+    ``"__types__"`` mapping family name to type.  OpenMetrics exemplar
+    suffixes are accepted on sample lines and validated (labels and
+    value must parse) — read them back with :func:`parse_exemplars`.
+    Raises :class:`ExpositionError` on any malformed line.
     """
     samples: Dict[str, List[Sample]] = {}
     types: Dict[str, str] = {}
@@ -160,19 +190,41 @@ def parse_exposition(text: str) -> Dict[str, List[Sample]]:
         match = _SAMPLE_LINE.match(line)
         if match is None:
             raise ExpositionError(f"unparseable exposition line {raw!r}")
-        labels: Dict[str, str] = {}
-        label_text = match.group("labels")
-        if label_text:
-            for part in label_text.split(","):
-                label = _LABEL.match(part.strip())
-                if label is None:
-                    raise ExpositionError(f"unparseable label in line {raw!r}")
-                labels[label.group("key")] = label.group("value")
+        labels = _parse_labels(match.group("labels"), raw)
+        if match.group("exemplar_labels") is not None:
+            _parse_labels(match.group("exemplar_labels"), raw)
+            _parse_float(match.group("exemplar_value"))
         samples.setdefault(match.group("name"), []).append(
             (labels, _parse_float(match.group("value")))
         )
     samples["__types__"] = [(types, 0.0)]  # piggy-back the type table
     return samples
+
+
+def parse_exemplars(text: str) -> List[Dict[str, object]]:
+    """Every OpenMetrics exemplar in *text*, in document order.
+
+    Each entry: ``{"sample": sample name, "labels": sample labels,
+    "exemplar": exemplar labels, "value": exemplar value}``.  Assumes
+    *text* already passed :func:`parse_exposition`/:func:`validate_exposition`.
+    """
+    exemplars: List[Dict[str, object]] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None or match.group("exemplar_labels") is None:
+            continue
+        exemplars.append(
+            {
+                "sample": match.group("name"),
+                "labels": _parse_labels(match.group("labels"), raw),
+                "exemplar": _parse_labels(match.group("exemplar_labels"), raw),
+                "value": _parse_float(match.group("exemplar_value")),
+            }
+        )
+    return exemplars
 
 
 def exposition_types(parsed: Dict[str, List[Sample]]) -> Dict[str, str]:
@@ -242,6 +294,20 @@ def validate_exposition(text: str) -> Dict[str, List[Sample]]:
                 f"histogram {family!r}: +Inf bucket {counts[-1]} != "
                 f"_count {count_samples[0][1]}"
             )
+
+    # Exemplar contract: a _bucket exemplar's observed value must lie
+    # inside that bucket, i.e. not exceed its ``le`` bound (with a hair
+    # of float tolerance — bucket indexing nudges boundary values).
+    for exemplar in parse_exemplars(text):
+        labels = exemplar["labels"]
+        if str(exemplar["sample"]).endswith("_bucket") and "le" in labels:
+            bound = _parse_float(labels["le"])  # type: ignore[index]
+            value = float(exemplar["value"])  # type: ignore[arg-type]
+            if not math.isinf(bound) and value > bound * (1.0 + 1e-9):
+                raise ExpositionError(
+                    f"exemplar value {value} exceeds bucket le={bound} "
+                    f"on sample {exemplar['sample']!r}"
+                )
     return parsed
 
 

@@ -404,6 +404,94 @@ def check_service_vitals_sane(world: LiveWorld) -> Any:
     return True
 
 
+def check_trace_complete(world: LiveWorld) -> Any:
+    """Every recent heavy 200's envelope trace id resolves via
+    ``GET /trace/{id}`` to one stitched span tree: a single root,
+    acyclic parent edges, spans from >= 2 worker pids when the request
+    was proxied cross-shard, and a complete single-worker tree when the
+    owner was unreachable (``fallback_local``).
+
+    The QA fleet runs at ``--trace-sample 1``, so on a stable fleet a
+    404 is itself a violation; after a worker kill the dead worker's
+    ring is gone and a 404 is tolerated.
+    """
+    stable = "stable_fleet" in world.conditions
+    verified = world.notes.setdefault("traces_verified", set())
+    candidates = [
+        record
+        for route in HEAVY_ROUTES
+        for record in world.calls_for(route, statuses=(200,))
+        if not record.raw
+    ][-8:]
+    for record in candidates:
+        doc = record.document if isinstance(record.document, dict) else {}
+        trace_id = doc.get("trace_id")
+        if not isinstance(trace_id, str) or len(trace_id) != 32:
+            return {
+                "step": record.step, "path": record.path,
+                "envelope_trace_id": trace_id,
+            }
+        if trace_id in verified:
+            continue
+        try:
+            status, envelope = world.trace_doc(trace_id)
+        except OSError:
+            return SKIP  # probe transport failure: nothing to compare
+        if status == 404:
+            if stable:
+                return {
+                    "step": record.step, "trace_id": trace_id,
+                    "lookup_status": 404,
+                    "note": "sample rate is 1.0 and the fleet is stable; "
+                            "every recent trace must be retained",
+                }
+            continue  # a killed worker took its flight ring with it
+        if status != 200:
+            return {"step": record.step, "trace_id": trace_id,
+                    "lookup_status": status}
+        data = envelope.get("data") if isinstance(envelope, dict) else None
+        data = data if isinstance(data, dict) else {}
+        spans = [s for s in data.get("spans") or [] if isinstance(s, dict)]
+        if not spans:
+            return {"trace_id": trace_id, "spans": 0}
+        ids = [s.get("span_id") for s in spans]
+        if len(set(ids)) != len(ids) or None in ids:
+            return {"trace_id": trace_id, "span_ids": ids[:10],
+                    "note": "span ids must be present and distinct"}
+        by_id = {s["span_id"]: s for s in spans}
+        for span in spans:
+            node, hops = span, 0
+            while node is not None:
+                hops += 1
+                if hops > len(spans):
+                    return {"trace_id": trace_id,
+                            "parent_cycle_at": span.get("span_id")}
+                node = by_id.get(node.get("parent_id"))
+        roots = [s for s in spans if s.get("parent_id") not in by_id]
+        if len(roots) != 1:
+            return {
+                "trace_id": trace_id,
+                "roots": [s.get("name") for s in roots],
+                "note": "a stitched trace has exactly one root span",
+            }
+        notes = data.get("notes") or {}
+        pids = {s.get("pid") for s in spans}
+        if notes.get("proxied") and stable and len(pids) < 2:
+            return {
+                "trace_id": trace_id, "proxied": True,
+                "pids": sorted(pids),
+                "note": "a cross-shard trace must carry both workers' spans",
+            }
+        if notes.get("fallback_local") and len(pids) != 1:
+            return {
+                "trace_id": trace_id, "fallback_local": True,
+                "pids": sorted(pids),
+                "note": "a fallback-local request never leaves its worker",
+            }
+        verified.add(trace_id)
+    return True
+
+
 # -- fleet invariants --------------------------------------------------------
 
 
@@ -543,6 +631,12 @@ def default_invariants() -> List[Invariant]:
             "disk.cache_consistent", check_disk_cache_consistent,
             description="stores/misses/bytes counters match files on disk exactly",
             requires=frozenset({"accepting", "stable_fleet", "pristine_cache"}),
+        ),
+        Invariant(
+            "trace.complete", check_trace_complete,
+            description="heavy 200 trace ids resolve to one acyclic stitched tree "
+                        "(>= 2 pids when proxied; single-worker on fallback)",
+            requires=frozenset({"accepting"}),
         ),
         Invariant(
             "fleet.roster_sane", check_fleet_roster_sane,

@@ -128,6 +128,9 @@ class LiveWorld:
                 "--log-json",
                 "--queue-limit", str(self.queue_limit),
                 "--lru-size", str(self.lru_size),
+                # Keep every finished trace: the trace invariants must be
+                # able to resolve any answered request's trace id.
+                "--trace-sample", "1",
             ],
             extra_env={"REPRO_CACHE_DIR": self.cache_dir},
             log_path=self.log_path,
@@ -305,6 +308,10 @@ class LiveWorld:
     def metrics_parsed(self) -> Dict[str, list]:
         return parse_exposition(self._probe.metrics())
 
+    def trace_doc(self, trace_id: str) -> Tuple[int, Any]:
+        """``GET /trace/{id}`` via the probe client: ``(status, envelope)``."""
+        return self._probe.request_raw("GET", f"/trace/{trace_id}")
+
     def route_bucket_delta(
         self, route: str, parsed: Optional[Dict[str, list]] = None
     ) -> List[Tuple[float, float]]:
@@ -318,8 +325,7 @@ class LiveWorld:
 
     # -- access log ----------------------------------------------------------
 
-    def access_entries(self) -> List[dict]:
-        """Parsed access-log lines (JSON objects with a request_id)."""
+    def _log_entries(self) -> List[dict]:
         if not self.log_path:
             return []
         try:
@@ -339,6 +345,24 @@ class LiveWorld:
             if isinstance(record, dict) and "request_id" in record:
                 entries.append(record)
         return entries
+
+    def access_entries(self) -> List[dict]:
+        """Parsed *client-facing* access-log lines.
+
+        Owner-side lines (``"owner": true`` — an owner worker running a
+        peer's control-socket invoke) are excluded: a proxied request
+        legitimately logs on both workers, but the client-facing
+        population must hold exactly one line per request id.
+        """
+        return [
+            entry for entry in self._log_entries() if entry.get("owner") is not True
+        ]
+
+    def invoke_entries(self) -> List[dict]:
+        """Owner-side access-log lines (cross-shard control invokes)."""
+        return [
+            entry for entry in self._log_entries() if entry.get("owner") is True
+        ]
 
     # -- disk cache ----------------------------------------------------------
 

@@ -103,6 +103,10 @@ class ServiceClient:
         #: X-Request-Id echoed by the server on the most recent response
         #: (None before the first request).
         self.last_request_id: Optional[str] = None
+        #: X-Trace-Id from the most recent response — the distributed
+        #: trace id, resolvable via ``GET /trace/{id}`` while the
+        #: fleet's flight recorders retain it (None when tracing is off).
+        self.last_trace_id: Optional[str] = None
         #: parsed Retry-After (seconds) from the most recent response,
         #: or None when the header was absent/unparseable.
         self.last_retry_after: Optional[float] = None
@@ -165,6 +169,7 @@ class ServiceClient:
                 if attempt:
                     raise
         self.last_request_id = response.getheader("X-Request-Id") or headers["X-Request-Id"]
+        self.last_trace_id = response.getheader("X-Trace-Id")
         retry_after = response.getheader("Retry-After")
         try:
             self.last_retry_after = (

@@ -25,7 +25,16 @@ Operations:
     Run one JSON endpoint handler on this worker (cross-shard request
     proxying).  The call funnels through the worker's own handler —
     compute caches, single-flight and 429 backpressure all apply as if
-    the request had arrived over HTTP.
+    the request had arrived over HTTP.  When the request carries a
+    ``traceparent``, the handler runs under the caller's distributed
+    trace: the owner's spans parent under the proxy's request span, ride
+    back in the reply, and the owner keeps its own flight-recorder entry
+    and (in ``--log-json`` mode) writes an ``"owner": true`` access-log
+    line — a proxied request is visible on *both* sides of the hop.
+``trace`` / ``traces``
+    Read this worker's flight recorder: one ring entry by trace id /
+    newest-first summaries.  ``GET /trace/{id}`` and
+    ``GET /debug/traces`` stitch the fleet view from these.
 ``drain``
     Flip the drain flag (supervisor-propagated graceful shutdown).
 """
@@ -37,9 +46,17 @@ import os
 import socket
 import socketserver
 import threading
+import time
 from typing import Dict, List, Tuple
 
-from ..obs import OBS, ObsSnapshot, merge_snapshots, snapshot_from_dict, snapshot_to_dict
+from ..obs import (
+    OBS,
+    ObsSnapshot,
+    merge_snapshots,
+    parse_traceparent,
+    snapshot_from_dict,
+    snapshot_to_dict,
+)
 from .state import ApiError, ServiceState
 
 #: A control request or response must fit one line of this many bytes
@@ -93,7 +110,8 @@ def _op_snapshot(state: ServiceState, request: dict) -> dict:
 
 def _op_invoke(state: ServiceState, request: dict) -> dict:
     # Imported here: handlers imports this module for fleet aggregation.
-    from .handlers import ROUTES, enter_control_invoke, exit_control_invoke
+    from .handlers import ROUTES, enter_control_invoke, exit_control_invoke, route_name
+    from .logs import write_access_log
 
     method = request.get("method")
     path = request.get("path")
@@ -108,16 +126,82 @@ def _op_invoke(state: ServiceState, request: dict) -> dict:
             },
         }
     body = request.get("body")
+    route = route_name(str(path))
+    trace = None
+    if state.flight.enabled:
+        context = parse_traceparent(str(request.get("traceparent") or ""))
+        if context is not None:
+            # Join the proxying worker's trace: spans opened here parent
+            # under its request span (the remote parent id).
+            trace = OBS.start_trace(context[0], remote_parent_id=context[1])
+            trace.notes["owner"] = True
+            if request.get("invoked_by") is not None:
+                trace.notes["invoked_by"] = request.get("invoked_by")
+            if request.get("request_id"):
+                trace.notes["request_id"] = str(request["request_id"])
+    started = time.perf_counter()
+    status = 200
     try:
         OBS.add("service.shard.invoked")
         enter_control_invoke()
         try:
-            payload = handler(state, body)
+            with OBS.span(
+                "service.invoke", route=route, shard=state.config.shard_index
+            ):
+                payload = handler(state, body)
         finally:
             exit_control_invoke()
+        response = {"ok": True, "payload": payload}
     except ApiError as error:
-        return {"ok": False, "error": error.body()["error"]}
-    return {"ok": True, "payload": payload}
+        status = error.status
+        response = {"ok": False, "error": error.body()["error"]}
+    except BaseException:
+        status = 500
+        raise
+    finally:
+        if trace is not None:
+            elapsed = time.perf_counter() - started
+            OBS.end_trace()
+            state.flight.record(
+                trace,
+                status,
+                route,
+                elapsed,
+                request_id=trace.notes.get("request_id"),
+                shard=state.config.shard_index,
+            )
+            if state.config.log_json:
+                write_access_log(
+                    str(trace.notes.get("request_id") or "-"),
+                    str(method),
+                    str(path),
+                    route,
+                    status,
+                    elapsed,
+                    trace_id=trace.trace_id,
+                    shard=state.config.shard_index,
+                    owner=True,
+                    invoked_by=trace.notes.get("invoked_by"),
+                )
+    if trace is not None:
+        # Hand the owner-side spans back so the proxy's flight-recorder
+        # entry holds the complete tree even if this ring evicts first.
+        response["spans"] = trace.span_dicts()
+    return response
+
+
+def _op_trace(state: ServiceState, request: dict) -> dict:
+    """One flight-recorder entry by trace id (``None`` when not retained)."""
+    return {"ok": True, "entry": state.flight.get(str(request.get("trace_id") or ""))}
+
+
+def _op_traces(state: ServiceState, request: dict) -> dict:
+    """Newest-first summaries of this worker's flight-recorder ring."""
+    return {
+        "ok": True,
+        "retained": len(state.flight),
+        "traces": state.flight.summaries(),
+    }
 
 
 def _op_drain(state: ServiceState, request: dict) -> dict:
@@ -129,6 +213,8 @@ _OPS = {
     "ping": _op_ping,
     "snapshot": _op_snapshot,
     "invoke": _op_invoke,
+    "trace": _op_trace,
+    "traces": _op_traces,
     "drain": _op_drain,
 }
 

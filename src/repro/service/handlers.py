@@ -32,7 +32,14 @@ from ..learn import (
     training_cut,
 )
 from ..learn.serialize import FORMAT_VERSION as MODEL_FORMAT_VERSION
-from ..obs import OBS, render_prometheus
+from ..obs import (
+    OBS,
+    format_span_tree,
+    format_traceparent,
+    new_span_id,
+    render_prometheus,
+    trace_chrome_doc,
+)
 from ..predictors import (
     LastDirection,
     Predictor,
@@ -76,17 +83,26 @@ MAX_STATES_LIMIT = 10
 # -- response envelope -------------------------------------------------------
 
 
-def envelope(payload: Any) -> dict:
+def envelope(payload: Any, trace_id: Optional[str] = None) -> dict:
     """Wrap a handler payload in the versioned success envelope.
 
     Every JSON endpoint answers ``{"v": 1, "ok": true, "data": ...}``;
     handlers keep returning plain payload dicts and the HTTP layer wraps
     at send time (``?raw=1`` skips the wrapping for one release).
+    *trace_id* (present whenever the tracing layer is live) names the
+    request's distributed trace — resolvable via ``GET /trace/{id}``.
     """
-    return {"v": ENVELOPE_VERSION, "ok": True, "data": payload}
+    doc = {"v": ENVELOPE_VERSION, "ok": True, "data": payload}
+    if trace_id is not None:
+        doc["trace_id"] = trace_id
+    return doc
 
 
-def error_envelope(error: Dict[str, Any], retry_after: Optional[int] = None) -> dict:
+def error_envelope(
+    error: Dict[str, Any],
+    retry_after: Optional[int] = None,
+    trace_id: Optional[str] = None,
+) -> dict:
     """Wrap an error body (``ApiError.body()["error"]`` shape) in the v1
     envelope: ``{"v": 1, "ok": false, "error": {"code", "message", ...}}``.
 
@@ -96,7 +112,10 @@ def error_envelope(error: Dict[str, Any], retry_after: Optional[int] = None) -> 
     err = dict(error)
     if retry_after is not None:
         err["retry_after"] = retry_after
-    return {"v": ENVELOPE_VERSION, "ok": False, "error": err}
+    doc = {"v": ENVELOPE_VERSION, "ok": False, "error": err}
+    if trace_id is not None:
+        doc["trace_id"] = trace_id
+    return doc
 
 
 # -- validation helpers ------------------------------------------------------
@@ -185,18 +204,39 @@ def _shard_route(
     if owner == state.config.shard_index:
         OBS.add("service.shard.local")
         return None
+    request = {"op": "invoke", "method": method, "path": path, "body": body}
+    trace = OBS.current_trace()
+    if trace is not None:
+        # Carry the trace context across the control-socket hop so the
+        # owner's compute spans parent under this request's span.
+        parent = OBS.current_span_id() or new_span_id()
+        request["traceparent"] = format_traceparent(trace.trace_id, parent)
+        request_id = trace.notes.get("request_id")
+        if request_id:
+            request["request_id"] = request_id
+        request["invoked_by"] = state.config.shard_index
     try:
         reply = control_request(
-            socket_path(state.config.control_dir, owner),
-            {"op": "invoke", "method": method, "path": path, "body": body},
+            socket_path(state.config.control_dir, owner), request
         )
     except ControlError:
         OBS.add("service.shard.fallback_local")
+        if trace is not None:
+            trace.notes["fallback_local"] = True
         return None
+    if trace is not None:
+        trace.notes["proxied"] = True
+        trace.notes["owner"] = owner
     if reply.get("ok"):
         OBS.add("service.shard.proxied")
         payload = dict(reply.get("payload") or {})
         payload["shard"] = {"owner": owner, "proxied_by": state.config.shard_index}
+        remote = reply.get("spans")
+        if trace is not None and isinstance(remote, list):
+            # The owner also keeps its own flight-recorder entry, but a
+            # client asking *any* worker for GET /trace/{id} should see
+            # the stitched tree even if the owner's ring evicts first.
+            trace.add_span_dicts(remote)
         return payload
     error = reply.get("error") or {}
     raise ApiError(
@@ -321,12 +361,145 @@ def render_metrics(state: ServiceState) -> str:
     merge exactly across workers, so quantiles derived from the
     exposition are fleet-exact; gauges are last-write-wins and reflect
     one worker (scrape ``/fleet`` for per-worker levels).
+
+    When the flight recorder is live, latency buckets carry OpenMetrics
+    exemplars — one kept trace id per bucket — so a dashboard can jump
+    from a latency spike straight to ``GET /trace/{id}``.
     """
     OBS.set_gauge("service.uptime_seconds", round(state.uptime(), 3))
     OBS.set_gauge("service.inflight_requests", state.inflight_requests)
     OBS.set_gauge("service.queue.depth", state.queue_depth)
     snapshot, rates, _ = fleet_snapshot(state)
-    return render_prometheus(snapshot, rates=rates)
+    exemplars = None
+    if state.flight.enabled:
+        bucket_exemplars = state.flight.exemplars()
+        if bucket_exemplars:
+            exemplars = {"service.latency_seconds": bucket_exemplars}
+    return render_prometheus(snapshot, rates=rates, exemplars=exemplars)
+
+
+# -- distributed traces (flight recorder) ------------------------------------
+
+
+def _valid_trace_id(raw: Any) -> str:
+    trace_id = str(raw or "").strip().lower()
+    if len(trace_id) != 32 or any(c not in "0123456789abcdef" for c in trace_id):
+        raise _bad_request(
+            "'trace_id' must be 32 lowercase hex characters", got=str(raw)[:64]
+        )
+    return trace_id
+
+
+def handle_trace(state: ServiceState, body: Optional[dict]) -> dict:
+    """``GET /trace/{id}``: the stitched, fleet-wide view of one trace.
+
+    Any worker answers: it merges its own flight-recorder entry with
+    every reachable peer's (``trace`` control op), dedups spans by span
+    id (the proxy's entry already embeds owner spans returned over the
+    invoke hop), and renders one tree plus a Chrome/Perfetto document.
+    404 ``trace_not_found`` when no worker retained the id — dropped by
+    tail-sampling or already evicted from the bounded rings.
+    """
+    trace_id = _valid_trace_id((body or {}).get("trace_id"))
+    holders: List[Tuple[Optional[int], dict]] = []
+    local = state.flight.get(trace_id)
+    if local is not None:
+        holders.append((state.config.shard_index, local))
+    unreachable: List[int] = []
+    if state.is_fleet_worker:
+        for shard in state.peer_shards():
+            try:
+                reply = control_request(
+                    socket_path(state.config.control_dir, shard),
+                    {"op": "trace", "trace_id": trace_id},
+                )
+            except ControlError:
+                unreachable.append(shard)
+                continue
+            entry = reply.get("entry")
+            if reply.get("ok") and isinstance(entry, dict):
+                holders.append((shard, entry))
+    if not holders:
+        raise ApiError(
+            404,
+            "trace_not_found",
+            f"no worker retained trace {trace_id!r} "
+            "(not sampled, or evicted from the flight-recorder ring)",
+            unreachable=unreachable,
+        )
+    spans: List[dict] = []
+    seen: set = set()
+    for _, entry in holders:
+        for span in entry.get("spans") or []:
+            span_id = span.get("span_id")
+            if span_id is not None and span_id in seen:
+                continue
+            if span_id is not None:
+                seen.add(span_id)
+            spans.append(span)
+    spans.sort(key=lambda s: (s.get("start") or 0.0))
+    pids = sorted({s.get("pid") for s in spans if s.get("pid") is not None})
+    # The entry recorded by the client-facing worker (the one whose
+    # notes lack the owner marker) describes the request end to end.
+    primary = next(
+        (entry for _, entry in holders if not (entry.get("notes") or {}).get("owner")),
+        holders[0][1],
+    )
+    return {
+        "trace_id": trace_id,
+        "route": primary.get("route"),
+        "status": primary.get("status"),
+        "duration_ms": primary.get("duration_ms"),
+        "request_id": primary.get("request_id"),
+        "kept": primary.get("kept"),
+        "notes": primary.get("notes") or {},
+        "workers": [shard for shard, _ in holders],
+        "pids": pids,
+        "unreachable": unreachable,
+        "spans": spans,
+        "tree": format_span_tree(spans),
+        "chrome": trace_chrome_doc(trace_id, spans),
+    }
+
+
+def handle_debug_traces(state: ServiceState, body: Optional[dict]) -> dict:
+    """``GET /debug/traces``: every worker's flight-recorder ring, newest
+    first — the index you browse before ``GET /trace/{id}``."""
+    recorders = [
+        {
+            "shard": state.config.shard_index,
+            "retained": len(state.flight),
+            "traces": state.flight.summaries(),
+        }
+    ]
+    unreachable: List[int] = []
+    if state.is_fleet_worker:
+        for shard in state.peer_shards():
+            try:
+                reply = control_request(
+                    socket_path(state.config.control_dir, shard),
+                    {"op": "traces"},
+                )
+            except ControlError:
+                unreachable.append(shard)
+                continue
+            if reply.get("ok"):
+                recorders.append(
+                    {
+                        "shard": shard,
+                        "retained": reply.get("retained", 0),
+                        "traces": reply.get("traces") or [],
+                    }
+                )
+    return {
+        "enabled": state.flight.enabled,
+        "sample_rate": state.flight.sample_rate,
+        "slow_threshold_ms": round(state.flight.slow_threshold * 1e3, 3),
+        "capacity": state.flight.capacity,
+        "answered_by": state.config.shard_index,
+        "unreachable": unreachable,
+        "recorders": recorders,
+    }
 
 
 # -- heavy endpoints (worker pool + compute caches) --------------------------
@@ -743,6 +916,7 @@ ROUTES: Dict[Tuple[str, str], Handler] = {
     ("GET", "/benchmarks"): handle_benchmarks,
     ("GET", "/stats"): handle_stats,
     ("GET", "/fleet"): handle_fleet,
+    ("GET", "/debug/traces"): handle_debug_traces,
     ("POST", "/artifacts"): handle_artifacts,
     ("POST", "/predict"): handle_predict,
     ("POST", "/machine"): handle_machine,
@@ -750,9 +924,10 @@ ROUTES: Dict[Tuple[str, str], Handler] = {
     ("POST", "/train"): handle_train,
 }
 
-#: Paths that exist (for 405-vs-404 discrimination).  /metrics is
-#: served as raw text by the HTTP layer, outside the JSON ROUTES table.
-KNOWN_PATHS = {path for _, path in ROUTES} | {"/metrics"}
+#: Paths that exist (for 405-vs-404 discrimination).  /metrics and
+#: /debug/profile are served as raw text by the HTTP layer, and
+#: /trace/{id} is a prefix route — all outside the JSON ROUTES table.
+KNOWN_PATHS = {path for _, path in ROUTES} | {"/metrics", "/debug/profile"}
 
 
 def route_name(path: str) -> str:

@@ -107,12 +107,28 @@ def percentile(sorted_values: Sequence[float], fraction: float) -> float:
     return sorted_values[rank]
 
 
+#: Slowest requests reported with their trace ids (and, when the
+#: fleet's flight recorders retained them, their stitched span trees).
+TOP_SLOWEST = 5
+
+
 @dataclass
 class _WorkerResult:
     latencies: List[float] = field(default_factory=list)
     statuses: Dict[int, int] = field(default_factory=dict)
     endpoints: Dict[str, int] = field(default_factory=dict)
     transport_errors: int = 0
+    #: (latency seconds, endpoint, trace id) for this worker's slowest
+    #: requests — bounded, re-trimmed as it grows
+    slowest: List[Tuple[float, str, str]] = field(default_factory=list)
+
+    def note_slow(self, latency: float, endpoint: str, trace_id: Optional[str]) -> None:
+        if not trace_id:
+            return
+        self.slowest.append((latency, endpoint, trace_id))
+        if len(self.slowest) > 4 * TOP_SLOWEST:
+            self.slowest.sort(reverse=True)
+            del self.slowest[TOP_SLOWEST:]
 
 
 def _worker(
@@ -146,9 +162,11 @@ def _worker(
                 result.transport_errors += 1
                 client.close()
                 continue
-            result.latencies.append(time.perf_counter() - started)
+            latency = time.perf_counter() - started
+            result.latencies.append(latency)
             result.statuses[status] = result.statuses.get(status, 0) + 1
             result.endpoints[endpoint] = result.endpoints.get(endpoint, 0) + 1
+            result.note_slow(latency, endpoint, client.last_trace_id)
 
 
 def _server_counters(host: str, port: int) -> Dict[str, float]:
@@ -196,6 +214,42 @@ def server_quantiles_ms(
         "p95_ms": round(quantile_from_counts(delta, 0.95) * 1e3, 3),
         "p99_ms": round(quantile_from_counts(delta, 0.99) * 1e3, 3),
     }
+
+
+def _slowest_traces(
+    host: str, port: int, results: List[_WorkerResult]
+) -> List[dict]:
+    """The run's :data:`TOP_SLOWEST` slowest traced requests, each
+    resolved against ``GET /trace/{id}`` for its stitched span tree.
+
+    A trace the flight recorders dropped (tail-sampling) or already
+    evicted reports ``retained: false`` — the id is still printed, it
+    just has no tree to show.
+    """
+    candidates = sorted(
+        (entry for result in results for entry in result.slowest), reverse=True
+    )[:TOP_SLOWEST]
+    if not candidates:
+        return []
+    entries = []
+    with ServiceClient(host, port, timeout=10.0) as client:
+        for latency, endpoint, trace_id in candidates:
+            entry = {
+                "latency_ms": round(latency * 1e3, 3),
+                "endpoint": endpoint,
+                "trace_id": trace_id,
+                "retained": False,
+            }
+            try:
+                doc = client.request("GET", f"/trace/{trace_id}")
+            except (ServiceError, OSError):
+                doc = None
+            if doc is not None:
+                entry["retained"] = True
+                entry["workers"] = doc.get("workers", [])
+                entry["tree"] = doc.get("tree", [])
+            entries.append(entry)
+    return entries
 
 
 def run_load(
@@ -306,6 +360,7 @@ def run_load(
             "latency": server_quantiles_ms(buckets_before, buckets_after),
         },
     }
+    report["slowest"] = _slowest_traces(host, port, results)
     if fleet_doc is not None and fleet_doc.get("workers", 1) > 1:
         # Against a fleet, /stats and /metrics already answer with the
         # exact cross-worker merge, so every "server" figure above is
@@ -363,6 +418,21 @@ def format_report(report: dict) -> str:
             f"{fleet['proxied']:.0f} proxied, "
             f"{fleet['fallback_local']:.0f} local fallback(s); {per_worker}"
         )
+    slowest = report.get("slowest", [])
+    if slowest:
+        lines.append(f"slowest {len(slowest)} traced request(s):")
+        for entry in slowest:
+            suffix = (
+                f" workers={entry.get('workers')}"
+                if entry["retained"]
+                else " (not retained by the flight recorder)"
+            )
+            lines.append(
+                f"  {entry['latency_ms']}ms {entry['endpoint']} "
+                f"trace={entry['trace_id']}{suffix}"
+            )
+            for tree_line in entry.get("tree", []):
+                lines.append(f"    {tree_line}")
     return "\n".join(lines)
 
 

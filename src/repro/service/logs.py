@@ -1,0 +1,63 @@
+"""The structured JSON access log, shared by HTTP and control paths.
+
+One line per served request on **stderr** (stdout carries the daemon's
+parseable output and must never interleave).  Two writers exist:
+
+* the HTTP layer (:mod:`repro.service.server`) logs every request a
+  worker answered over its listening socket;
+* the control layer (:mod:`repro.service.control`) logs every handler
+  an *owner* worker ran on behalf of a peer's ``invoke`` — those never
+  touch HTTP, so without this line a request proxied across shards
+  would be invisible in the owner's log.
+
+Owner-side lines carry ``"owner": true`` so log consumers that reason
+about *client-visible* requests (the QA access-log invariants count
+exactly one line per request id) can separate the two populations: a
+proxied request produces one client-facing line on the proxy *and* one
+owner line on the owner, both sharing the same ``trace_id``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Optional
+
+
+def write_access_log(
+    request_id: str,
+    method: str,
+    path: str,
+    route: str,
+    status: int,
+    duration_s: float,
+    trace_id: Optional[str] = None,
+    shard: Optional[int] = None,
+    client: Optional[str] = None,
+    **extra: Any,
+) -> None:
+    """Emit one JSON access-log line on stderr (flushed).
+
+    ``trace_id``/``shard`` are omitted when ``None`` (single-process
+    daemons with tracing off keep their old line shape); *extra* fields
+    (``proxied``, ``owner``, ``fallback_local``, ...) append verbatim.
+    """
+    record = {
+        "ts": time.time(),
+        "request_id": request_id,
+        "method": method,
+        "path": path,
+        "route": route,
+        "status": status,
+        "duration_ms": round(duration_s * 1e3, 3),
+    }
+    if trace_id is not None:
+        record["trace_id"] = trace_id
+    if shard is not None:
+        record["shard"] = shard
+    if client is not None:
+        record["client"] = client
+    record.update(extra)
+    sys.stderr.write(json.dumps(record, separators=(",", ":")) + "\n")
+    sys.stderr.flush()

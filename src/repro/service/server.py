@@ -36,7 +36,6 @@ import signal
 import socket
 import sys
 import threading
-import time
 import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
@@ -44,16 +43,24 @@ from typing import Optional, Tuple
 
 from urllib.parse import parse_qs
 
-from ..obs import OBS, PROMETHEUS_CONTENT_TYPE, write_chrome_trace
+from ..obs import OBS, PROMETHEUS_CONTENT_TYPE, parse_traceparent, write_chrome_trace
+from ..obs.profiler import (
+    DEFAULT_SECONDS as PROFILE_DEFAULT_SECONDS,
+    MAX_SECONDS as PROFILE_MAX_SECONDS,
+    ProfilerBusy,
+    profile_collapsed,
+)
 from .control import ControlServer, socket_path
 from .handlers import (
     KNOWN_PATHS,
     ROUTES,
     envelope,
     error_envelope,
+    handle_trace,
     render_metrics,
     route_name,
 )
+from .logs import write_access_log
 from .state import ApiError, ServiceConfig, ServiceState
 
 #: Test hook: seconds to stall before binding the listener, so tests can
@@ -146,9 +153,17 @@ class _RequestHandler(BaseHTTPRequestHandler):
     #: connection thread; set at the top of _dispatch.
     _request_id: str = "-"
 
+    #: trace id of the request currently being handled ("-" while the
+    #: tracing layer is disabled); echoed as X-Trace-Id and stamped
+    #: into the envelope and the access log.
+    _trace_id: str = "-"
+
     #: ``?raw=1`` was requested: answer with the legacy (pre-envelope)
     #: body shape.  Kept for one release as a migration escape hatch.
     _raw: bool = False
+
+    #: parsed query string of the request currently being handled.
+    _query: dict = {}
 
     # -- plumbing ------------------------------------------------------------
 
@@ -170,6 +185,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.send_header("X-Request-Id", self._request_id)
+        if self._trace_id != "-":
+            self.send_header("X-Trace-Id", self._trace_id)
         if status in (429, 503):
             self.send_header("Retry-After", "1")
         self.end_headers()
@@ -213,12 +230,26 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         state = self.server.state
         path, _, query = self.path.partition("?")
-        self._raw = parse_qs(query).get("raw", ["0"])[-1] in ("1", "true")
+        self._query = parse_qs(query)
+        self._raw = self._query.get("raw", ["0"])[-1] in ("1", "true")
         if path != "/" and path.endswith("/"):
             path = path.rstrip("/")
         name = route_name(path)
         rid = sanitize_request_id(self.headers.get("X-Request-Id"))
         self._request_id = rid or new_request_id()
+        trace = None
+        if state.flight.enabled:
+            # Honour inbound W3C trace context; start fresh otherwise.
+            context = parse_traceparent(self.headers.get("traceparent"))
+            trace = (
+                OBS.start_trace(context[0], context[1])
+                if context
+                else OBS.start_trace()
+            )
+            trace.notes["request_id"] = self._request_id
+            self._trace_id = trace.trace_id
+        else:
+            self._trace_id = "-"
         state.request_started()
         started = perf_counter()
         status = 500
@@ -231,6 +262,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
             ):
                 status = self._respond(state, method, path)
         finally:
+            OBS.end_trace()
             state.request_finished()
             elapsed = perf_counter() - started
             OBS.add("service.requests")
@@ -238,31 +270,69 @@ class _RequestHandler(BaseHTTPRequestHandler):
             OBS.observe("service.latency_seconds", elapsed)
             OBS.observe(f"service.latency_seconds.{name}", elapsed)
             OBS.mark("service.requests")
+            if trace is not None:
+                state.flight.record(
+                    trace,
+                    status,
+                    name,
+                    elapsed,
+                    request_id=self._request_id,
+                    shard=state.config.shard_index,
+                )
             if state.config.log_json:
-                self._access_log(method, path, name, status, elapsed)
+                self._access_log(method, path, name, status, elapsed, trace)
             if state.config.verbose:
                 self.log_message("%s %s -> %d (%.1fms)", method, path, status, elapsed * 1e3)
 
     def _access_log(
-        self, method: str, path: str, route: str, status: int, elapsed: float
+        self, method: str, path: str, route: str, status: int, elapsed: float, trace
     ) -> None:
         """One structured JSON line per request, on stderr.
 
         stderr on purpose: stdout carries the daemon's parseable
-        output; the access log must never interleave with it.
+        output; the access log must never interleave with it.  Shard
+        routing outcomes noted on the trace (``proxied``/``owner``,
+        ``fallback_local``) ride along so a cross-shard request can be
+        followed through both workers' logs by its ``trace_id``.
         """
-        record = {
-            "ts": time.time(),
-            "request_id": self._request_id,
-            "method": method,
-            "path": path,
-            "route": route,
-            "status": status,
-            "duration_ms": round(elapsed * 1e3, 3),
-            "client": self.client_address[0],
-        }
-        sys.stderr.write(json.dumps(record, separators=(",", ":")) + "\n")
-        sys.stderr.flush()
+        extra = {}
+        if trace is not None:
+            notes = trace.notes
+            if notes.get("proxied"):
+                extra["proxied"] = True
+                extra["owner_shard"] = notes.get("owner")
+            if notes.get("fallback_local"):
+                extra["fallback_local"] = True
+        write_access_log(
+            self._request_id,
+            method,
+            path,
+            route,
+            status,
+            elapsed,
+            trace_id=None if trace is None else trace.trace_id,
+            shard=self.server.state.config.shard_index,
+            client=self.client_address[0],
+            **extra,
+        )
+
+    def _envelope_trace_id(self) -> Optional[str]:
+        return None if self._trace_id == "-" else self._trace_id
+
+    def _profile_seconds(self) -> float:
+        raw = self._query.get("seconds", [str(PROFILE_DEFAULT_SECONDS)])[-1]
+        try:
+            seconds = float(raw)
+        except ValueError:
+            raise ApiError(400, "bad_request", f"unparseable seconds {raw!r}")
+        if not 0.0 < seconds <= PROFILE_MAX_SECONDS:
+            raise ApiError(
+                400,
+                "bad_request",
+                f"seconds must be in (0, {PROFILE_MAX_SECONDS:.0f}]",
+                got=seconds,
+            )
+        return seconds
 
     def _respond(self, state: ServiceState, method: str, path: str) -> int:
         try:
@@ -274,6 +344,27 @@ class _RequestHandler(BaseHTTPRequestHandler):
             if state.draining:
                 OBS.add("service.rejected.draining")
                 raise ApiError(503, "draining", "server is shutting down")
+            if method == "GET" and path.startswith("/trace/"):
+                payload = handle_trace(
+                    state, {"trace_id": path[len("/trace/") :]}
+                )
+                self._send_json(
+                    200,
+                    payload
+                    if self._raw
+                    else envelope(payload, trace_id=self._envelope_trace_id()),
+                )
+                return 200
+            if method == "GET" and path == "/debug/profile":
+                seconds = self._profile_seconds()
+                try:
+                    text = profile_collapsed(seconds)
+                except ProfilerBusy:
+                    raise ApiError(
+                        429, "profiler_busy", "a profile is already running"
+                    )
+                self._send_text(200, text, "text/plain; charset=utf-8")
+                return 200
             handler = ROUTES.get((method, path))
             if handler is None:
                 if path in KNOWN_PATHS:
@@ -288,7 +379,12 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 )
             body = self._read_body() if method == "POST" else None
             payload = handler(state, body)
-            self._send_json(200, payload if self._raw else envelope(payload))
+            self._send_json(
+                200,
+                payload
+                if self._raw
+                else envelope(payload, trace_id=self._envelope_trace_id()),
+            )
             return 200
         except ApiError as error:
             self._send_json(error.status, self._error_body(error.status, error.body()))
@@ -317,7 +413,11 @@ class _RequestHandler(BaseHTTPRequestHandler):
         if self._raw:
             return legacy
         retry_after = 1 if status in (429, 503) else None
-        return error_envelope(legacy["error"], retry_after=retry_after)
+        return error_envelope(
+            legacy["error"],
+            retry_after=retry_after,
+            trace_id=self._envelope_trace_id(),
+        )
 
 
 # -- lifecycle ---------------------------------------------------------------

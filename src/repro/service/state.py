@@ -15,14 +15,20 @@ One :class:`ServiceState` lives for the life of the daemon.  It owns
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
-from ..obs import OBS
+from ..obs import OBS, FlightRecorder
 from .coalesce import ComputeCache
+
+#: Environment kill-switch for the always-on tracing layer (the bench
+#: overhead baseline boots with this set); config.trace_off is the
+#: programmatic equivalent.
+TRACE_OFF_ENV = "REPRO_TRACE_OFF"
 
 #: Service wire-format version, reported by /healthz.
 SERVICE_VERSION = 1
@@ -87,11 +93,28 @@ class ServiceConfig:
     #: write a JSON readiness document (port, pids, control dir) here
     #: once the listener is accepting; tests and the CI chaos job poll it
     ready_file: Optional[str] = None
+    #: disable the always-on tracing layer (no per-request traces, no
+    #: flight recorder, no exemplars); REPRO_TRACE_OFF=1 does the same
+    trace_off: bool = False
+    #: probabilistic keep rate for unremarkable requests in the flight
+    #: recorder (errors and slow-tail requests are always kept);
+    #: 1.0 keeps everything (the QA harness runs at 1.0)
+    trace_sample: float = 0.01
+    #: slow-tail threshold (milliseconds): requests at least this slow
+    #: always enter the flight recorder
+    trace_slow_ms: float = 250.0
+    #: finished request traces the per-worker ring buffer retains
+    trace_capacity: int = 256
 
     @property
     def queue_capacity(self) -> int:
         """Heavy requests this process admits before shedding with 429."""
         return self.threads + self.queue_limit
+
+    @property
+    def tracing_enabled(self) -> bool:
+        """Whether the always-on tracing layer is live for this process."""
+        return not self.trace_off and os.environ.get(TRACE_OFF_ENV, "") != "1"
 
 
 class ServiceState:
@@ -106,6 +129,12 @@ class ServiceState:
         self.planners = ComputeCache(max(8, config.lru_size // 4), "planner")
         self.plans = ComputeCache(config.lru_size, "plan")
         self.models = ComputeCache(max(8, config.lru_size // 4), "models")
+        self.flight = FlightRecorder(
+            capacity=config.trace_capacity,
+            slow_threshold=config.trace_slow_ms / 1e3,
+            sample_rate=config.trace_sample,
+            enabled=config.tracing_enabled,
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=config.threads, thread_name_prefix="repro-svc"
         )
@@ -124,6 +153,10 @@ class ServiceState:
         The calling request thread blocks on the result (the HTTP
         response needs it) — the pool exists to bound *concurrent
         compute* and to give overload a cheap, immediate answer.
+
+        The caller's active trace crosses the pool boundary: spans the
+        compute opens on the pool thread collect into the same trace,
+        parented under the caller's innermost span.
         """
         if not self._slots.acquire(blocking=False):
             OBS.add("service.rejected.overload")
@@ -133,6 +166,17 @@ class ServiceState:
                 "server is at capacity; retry shortly",
                 queue_capacity=self.config.queue_capacity,
             )
+        trace = OBS.current_trace()
+        if trace is not None:
+            parent_hint = OBS.current_span_id()
+            compute = fn
+
+            def traced() -> Any:
+                with OBS.adopt_trace(trace, parent_hint=parent_hint):
+                    with OBS.span("service.pool"):
+                        return compute()
+
+            fn = traced
         self._bump_depth(+1)
         try:
             future = self._pool.submit(fn)

@@ -201,6 +201,10 @@ def cmd_serve(options) -> int:
             log_json=options.log_json,
             trace_out=options.trace_out,
             ready_file=options.ready_file,
+            trace_off=options.trace_off,
+            trace_sample=options.trace_sample,
+            trace_slow_ms=options.trace_slow_ms,
+            trace_capacity=options.trace_capacity,
         )
     )
 
@@ -343,6 +347,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="record spans for the daemon's lifetime and write "
                         "a Chrome trace_event JSON file on shutdown")
+    p.add_argument("--trace-off", action="store_true",
+                   help="disable the always-on request tracing layer "
+                        "(flight recorder, /trace, exemplars); "
+                        "REPRO_TRACE_OFF=1 does the same")
+    p.add_argument("--trace-sample", type=float, default=0.01,
+                   metavar="RATE",
+                   help="flight-recorder keep rate for unremarkable "
+                        "requests (errors and the slow tail are always "
+                        "kept); 1.0 keeps everything")
+    p.add_argument("--trace-slow-ms", type=float, default=250.0,
+                   metavar="MS",
+                   help="slow-tail threshold: requests at least this "
+                        "slow always enter the flight recorder")
+    p.add_argument("--trace-capacity", type=int, default=256,
+                   metavar="N",
+                   help="finished traces each worker's flight-recorder "
+                        "ring retains")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -382,8 +403,51 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def cmd_profile_wrap(args: List[str]) -> int:
+    """``python -m repro profile [-o PATH] [--interval S] -- <experiment>``
+
+    Runs the experiments CLI under the sampling wall-clock profiler
+    (:mod:`repro.obs.profiler`) and emits collapsed-stack text — the
+    flamegraph input format — to ``-o`` or stderr.  The legacy
+    ``profile <program.ir>`` spelling (no ``--``) is untouched.
+    """
+    from .experiments import cli as experiments_cli
+    from .obs.profiler import StackSampler
+
+    split = args.index("--")
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="sample the wall-clock stacks of an experiment run",
+    )
+    parser.add_argument("-o", "--output", default=None,
+                        help="write collapsed stacks here (default: stderr)")
+    parser.add_argument("--interval", type=float, default=0.01,
+                        help="sampling interval in seconds (default 0.01)")
+    options = parser.parse_args(args[1:split])
+    workload = args[split + 1:]
+    if not workload:
+        print("profile: nothing to run after '--'", file=sys.stderr)
+        return 2
+    sampler = StackSampler(max(0.001, options.interval)).start()
+    try:
+        code = experiments_cli.main(workload)
+    finally:
+        text = sampler.stop()
+        if options.output:
+            with open(options.output, "w") as stream:
+                stream.write(text)
+            print(f"profile written to {options.output}", file=sys.stderr)
+        else:
+            sys.stderr.write(text)
+    return code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "profile" and "--" in args:
+        # Sampling-profiler mode: everything after ``--`` is an
+        # experiments CLI invocation run under the stack sampler.
+        return cmd_profile_wrap(args)
     if args and not args[0].startswith("-"):
         # Experiment names double as top-level commands, so
         # ``python -m repro transfer --format json`` works without the
